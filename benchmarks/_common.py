@@ -1,0 +1,51 @@
+"""Shared plumbing for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and prints it in the paper's row format (run with ``-s`` to see the tables
+inline; the numbers are also attached to pytest-benchmark's ``extra_info``).
+
+Environment:
+    DART_BENCH_FULL=1   run the expensive rows too (the Fig. 10 depth-4
+                        attack search and the full 600-function oSIP
+                        sweep); without it the suite stays laptop-quick
+                        while still exhibiting every qualitative result.
+"""
+
+import os
+
+
+def full_mode():
+    return os.environ.get("DART_BENCH_FULL", "") == "1"
+
+
+def print_table(title, headers, rows):
+    """Render an aligned table to stdout (visible with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows),
+                                      default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join("{:<{}}".format(h, w) for h, w in zip(headers, widths))
+    print("\n== {} ==".format(title))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(
+            "{:<{}}".format(str(cell), w) for cell, w in zip(row, widths)
+        ))
+
+
+def outcome(result):
+    """A compact outcome cell: error kind or termination status."""
+    if result.found_error:
+        return "ERROR ({})".format(result.first_error().kind)
+    if result.complete:
+        return "no error (all paths)"
+    return "no error (budget)"
+
+
+def attach(benchmark, **info):
+    """Record table values in pytest-benchmark's extra_info."""
+    if benchmark is not None:
+        for key, value in info.items():
+            benchmark.extra_info[key] = value

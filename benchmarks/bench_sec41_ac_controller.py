@@ -1,0 +1,73 @@
+"""Section 4.1: the AC-controller experiment (the paper's prose table).
+
+Paper:
+    depth 1 — no error; directed search explores all paths in 6 runs,
+              < 1 s; random search runs forever.
+    depth 2 — assertion violation, found by the directed search in 7 runs,
+              < 1 s; random search finds nothing in hours (probability
+              1 / 2^64 per attempt).
+
+Here the exact run counts differ slightly (branch accounting includes the
+driver loop), but the shape is identical: single-digit runs, full coverage
+at depth 1, the (3, 0) sequence at depth 2, random testing hopeless.
+"""
+
+from _common import attach, outcome, print_table
+
+from repro import dart_check, random_check
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+    DEPTH2_ERROR_SEQUENCE,
+)
+
+RANDOM_BUDGET = 5_000
+
+
+def test_table_section41(benchmark):
+    rows = []
+    results = {}
+
+    def sweep():
+        for depth in (1, 2):
+            results[depth] = (
+                dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                           depth=depth, max_iterations=1000, seed=0),
+                random_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                             depth=depth, max_iterations=RANDOM_BUDGET,
+                             seed=0),
+            )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    paper = {1: ("no error", 6), 2: ("error", 7)}
+    for depth in (1, 2):
+        directed, baseline = results[depth]
+        rows.append((
+            depth,
+            "{} / {} runs".format(*paper[depth]),
+            outcome(directed),
+            directed.iterations,
+            outcome(baseline),
+        ))
+    print_table(
+        "Section 4.1: AC controller",
+        ("depth", "paper (directed)", "directed", "runs",
+         "random ({} runs)".format(RANDOM_BUDGET)),
+        rows,
+    )
+
+    depth1, random1 = results[1]
+    depth2, random2 = results[2]
+    # Shape assertions against the paper.
+    assert depth1.complete and not depth1.found_error
+    assert depth1.iterations <= 10  # paper: 6
+    assert depth2.found_error
+    assert depth2.iterations <= 60  # paper: 7
+    assert tuple(depth2.first_error().inputs) == DEPTH2_ERROR_SEQUENCE
+    assert not random1.found_error and not random2.found_error
+    attach(benchmark,
+           depth1_runs=depth1.iterations,
+           depth2_runs=depth2.iterations,
+           depth2_trigger=list(depth2.first_error().inputs))

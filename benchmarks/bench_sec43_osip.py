@@ -1,0 +1,166 @@
+"""Section 4.3: the oSIP study.
+
+Paper:
+    * ~600 externally visible functions, each made the toplevel in turn,
+      at most 1,000 runs each;
+    * "DART found a way to crash 65% of the oSIP functions within 1,000
+      attempts";
+    * most crashes share one pattern: a pointer argument dereferenced
+      without a NULL check;
+    * one security bug: the parser's unchecked ``alloca`` — any message
+      larger than the stack crashes it remotely.
+
+The default benchmark sweeps a deterministic 48-function sample of the
+generated library (the full 596-function sweep runs under
+DART_BENCH_FULL=1) and reproduces the alloca attack threshold.
+"""
+
+import random
+
+from _common import attach, full_mode, print_table
+
+from repro import DartOptions, dart_check
+from repro.interp import Machine, MachineOptions, SegFault
+from repro.interp.memory import MemoryOptions
+from repro.minic import compile_program
+from repro.programs.osip import OsipLibrary
+
+SAMPLE_SIZE = 48
+STACK_LIMIT = 1 << 16  # the paper's 2.5 MB cygwin stack, scaled down
+
+
+def _sweep_one(library, entry):
+    options = DartOptions(max_iterations=1000, seed=1, max_steps=200_000,
+                          max_init_depth=4)
+    result = dart_check(library.source_for_function(entry.name),
+                        entry.name, options)
+    return result
+
+
+def test_osip_crash_sweep(benchmark):
+    library = OsipLibrary()
+    if full_mode():
+        sample = list(library.functions)
+    else:
+        rng = random.Random(0)
+        sample = rng.sample(library.functions, SAMPLE_SIZE)
+
+    outcomes = {}
+
+    def sweep():
+        for entry in sample:
+            outcomes[entry.name] = _sweep_one(library, entry)
+        return outcomes
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    crashed = [name for name, r in outcomes.items() if r.found_error]
+    rate = len(crashed) / len(sample)
+    by_module = {}
+    for entry in sample:
+        stats = by_module.setdefault(entry.module, [0, 0])
+        stats[1] += 1
+        if outcomes[entry.name].found_error:
+            stats[0] += 1
+    rows = [
+        (module, "{}/{}".format(*stats))
+        for module, stats in sorted(by_module.items())
+    ]
+    rows.append(("TOTAL", "{}/{} = {:.0f}% (paper: 65%)".format(
+        len(crashed), len(sample), rate * 100
+    )))
+    print_table(
+        "Section 4.3: oSIP per-function crash sweep"
+        + ("" if full_mode() else " (sampled; DART_BENCH_FULL=1 for all)"),
+        ("module", "crashed/functions"),
+        rows,
+    )
+
+    # Shape: the measured rate brackets the paper's 65%.
+    assert 0.5 <= rate <= 0.8
+    # Every crash must agree with the generator's ground truth.
+    for entry in sample:
+        assert outcomes[entry.name].found_error == entry.crashable, \
+            entry.name
+    # The dominant pattern is the NULL-argument dereference.
+    segfaults = [
+        name for name in crashed
+        if outcomes[name].first_error().kind == "segmentation fault"
+    ]
+    assert len(segfaults) >= 0.9 * len(crashed)
+    attach(benchmark, crash_rate=round(rate, 3),
+           sample_size=len(sample))
+
+
+def test_osip_crashes_found_within_few_runs(benchmark):
+    """Most crashable functions fall on the very first runs (the coin has
+    p = 0.5 per pointer argument), matching the paper's within-1,000 cap
+    by orders of magnitude."""
+    library = OsipLibrary()
+    rng = random.Random(1)
+    sample = rng.sample(
+        [f for f in library.functions if f.crashable], 12
+    )
+    iterations = {}
+
+    def sweep():
+        for entry in sample:
+            iterations[entry.name] = _sweep_one(library, entry).iterations
+        return iterations
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(runs <= 1000 for runs in iterations.values())
+    assert sorted(iterations.values())[len(iterations) // 2] <= 10
+    attach(benchmark, runs_to_crash=iterations)
+
+
+def test_osip_alloca_attack_threshold(benchmark):
+    """The security bug: messages beyond the stack budget crash the
+    parser; the checked variant fails gracefully on the same input."""
+    library = OsipLibrary()
+    module = compile_program(library.source_for_module("parser"))
+
+    def probe(function, size):
+        machine = Machine(module, MachineOptions(
+            max_steps=10_000_000,
+            memory=MemoryOptions(stack_limit=STACK_LIMIT),
+        ))
+        try:
+            return machine.run(function, (size,)), None
+        except SegFault as fault:
+            return None, fault
+
+    sizes = [1 << 10, 1 << 14, 3 << 14, 1 << 17, 1 << 20]
+    outcomes = {}
+
+    def sweep():
+        for size in sizes:
+            outcomes[size] = probe("osip_attack_probe", size)
+        return outcomes
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for size in sizes:
+        value, fault = outcomes[size]
+        rows.append((
+            size,
+            "crash: {}".format(fault.message) if fault else
+            "parsed (rc={})".format(value),
+        ))
+    print_table(
+        "Section 4.3: the alloca attack (stack limit {} bytes)".format(
+            STACK_LIMIT
+        ),
+        ("message bytes", "outcome"),
+        rows,
+    )
+
+    # Shape: small messages parse, oversized ones crash, and the
+    # transition sits at the stack budget.
+    assert outcomes[1 << 10][1] is None
+    assert outcomes[1 << 17][1] is not None
+    assert outcomes[1 << 20][1] is not None
+    crash_sizes = [s for s in sizes if outcomes[s][1] is not None]
+    assert min(crash_sizes) >= STACK_LIMIT // 2
+    attach(benchmark, first_crashing_size=min(crash_sizes))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Test your own mini-C code with DART: a tiny command-line front end.
+
+Usage:
+    python examples/check_c_file.py FILE.c TOPLEVEL [options]
+
+Options:
+    --depth N           successive toplevel calls per run (default 1)
+    --max-iterations N  run budget (default 10000)
+    --seed N            randomness seed (default 0)
+    --strategy S        dfs | bfs | random (default dfs)
+    --all-errors        keep searching after the first error
+    --random            use the random-testing baseline instead of DART
+
+Example (the AC controller from the paper):
+    python examples/check_c_file.py /tmp/ac.c ac_controller --depth 2
+"""
+
+import argparse
+import sys
+
+from repro import DartOptions, Dart, RandomTester
+from repro.minic.errors import MiniCError
+
+
+def build_arg_parser():
+    parser = argparse.ArgumentParser(
+        description="DART: directed automated random testing for mini-C",
+    )
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("toplevel", help="function to test")
+    parser.add_argument("--depth", type=int, default=1)
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--strategy", default="dfs",
+                        choices=("dfs", "bfs", "random"))
+    parser.add_argument("--all-errors", action="store_true")
+    parser.add_argument("--random", action="store_true",
+                        help="random testing baseline (no directed search)")
+    return parser
+
+
+def main(argv=None):
+    args = build_arg_parser().parse_args(argv)
+    with open(args.file) as handle:
+        source = handle.read()
+    options = DartOptions(
+        depth=args.depth,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+        strategy=args.strategy,
+        stop_on_first_error=not args.all_errors,
+    )
+    tester_class = RandomTester if args.random else Dart
+    try:
+        tester = tester_class(source, args.toplevel, options,
+                              filename=args.file)
+    except MiniCError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    result = tester.run()
+    print(result.describe())
+    for error in result.errors:
+        print(" -", error.describe())
+    stats = result.stats.summary()
+    print("runs: {iterations}, distinct paths: {distinct_paths}, "
+          "solver calls: {solver_calls}, elapsed: {elapsed_s}s"
+          .format(**stats))
+    return 1 if result.found_error else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

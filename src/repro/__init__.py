@@ -1,0 +1,83 @@
+"""DART: Directed Automated Random Testing — a full reproduction.
+
+This library reproduces Godefroid, Klarlund and Sen's PLDI 2005 paper from
+scratch in Python: a C-subset front end (:mod:`repro.minic`), a concrete
+RAM-machine interpreter (:mod:`repro.interp`), symbolic state
+(:mod:`repro.symbolic`), a linear integer constraint solver
+(:mod:`repro.solver`), and the DART engine itself (:mod:`repro.dart`) —
+interface extraction, automatic test-driver generation, and the
+concolic directed search.
+
+Quickstart::
+
+    from repro import dart_check
+
+    SOURCE = '''
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+      if (x != y)
+        if (f(x) == x + 10)
+          abort();  /* error */
+      return 0;
+    }
+    '''
+
+    result = dart_check(SOURCE, "h")
+    print(result.describe())   # Bug found after ... run(s)
+    print(result.first_error().inputs)  # e.g. [10, <something != 10>]
+"""
+
+from repro.dart import (
+    Dart,
+    DartOptions,
+    DartResult,
+    ErrorReport,
+    RandomTester,
+    build_test_program,
+    dart_check,
+    extract_interface,
+    generate_driver,
+    random_check,
+)
+from repro.dart.coverage import BranchCoverage
+from repro.interp import (
+    AssertionViolation,
+    ExecutionFault,
+    Machine,
+    MachineOptions,
+    NonTermination,
+    ProgramAbort,
+    SegFault,
+)
+from repro.interp.faults import UninitializedRead
+from repro.minic import compile_program
+from repro.minic.disasm import disassemble
+from repro.solver import Solver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssertionViolation",
+    "BranchCoverage",
+    "Dart",
+    "DartOptions",
+    "DartResult",
+    "ErrorReport",
+    "ExecutionFault",
+    "Machine",
+    "MachineOptions",
+    "NonTermination",
+    "ProgramAbort",
+    "RandomTester",
+    "SegFault",
+    "Solver",
+    "UninitializedRead",
+    "__version__",
+    "build_test_program",
+    "compile_program",
+    "dart_check",
+    "disassemble",
+    "extract_interface",
+    "generate_driver",
+    "random_check",
+]

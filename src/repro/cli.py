@@ -1,0 +1,104 @@
+"""Command-line interface: ``python -m repro FILE.c TOPLEVEL [options]``.
+
+Runs DART (or the random-testing baseline) on a mini-C source file and
+prints the verdict, the errors with their triggering input vectors, branch
+coverage, and session statistics.  Exit status: 0 = no error found,
+1 = bug(s) found, 2 = the input failed to compile.
+"""
+
+import argparse
+import sys
+
+from repro.dart.config import DartOptions
+from repro.dart.random_testing import RandomTester
+from repro.dart.runner import Dart
+from repro.minic import compile_program
+from repro.minic.disasm import disassemble
+from repro.minic.errors import MiniCError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DART: directed automated random testing "
+                    "(PLDI 2005 reproduction)",
+    )
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("toplevel", nargs="?",
+                        help="function to test (omit with --disasm)")
+    parser.add_argument("--depth", type=int, default=1,
+                        help="toplevel calls per execution (default 1)")
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--strategy", default="dfs",
+                        choices=("dfs", "bfs", "random"))
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--max-init-depth", type=int, default=None,
+                        help="bound random_init pointer recursion")
+    parser.add_argument("--all-errors", action="store_true",
+                        help="keep searching after the first error")
+    parser.add_argument("--random", action="store_true",
+                        help="random-testing baseline (no directed search)")
+    parser.add_argument("--disasm", action="store_true",
+                        help="print the RAM-machine IR and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the verdict line")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+    if args.disasm:
+        try:
+            module = compile_program(source, filename=args.file)
+        except MiniCError as error:
+            print("error: {}".format(error), file=sys.stderr)
+            return 2
+        print(disassemble(module))
+        return 0
+
+    if not args.toplevel:
+        print("error: a toplevel function is required", file=sys.stderr)
+        return 2
+
+    options = DartOptions(
+        depth=args.depth,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+        strategy=args.strategy,
+        stop_on_first_error=not args.all_errors,
+        time_limit=args.time_limit,
+        max_init_depth=args.max_init_depth,
+    )
+    tester_class = RandomTester if args.random else Dart
+    try:
+        tester = tester_class(source, args.toplevel, options,
+                              filename=args.file)
+    except MiniCError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+    result = tester.run()
+    print(result.describe())
+    if args.quiet:
+        return 1 if result.found_error else 0
+    for error in result.errors:
+        print(" -", error.describe())
+    if result.coverage is not None:
+        print("coverage: {}".format(result.coverage.describe()))
+    stats = result.stats.summary()
+    print(
+        "runs: {iterations}, distinct paths: {distinct_paths}, "
+        "solver calls: {solver_calls} (sat {solver_sat} / unsat "
+        "{solver_unsat} / unknown {solver_unknown}), "
+        "restarts: {random_restarts}, elapsed: {elapsed_s}s".format(**stats)
+    )
+    return 1 if result.found_error else 0

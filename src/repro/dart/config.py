@@ -1,0 +1,94 @@
+"""Configuration for DART runs."""
+
+from repro.interp.memory import MemoryOptions
+
+#: Branch-selection strategies for solve_path_constraint (footnote 4 of the
+#: paper: "the next branch to be forced could be selected using a different
+#: strategy, e.g., randomly or in a breadth-first manner").
+STRATEGIES = ("dfs", "bfs", "random")
+
+
+class DartOptions:
+    """All tunables of a DART (or random-testing) session.
+
+    The defaults mirror the paper: depth-first branch selection, stop at
+    the first error, 32-bit integer inputs.  ``directed_pointer_choices``
+    enables the extension where the driver's NULL-or-fresh coin toss
+    (Fig. 8) is itself an input variable, making pointer shapes directable
+    instead of purely random; switch it off for the paper's literal
+    behaviour (the ablation benchmark compares both).
+    """
+
+    def __init__(
+        self,
+        depth=1,
+        max_iterations=10_000,
+        seed=0,
+        strategy="dfs",
+        stop_on_first_error=True,
+        max_steps=1_000_000,
+        solver_node_budget=50_000,
+        directed_pointer_choices=True,
+        max_init_depth=None,
+        transparent_memory=False,
+        stack_limit=1 << 20,
+        heap_limit=1 << 26,
+        max_call_depth=256,
+        track_uninitialized=False,
+        time_limit=None,
+        state_file=None,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                "strategy must be one of {}".format(", ".join(STRATEGIES))
+            )
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        #: Number of successive toplevel calls per execution (§3.2).
+        self.depth = depth
+        #: Upper bound on program executions (runs) per session.
+        self.max_iterations = max_iterations
+        #: Seed for every source of randomness (fully deterministic runs).
+        self.seed = seed
+        #: Branch-selection strategy: "dfs" (the paper), "bfs" or "random".
+        self.strategy = strategy
+        #: Stop at the first error (the paper's ``print "Bug found"; exit``)
+        #: or keep searching and collect distinct errors.
+        self.stop_on_first_error = stop_on_first_error
+        #: RAM-machine step budget per run (non-termination detector).
+        self.max_steps = max_steps
+        #: Node budget for each constraint-solver call.
+        self.solver_node_budget = solver_node_budget
+        self.directed_pointer_choices = directed_pointer_choices
+        #: Bound on random_init's pointer recursion (None = unbounded, the
+        #: paper's Fig. 8 behaviour; a small bound keeps directed searches
+        #: over recursive input types finite).
+        self.max_init_depth = max_init_depth
+        #: Extension: memcpy/strcpy move symbolic values (see DESIGN.md).
+        self.transparent_memory = transparent_memory
+        self.stack_limit = stack_limit
+        self.heap_limit = heap_limit
+        self.max_call_depth = max_call_depth
+        #: Extension: report reads of never-written locals/heap cells
+        #: (the check the paper delegates to Purify/CCured, §3.4).
+        self.track_uninitialized = track_uninitialized
+        #: Optional wall-clock budget in seconds for a session.
+        self.time_limit = time_limit
+        #: Path for inter-run state (the paper keeps the branch stack "in
+        #: a file between executions"); lets a dfs search resume after an
+        #: exhausted budget.  None keeps state in memory only.
+        self.state_file = state_file
+
+    def memory_options(self):
+        return MemoryOptions(
+            stack_limit=self.stack_limit,
+            heap_limit=self.heap_limit,
+            max_call_depth=self.max_call_depth,
+            track_uninitialized=self.track_uninitialized,
+        )
+
+    def __repr__(self):
+        return (
+            "DartOptions(depth={}, max_iterations={}, seed={}, "
+            "strategy={!r})"
+        ).format(self.depth, self.max_iterations, self.seed, self.strategy)

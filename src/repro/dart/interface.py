@@ -1,0 +1,77 @@
+"""Automated interface extraction (Section 3.1).
+
+The external interface of a program is:
+
+* the arguments of the user-specified *toplevel* function,
+* the program's *external variables* (``extern`` declarations with no
+  defining declaration), and
+* its *external functions* (prototypes with no definition).
+
+All three are discovered by the front end's lightweight static pass
+(:mod:`repro.minic.semantic`); this module packages them for the driver
+generator.
+"""
+
+from repro.minic.errors import SemanticError
+from repro.minic.parser import parse_program
+from repro.minic.semantic import analyze
+
+
+class ToplevelInterface:
+    """The full external interface for one choice of toplevel function."""
+
+    def __init__(self, toplevel, param_types, external_functions,
+                 external_variables):
+        #: Name of the function the driver will call ``depth`` times.
+        self.toplevel = toplevel
+        #: Decayed C types of the toplevel function's parameters.
+        self.param_types = list(param_types)
+        #: name -> FunctionType of environment-controlled functions.
+        self.external_functions = dict(external_functions)
+        #: name -> CType of environment-controlled variables.
+        self.external_variables = dict(external_variables)
+
+    def __repr__(self):
+        return (
+            "ToplevelInterface({!r}, {} param(s), {} external function(s), "
+            "{} external variable(s))"
+        ).format(
+            self.toplevel,
+            len(self.param_types),
+            len(self.external_functions),
+            len(self.external_variables),
+        )
+
+
+def extract_interface(source, toplevel, filename="<program>"):
+    """Parse ``source`` and extract the interface for ``toplevel``.
+
+    Returns (:class:`ToplevelInterface`, ProgramInfo).  Raises
+    :class:`SemanticError` if the toplevel function is not defined by the
+    program.
+    """
+    program = parse_program(source, filename=filename)
+    info = analyze(program)
+    func = info.functions.get(toplevel)
+    if func is None:
+        raise SemanticError(
+            "toplevel function {!r} is not defined by the program"
+            .format(toplevel)
+        )
+    interface = ToplevelInterface(
+        toplevel,
+        func.ftype.param_types,
+        info.interface.external_functions,
+        info.interface.external_variables,
+    )
+    return interface, info
+
+
+def exported_functions(source, filename="<program>"):
+    """All defined functions and their types — used by the oSIP-style sweep
+    (Section 4.3: every externally visible function becomes a toplevel)."""
+    program = parse_program(source, filename=filename)
+    info = analyze(program)
+    return {
+        name: decl.ftype for name, decl in sorted(info.functions.items())
+    }

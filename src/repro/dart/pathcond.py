@@ -1,0 +1,56 @@
+"""Path constraints and the branch stack (Sections 2.2–2.3).
+
+``stack[i] = (branch, done)`` records, for the (i+1)-th conditional executed,
+which branch was taken (1 = then, 0 = else) and whether both branches have
+already been explored with this history (Fig. 4's bookkeeping).
+
+``path_constraint[i]`` is the symbolic conjunct asserted by that conditional
+— a :class:`repro.symbolic.expr.CmpExpr` — or None when the predicate had no
+symbolic content (a concrete-fallback branch, which cannot be flipped by
+solving).  The two lists are always index-aligned, as in Fig. 5.
+"""
+
+
+class StackEntry:
+    """One conditional's record in the inter-run branch stack."""
+
+    __slots__ = ("branch", "done")
+
+    def __init__(self, branch, done=False):
+        self.branch = branch
+        self.done = done
+
+    def flipped(self):
+        return StackEntry(1 - self.branch, self.done)
+
+    def copy(self):
+        return StackEntry(self.branch, self.done)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StackEntry)
+            and other.branch == self.branch
+            and other.done == self.done
+        )
+
+    def __repr__(self):
+        return "({}, {})".format(self.branch, 1 if self.done else 0)
+
+
+class PathRecord:
+    """The per-run pair of aligned lists: branch stack + path constraint."""
+
+    def __init__(self):
+        self.stack = []
+        self.constraints = []
+
+    def __len__(self):
+        return len(self.stack)
+
+    def append(self, branch, constraint):
+        self.stack.append(StackEntry(branch))
+        self.constraints.append(constraint)
+
+    def path_key(self):
+        """A hashable identifier for the executed path (for statistics)."""
+        return tuple(entry.branch for entry in self.stack)

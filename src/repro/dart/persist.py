@@ -1,0 +1,67 @@
+"""Inter-run state persistence.
+
+The paper's architecture re-executes the instrumented *process* for every
+run, so the branch stack and the input vector are "kept in a file between
+executions" (Section 2.3).  Our runs share a Python process and normally
+pass the state in memory, but the same file format is supported so that a
+directed search can be suspended (budget exhausted, process killed) and
+resumed later: pass ``DartOptions(state_file=...)`` and re-run.
+
+The file holds one JSON object::
+
+    {"version": 1,
+     "stack": [[branch, done], ...],
+     "im": [[kind, value], ...]}
+"""
+
+import json
+import os
+
+from repro.dart.inputs import InputVector
+from repro.dart.pathcond import StackEntry
+
+_VERSION = 1
+
+
+def save_state(path, stack, im):
+    """Atomically write the predicted stack and input vector."""
+    payload = {
+        "version": _VERSION,
+        "stack": [[entry.branch, 1 if entry.done else 0]
+                  for entry in stack],
+        "im": [[slot.kind, slot.value] for slot in im],
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)
+
+
+def load_state(path):
+    """Read a saved (stack, im) pair; returns None if absent/invalid."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        return None
+    try:
+        stack = [
+            StackEntry(int(branch), bool(done))
+            for branch, done in payload["stack"]
+        ]
+        im = InputVector()
+        for ordinal, (kind, value) in enumerate(payload["im"]):
+            im.record(ordinal, kind, int(value))
+    except (KeyError, TypeError, ValueError):
+        return None
+    return stack, im
+
+
+def clear_state(path):
+    """Remove the state file (called when a search finishes cleanly)."""
+    try:
+        os.remove(path)
+    except OSError:
+        pass

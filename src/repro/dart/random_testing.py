@@ -1,0 +1,116 @@
+"""The pure random-testing baseline (Sections 1 and 4).
+
+Same generated driver, same fault detection — but every run draws a fresh
+random input vector and no symbolic state is maintained.  This is the
+baseline the paper's evaluation compares the directed search against
+("a random search would thus run forever without detecting any errors").
+"""
+
+import random
+import time
+
+from repro.dart.config import DartOptions
+from repro.dart.coverage import BranchCoverage
+from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.inputs import InputVector, random_value
+from repro.dart.report import (
+    BUG_FOUND,
+    EXHAUSTED,
+    DartResult,
+    ErrorReport,
+    RunStats,
+)
+from repro.interp.faults import ExecutionFault
+from repro.interp.machine import Machine, MachineOptions
+from repro.symbolic.flags import CompletenessFlags
+
+
+class RandomHooks:
+    """Inputs are freshly random; branches are ignored."""
+
+    def __init__(self, im, rng):
+        self.im = im
+        self._rng = rng
+        self._next_ordinal = 0
+
+    def acquire_input(self, kind):
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        value = random_value(kind, self._rng)
+        self.im.record(ordinal, kind, value)
+        return value, None  # invisible to the symbolic machinery
+
+    def on_branch(self, taken, constraint, location):
+        pass
+
+
+class RandomTester:
+    """Random unit testing with the auto-generated driver."""
+
+    def __init__(self, source, toplevel, options=None, filename="<program>"):
+        self.options = options or DartOptions()
+        self.toplevel = toplevel
+        self.module = build_test_program(
+            source, toplevel, depth=self.options.depth, filename=filename,
+            max_init_depth=self.options.max_init_depth,
+        )
+
+    def run(self):
+        options = self.options
+        stats = RunStats()
+        errors = []
+        seen_error_keys = set()
+        rng = random.Random(options.seed)
+        flags = CompletenessFlags()
+        flags.clear_linear()  # random testing never claims completeness
+        deadline = None
+        if options.time_limit is not None:
+            deadline = time.perf_counter() + options.time_limit
+        status = EXHAUSTED
+        try:
+            while stats.iterations < options.max_iterations:
+                if deadline is not None and time.perf_counter() > deadline:
+                    break
+                stats.iterations += 1
+                im = InputVector()
+                hooks = RandomHooks(im, rng)
+                machine = Machine(
+                    self.module,
+                    MachineOptions(
+                        max_steps=options.max_steps,
+                        memory=options.memory_options(),
+                    ),
+                    hooks,
+                    CompletenessFlags(),
+                )
+                try:
+                    machine.run(DRIVER_ENTRY)
+                except ExecutionFault as fault:
+                    status = BUG_FOUND
+                    key = (fault.kind, str(fault.location))
+                    if key not in seen_error_keys:
+                        seen_error_keys.add(key)
+                        errors.append(
+                            ErrorReport(fault, im.values(), stats.iterations)
+                        )
+                    if options.stop_on_first_error:
+                        break
+                finally:
+                    stats.branches_executed += machine.branches_executed
+                    stats.machine_steps += machine.steps
+                    stats.covered_branches |= machine.covered_branches
+        finally:
+            stats.finish()
+        return DartResult(
+            status, errors, stats, flags.snapshot(),
+            coverage=BranchCoverage(self.module, stats.covered_branches),
+        )
+
+
+def random_check(source, toplevel, options=None, **option_kwargs):
+    """One-call random testing (the baseline for every benchmark)."""
+    if options is None:
+        options = DartOptions(**option_kwargs)
+    elif option_kwargs:
+        raise ValueError("pass either options or keyword overrides, not both")
+    return RandomTester(source, toplevel, options).run()

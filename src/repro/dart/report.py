@@ -1,0 +1,128 @@
+"""Result and report types for DART and random-testing sessions."""
+
+import time
+
+#: Session outcome statuses (Theorem 1's three cases, plus budget cutoffs).
+BUG_FOUND = "bug_found"  # case (a): a sound error was found
+COMPLETE = "complete"  # case (b): all feasible paths explored, no bug
+EXHAUSTED = "exhausted"  # budget/time ran out (case (c) in the limit)
+
+
+class ErrorReport:
+    """One detected program error, with everything needed to replay it."""
+
+    def __init__(self, fault, inputs, iteration, path=None):
+        #: The ExecutionFault instance (abort, assertion, segfault, ...).
+        self.fault = fault
+        #: The input vector (list of raw values) that triggers the error.
+        self.inputs = inputs
+        #: 1-based run index at which the error was found.
+        self.iteration = iteration
+        #: Branch signature of the erroneous path, when available.
+        self.path = path
+
+    @property
+    def kind(self):
+        return self.fault.kind
+
+    @property
+    def location(self):
+        return self.fault.location
+
+    def describe(self):
+        return "{} (run {}, inputs {})".format(
+            self.fault.describe(), self.iteration, self.inputs
+        )
+
+    def __repr__(self):
+        return "ErrorReport({!r})".format(self.describe())
+
+
+class RunStats:
+    """Counters accumulated over a session."""
+
+    def __init__(self):
+        self.iterations = 0
+        self.paths_explored = 0
+        self.distinct_paths = set()
+        self.solver_calls = 0
+        self.solver_sat = 0
+        self.solver_unsat = 0
+        self.solver_unknown = 0
+        self.forcing_failures = 0
+        self.random_restarts = 0
+        self.branches_executed = 0
+        self.machine_steps = 0
+        self.covered_branches = set()
+        self.started_at = time.perf_counter()
+        self.elapsed = 0.0
+
+    def finish(self):
+        self.elapsed = time.perf_counter() - self.started_at
+
+    def note_path(self, path_key):
+        self.paths_explored += 1
+        self.distinct_paths.add(path_key)
+
+    def summary(self):
+        return {
+            "iterations": self.iterations,
+            "paths": self.paths_explored,
+            "distinct_paths": len(self.distinct_paths),
+            "solver_calls": self.solver_calls,
+            "solver_sat": self.solver_sat,
+            "solver_unsat": self.solver_unsat,
+            "solver_unknown": self.solver_unknown,
+            "forcing_failures": self.forcing_failures,
+            "random_restarts": self.random_restarts,
+            "branches": self.branches_executed,
+            "steps": self.machine_steps,
+            "elapsed_s": round(self.elapsed, 4),
+        }
+
+
+class DartResult:
+    """Outcome of a DART (or random-testing) session."""
+
+    def __init__(self, status, errors, stats, flags_snapshot,
+                 coverage=None):
+        self.status = status
+        self.errors = errors
+        self.stats = stats
+        #: (all_linear, all_locs_definite, forcing_ok) at session end.
+        self.flags = flags_snapshot
+        #: Branch-direction coverage of the program under test
+        #: (:class:`repro.dart.coverage.BranchCoverage`), or None.
+        self.coverage = coverage
+
+    @property
+    def found_error(self):
+        return bool(self.errors)
+
+    @property
+    def iterations(self):
+        return self.stats.iterations
+
+    @property
+    def complete(self):
+        """True when termination proves full path coverage (Theorem 1(b))."""
+        return self.status == COMPLETE
+
+    def first_error(self):
+        return self.errors[0] if self.errors else None
+
+    def describe(self):
+        if self.status == BUG_FOUND:
+            return "Bug found after {} run(s): {}".format(
+                self.errors[0].iteration, self.errors[0].describe()
+            )
+        if self.status == COMPLETE:
+            return (
+                "No bug; all {} feasible paths explored in {} run(s)"
+            ).format(len(self.stats.distinct_paths), self.iterations)
+        return "Budget exhausted after {} run(s); {} error(s) found".format(
+            self.iterations, len(self.errors)
+        )
+
+    def __repr__(self):
+        return "DartResult({!r})".format(self.describe())

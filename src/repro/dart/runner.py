@@ -1,0 +1,335 @@
+"""``run_DART`` (Fig. 2): directed search wrapped in random restarts.
+
+The outer loop restarts with a fresh random input vector; the inner loop
+runs the instrumented program and asks ``solve_path_constraint`` for the
+next input vector.  Any :class:`ExecutionFault` raised by the program is a
+bug, reported with the concrete input vector that triggers it — Theorem
+1(a)'s soundness comes for free because the fault occurred in a real
+execution.  If a directed search finishes with both completeness flags
+still set, all feasible program paths have been explored (Theorem 1(b)) and
+the session reports ``complete``.  A forcing mismatch (the solver's
+prediction diverged at runtime) aborts the directed search and falls back
+to a random restart, as described at the end of Section 2.3.
+"""
+
+import random
+import time
+
+from repro.dart import persist
+from repro.dart.config import DartOptions
+from repro.dart.coverage import BranchCoverage
+from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.inputs import InputVector
+from repro.dart.instrument import DirectedHooks, ForcingMismatch
+from repro.dart.report import (
+    BUG_FOUND,
+    COMPLETE,
+    EXHAUSTED,
+    DartResult,
+    ErrorReport,
+    RunStats,
+)
+from repro.dart.solve import solve_path_constraint
+from repro.interp.faults import ExecutionFault
+from repro.interp.machine import Machine, MachineOptions
+from repro.solver import Solver
+from repro.symbolic.flags import CompletenessFlags
+
+
+class Dart:
+    """A DART session for one program and one toplevel function."""
+
+    def __init__(self, source, toplevel, options=None, filename="<program>"):
+        self.options = options or DartOptions()
+        self.toplevel = toplevel
+        self.module = build_test_program(
+            source, toplevel, depth=self.options.depth, filename=filename,
+            max_init_depth=self.options.max_init_depth,
+        )
+        self.solver = Solver(
+            seed=self.options.seed,
+            node_budget=self.options.solver_node_budget,
+        )
+
+    # -- the paper's Fig. 2 -------------------------------------------------
+
+    def run(self):
+        """Execute the run_DART loop; returns a :class:`DartResult`.
+
+        The default "dfs" strategy is the paper's Fig. 5 single-stack
+        depth-first search.  The "bfs" and "random" strategies (footnote 4)
+        use a *generational worklist* instead: after each run, every newly
+        discovered flippable branch spawns a pending input vector, and the
+        frontier is drained in FIFO or random order.  (A plain reordering
+        of Fig. 5's single stack would silently discard unexplored deep
+        branches whenever a shallow one is flipped; the worklist keeps the
+        alternative orders sound and complete.)
+        """
+        session = _Session(self)
+        try:
+            if self.options.strategy == "dfs":
+                return session.run_figure5()
+            return session.run_generational()
+        finally:
+            session.stats.finish()
+
+    def _machine(self, hooks, flags):
+        machine_options = MachineOptions(
+            max_steps=self.options.max_steps,
+            transparent_memory=self.options.transparent_memory,
+            memory=self.options.memory_options(),
+        )
+        return Machine(self.module, machine_options, hooks, flags)
+
+    # -- replay -----------------------------------------------------------
+
+    def replay(self, input_values):
+        """Re-execute the program on a recorded input vector.
+
+        Useful for confirming a reported error independently of the
+        search.  Returns the fault raised, or None if the run completes.
+        """
+        im = InputVector()
+        for ordinal, value in enumerate(input_values):
+            im.record(ordinal, "int", value)
+
+        class _ReplayHooks(DirectedHooks):
+            def acquire_input(self, kind):
+                ordinal = self._next_ordinal
+                self._next_ordinal += 1
+                if ordinal < len(self.im):
+                    return self.im[ordinal].value, None
+                return 0, None
+
+            def on_branch(self, taken, constraint, location):
+                pass
+
+        hooks = _ReplayHooks(
+            im, [], CompletenessFlags(), random.Random(0), self.options
+        )
+        machine = self._machine(hooks, CompletenessFlags())
+        try:
+            machine.run(DRIVER_ENTRY)
+        except ExecutionFault as fault:
+            return fault
+        return None
+
+
+
+
+class _BudgetReached(Exception):
+    """Internal control flow: iteration or time budget exhausted."""
+
+
+class _Pending:
+    """A worklist item of the generational search."""
+
+    __slots__ = ("stack", "im", "bound")
+
+    def __init__(self, stack, im, bound):
+        self.stack = stack
+        self.im = im
+        #: First branch index this item is allowed to expand (its parent
+        #: already enumerated everything shallower).
+        self.bound = bound
+
+
+class _Session:
+    """One run() invocation's mutable state, shared by both engines."""
+
+    def __init__(self, dart):
+        self.dart = dart
+        self.options = dart.options
+        self.flags = CompletenessFlags()
+        self.stats = RunStats()
+        self.errors = []
+        self._seen_error_keys = set()
+        self.rng = random.Random(self.options.seed)
+        self.status = EXHAUSTED
+        self._deadline = None
+        if self.options.time_limit is not None:
+            self._deadline = time.perf_counter() + self.options.time_limit
+
+    # -- shared plumbing ----------------------------------------------------
+
+    def _check_budget(self):
+        if self.stats.iterations >= self.options.max_iterations:
+            raise _BudgetReached()
+        if self._deadline is not None \
+                and time.perf_counter() > self._deadline:
+            raise _BudgetReached()
+
+    def _execute(self, im, predicted_stack):
+        """One instrumented run; returns (hooks, fault, mismatch)."""
+        self.stats.iterations += 1
+        hooks = DirectedHooks(
+            im, predicted_stack, self.flags, self.rng, self.options
+        )
+        machine = self.dart._machine(hooks, self.flags)
+        fault = None
+        mismatch = False
+        try:
+            machine.run(DRIVER_ENTRY)
+        except ForcingMismatch:
+            mismatch = True
+            self.stats.forcing_failures += 1
+        except ExecutionFault as caught:
+            fault = caught
+        self.stats.branches_executed += machine.branches_executed
+        self.stats.machine_steps += machine.steps
+        self.stats.covered_branches |= machine.covered_branches
+        if not mismatch:
+            self.stats.note_path(hooks.record.path_key())
+        return hooks, fault, mismatch
+
+    def _record_error(self, fault, im, hooks):
+        """Record a found bug; returns True when the session should stop."""
+        self.status = BUG_FOUND
+        key = (fault.kind, str(fault.location))
+        if key not in self._seen_error_keys:
+            self._seen_error_keys.add(key)
+            self.errors.append(
+                ErrorReport(fault, im.values(), self.stats.iterations,
+                            hooks.record.path_key())
+            )
+        return self.options.stop_on_first_error
+
+    def _result(self):
+        return DartResult(
+            self.status, self.errors, self.stats, self.flags.snapshot(),
+            coverage=BranchCoverage(self.dart.module,
+                                    self.stats.covered_branches),
+        )
+
+    def _finished_complete(self):
+        if self.flags.complete:
+            if not self.errors:
+                self.status = COMPLETE
+            return True
+        return False
+
+    # -- engine 1: the paper's Figs. 2 + 5 ------------------------------------
+
+    def run_figure5(self):
+        state_file = self.options.state_file
+        resumed = None
+        if state_file is not None:
+            resumed = persist.load_state(state_file)
+        try:
+            while True:  # the outer "repeat" — random restarts
+                if resumed is not None:
+                    predicted_stack, im = resumed
+                    resumed = None
+                else:
+                    im = InputVector()
+                    predicted_stack = []
+                search_finished = False
+                while True:  # the inner "while (directed)"
+                    self._check_budget()
+                    hooks, fault, mismatch = self._execute(
+                        im, predicted_stack
+                    )
+                    if mismatch:
+                        # §2.3: restart with a fresh random input vector.
+                        self.flags.forcing_ok = True
+                        break
+                    if fault is not None and self._record_error(
+                        fault, im, hooks
+                    ):
+                        return self._result()
+                    plan = solve_path_constraint(
+                        hooks.record, hooks.finished_stack(), im,
+                        self.dart.solver, "dfs", self.rng, self.flags,
+                        self.stats,
+                    )
+                    if plan is None:
+                        search_finished = True
+                        break
+                    im = plan.im
+                    predicted_stack = plan.stack
+                    if state_file is not None:
+                        # §2.3: the stack is "kept in a file between
+                        # executions" — lets the search resume later.
+                        persist.save_state(state_file, predicted_stack, im)
+                # the "until all_linear and all_locs_definite" condition
+                if search_finished and self._finished_complete():
+                    if state_file is not None:
+                        persist.clear_state(state_file)
+                    return self._result()
+                self.stats.random_restarts += 1
+        except _BudgetReached:
+            return self._result()
+
+    # -- engine 2: generational worklist (footnote 4 done soundly) -----------
+
+    def _pop(self, pending):
+        if self.options.strategy == "bfs":
+            return pending.pop(0)
+        return pending.pop(self.rng.randrange(len(pending)))
+
+    def run_generational(self):
+        solver = self.dart.solver
+        try:
+            while True:  # random restarts, as in Fig. 2
+                pending = [_Pending([], InputVector(), 0)]
+                clean_drain = True
+                while pending:
+                    self._check_budget()
+                    item = self._pop(pending)
+                    hooks, fault, mismatch = self._execute(
+                        item.im, item.stack
+                    )
+                    if mismatch:
+                        # The invariant guarantees a completeness flag was
+                        # already cleared; drop the stale item.
+                        self.flags.forcing_ok = True
+                        clean_drain = False
+                        continue
+                    if fault is not None and self._record_error(
+                        fault, item.im, hooks
+                    ):
+                        return self._result()
+                    stack = hooks.finished_stack()
+                    constraints = hooks.record.constraints
+                    domains = item.im.domains()
+                    for j in range(item.bound, len(stack)):
+                        conjunct = constraints[j]
+                        if conjunct is None:
+                            continue
+                        prefix = [
+                            c for c in constraints[:j] if c is not None
+                        ]
+                        prefix.append(conjunct.negate())
+                        result = solver.solve(prefix, domains)
+                        self.stats.solver_calls += 1
+                        if result.is_sat:
+                            self.stats.solver_sat += 1
+                            child = [e.copy() for e in stack[: j + 1]]
+                            child[j] = child[j].flipped()
+                            pending.append(_Pending(
+                                child, item.im.updated(result.model), j + 1
+                            ))
+                        elif result.status == "unknown":
+                            self.stats.solver_unknown += 1
+                            self.flags.clear_linear()
+                        else:
+                            self.stats.solver_unsat += 1
+                if clean_drain and self._finished_complete():
+                    return self._result()
+                self.stats.random_restarts += 1
+        except _BudgetReached:
+            return self._result()
+
+
+def dart_check(source, toplevel, options=None, **option_kwargs):
+    """One-call DART: build the driver, run the search, return the result.
+
+    Either pass a :class:`DartOptions` or keyword overrides, e.g.::
+
+        result = dart_check(source, "h", depth=2, max_iterations=500)
+    """
+    if options is None:
+        options = DartOptions(**option_kwargs)
+    elif option_kwargs:
+        raise ValueError("pass either options or keyword overrides, not both")
+    return Dart(source, toplevel, options).run()

@@ -1,0 +1,87 @@
+"""``solve_path_constraint`` (Fig. 5) with pluggable branch selection.
+
+After a run completes, the deepest conditional whose other branch has not
+been explored (``done == 0``) is selected; its conjunct is negated and the
+path-constraint prefix up to it is handed to the solver.  On success the
+truncated stack (with the branch bit flipped) and the updated input vector
+``IM + IM'`` drive the next run.  On UNSAT the next candidate branch is
+tried — the paper's recursive descent; on UNKNOWN additionally
+``all_linear`` is cleared, because prover incompleteness costs the
+termination guarantee exactly like a non-linear expression does.
+
+Footnote 4 of the paper notes the flipped branch "could be selected using a
+different strategy, e.g., randomly or in a breadth-first manner"; the
+``strategy`` parameter implements all three.
+"""
+
+
+class NextRunPlan:
+    """What the next execution should try: a predicted stack plus inputs."""
+
+    __slots__ = ("stack", "im")
+
+    def __init__(self, stack, im):
+        self.stack = stack
+        self.im = im
+
+
+def candidate_indices(stack, strategy, rng):
+    """Indices of not-yet-``done`` conditionals, in flip-attempt order."""
+    pending = [
+        index for index, entry in enumerate(stack) if not entry.done
+    ]
+    if strategy == "dfs":
+        pending.reverse()
+    elif strategy == "random":
+        rng.shuffle(pending)
+    elif strategy != "bfs":
+        raise ValueError("unknown strategy {!r}".format(strategy))
+    return pending
+
+
+def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
+                          stats=None):
+    """Pick a branch to flip and solve for inputs reaching it.
+
+    ``record`` is the completed run's :class:`PathRecord` (constraints),
+    ``stack`` the finished (branch, done) list, ``im`` the run's input
+    vector.  Returns a :class:`NextRunPlan`, or None when every branch
+    along the path is exhausted (this directed search is over).
+    """
+    constraints = record.constraints
+    domains = im.domains()
+    for j in candidate_indices(stack, strategy, rng):
+        conjunct = constraints[j]
+        if conjunct is None:
+            # Concrete-fallback predicate: not flippable by solving.  Its
+            # other branch is only reachable through different earlier
+            # choices (or not at all).  Mark it done so it is not
+            # re-examined on every later solve with the same prefix.
+            stack[j].done = True
+            continue
+        prefix = [c for c in constraints[:j] if c is not None]
+        prefix.append(conjunct.negate())
+        result = solver.solve(prefix, domains)
+        if stats is not None:
+            stats.solver_calls += 1
+            if result.status == "sat":
+                stats.solver_sat += 1
+            elif result.status == "unsat":
+                stats.solver_unsat += 1
+            else:
+                stats.solver_unknown += 1
+        if result.is_sat:
+            next_stack = [entry.copy() for entry in stack[: j + 1]]
+            next_stack[j] = next_stack[j].flipped()
+            return NextRunPlan(next_stack, im.updated(result.model))
+        if result.status == "unknown":
+            # Prover incompleteness: same effect as a non-linear predicate.
+            flags.clear_linear()
+        else:
+            # Proved UNSAT: the other branch is infeasible under this
+            # prefix, which is permanent for this branch history — mark it
+            # done so later solves with the same prefix skip it.  (Fig. 5
+            # re-derives the UNSAT on every call; this is a pure
+            # memoization.)
+            stack[j].done = True
+    return None

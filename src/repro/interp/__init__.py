@@ -1,0 +1,42 @@
+"""Concrete execution of the RAM-machine IR (Section 2.2 of the paper).
+
+The :class:`repro.interp.machine.Machine` executes a lowered
+:class:`repro.minic.ir.Module` over a byte-addressable sparse memory, while
+simultaneously maintaining the symbolic memory ``S`` — the two side-by-side
+executions of the paper's instrumented program (Fig. 3).  A ``hooks`` object
+observes input acquisitions and conditional branches; the DART engine plugs
+in there, and plain random testing uses a trivial hook.
+"""
+
+from repro.interp.faults import (
+    AssertionViolation,
+    DivisionByZero,
+    ExecutionFault,
+    InterpreterError,
+    InvalidFree,
+    NonTermination,
+    OutOfMemory,
+    ProgramAbort,
+    SegFault,
+    StackOverflow,
+)
+from repro.interp.machine import ExecutionHooks, Machine, MachineOptions
+from repro.interp.memory import Memory, MemoryOptions
+
+__all__ = [
+    "AssertionViolation",
+    "DivisionByZero",
+    "ExecutionFault",
+    "ExecutionHooks",
+    "InterpreterError",
+    "InvalidFree",
+    "Machine",
+    "MachineOptions",
+    "Memory",
+    "MemoryOptions",
+    "NonTermination",
+    "OutOfMemory",
+    "ProgramAbort",
+    "SegFault",
+    "StackOverflow",
+]

@@ -1,0 +1,652 @@
+"""The instrumented RAM machine (Fig. 3 of the paper).
+
+One :class:`Machine` performs one execution of the program: it runs the
+concrete semantics over the byte-addressable memory ``M`` while maintaining
+the symbolic memory ``S`` side by side.  Every expression evaluates to a
+pair ``(concrete value, symbolic expression or None)``.
+
+Two extension points connect the machine to the testing layers:
+
+* ``hooks.acquire_input(kind)`` is called by the ``__dart_*`` intrinsics the
+  generated test driver uses; it returns the concrete value (from the input
+  vector ``IM``, or freshly randomized) and the :class:`InputVar` naming it
+  (or None, which makes the value invisible to the symbolic execution).
+* ``hooks.on_branch(taken, constraint, location)`` is called at every
+  conditional statement with the branch outcome and the path-constraint
+  conjunct, implementing the ``path_constraint``/``stack`` bookkeeping of
+  Figs. 3 and 4.
+"""
+
+import sys
+
+from repro.interp.builtins import (
+    BUILTINS,
+    INPUT_INTRINSICS,
+    ProgramHalt,
+)
+from repro.interp.faults import (
+    AssertionViolation,
+    DivisionByZero,
+    ExecutionFault,
+    InterpreterError,
+    NonTermination,
+    ProgramAbort,
+)
+from repro.interp.memory import Memory, MemoryOptions
+from repro.interp.values import c_div, c_mod, to_unsigned, wrap
+from repro.minic import ast_nodes as ast
+from repro.minic import ir
+from repro.minic import typesys as ts
+from repro.minic.symbols import BUILTIN, ENUM_CONST, GLOBAL
+from repro.symbolic.evaluate import SymbolicEvaluator, constraint_from_branch
+from repro.symbolic.expr import LinExpr
+from repro.symbolic.flags import CompletenessFlags
+from repro.symbolic.symmem import SymbolicMemory
+
+_INPUT_KIND_TYPES = {
+    "int": ts.INT,
+    "uint": ts.UINT,
+    "char": ts.CHAR,
+    "uchar": ts.UCHAR,
+    "short": ts.SHORT,
+    "ushort": ts.USHORT,
+    "ptr_choice": ts.INT,
+}
+
+
+class MachineOptions:
+    """Tunables for one execution."""
+
+    def __init__(self, max_steps=1_000_000, transparent_memory=False,
+                 memory=None):
+        #: RAM-machine step budget; exceeding it reports NonTermination,
+        #: the paper's timer-based non-termination detection (§4.3).
+        self.max_steps = max_steps
+        #: Extension: let memcpy/strcpy move symbolic values instead of
+        #: erasing them (the paper treats them as opaque; see DESIGN.md).
+        self.transparent_memory = transparent_memory
+        self.memory = memory or MemoryOptions()
+
+
+class ExecutionHooks:
+    """Default hooks: inputs are rejected, branches are ignored.
+
+    Suitable for running closed programs (no driver); the DART engine and
+    the random tester provide real implementations.
+    """
+
+    def acquire_input(self, kind):
+        raise InterpreterError(
+            "the program read a {} input but no test driver is attached"
+            .format(kind)
+        )
+
+    def on_branch(self, taken, constraint, location):
+        pass
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "region", "alloca_regions")
+
+    def __init__(self, function, region):
+        self.function = function
+        self.region = region
+        self.alloca_regions = []
+
+    def addr_of(self, symbol):
+        return self.region.start + symbol.frame_offset
+
+
+class _StructValue:
+    """A struct rvalue: raw bytes, plus the source address when the value
+    was loaded from memory (so struct assignment can move symbolic state)."""
+
+    __slots__ = ("data", "source_addr")
+
+    def __init__(self, data, source_addr=None):
+        self.data = data
+        self.source_addr = source_addr
+
+
+class Machine:
+    """Executes a lowered module; one instance per program execution."""
+
+    def __init__(self, module, options=None, hooks=None, flags=None):
+        self.module = module
+        self.options = options or MachineOptions()
+        self.hooks = hooks or ExecutionHooks()
+        self.flags = flags or CompletenessFlags()
+        self.symbolic = SymbolicMemory()
+        self.evaluator = SymbolicEvaluator(self.flags)
+        self.memory = Memory(self.options.memory)
+        self.output = []
+        self.steps = 0
+        self.branches_executed = 0
+        #: (function name, pc, taken) triples — branch-direction coverage.
+        self.covered_branches = set()
+        self._frames = []
+        self._global_addrs = {}
+        self._string_addrs = []
+        self._load_module()
+        if sys.getrecursionlimit() < 20000:
+            sys.setrecursionlimit(20000)
+
+    # -- loading --------------------------------------------------------
+
+    def _load_module(self):
+        for data in self.module.strings:
+            region = self.memory.alloc_string(data)
+            self._string_addrs.append(region.start)
+        for gvar in self.module.globals:
+            region = self.memory.alloc_global(
+                max(gvar.ctype.size, 1), gvar.name
+            )
+            self._global_addrs[gvar.name] = region.start
+            self._init_global(gvar, region.start)
+
+    def _init_global(self, gvar, addr):
+        init = gvar.init
+        if init is None:
+            return  # zero-initialized by the allocator
+        if isinstance(init, ir.StringRef):
+            self.memory.write_int(
+                addr, self._string_addrs[init.index], 4, signed=False
+            )
+        elif isinstance(init, int):
+            ctype = gvar.ctype
+            size = ctype.size if ctype.is_scalar() else 4
+            signed = ctype.is_integer() and ctype.signed
+            self.memory.write_int(addr, init, size, signed)
+        else:
+            raise InterpreterError(
+                "unsupported global initializer for {!r}".format(gvar.name)
+            )
+
+    @property
+    def current_frame(self):
+        return self._frames[-1]
+
+    def global_address(self, name):
+        """The address of a global variable (for drivers and tests)."""
+        return self._global_addrs[name]
+
+    # -- public entry points -----------------------------------------------
+
+    def run(self, function_name, args=()):
+        """Execute ``function_name``; returns the concrete return value.
+
+        ``args`` are concrete integers for scalar parameters.  Program
+        faults propagate as :class:`ExecutionFault`; ``exit()`` is a normal
+        halt and yields its status code.
+        """
+        function = self.module.function(function_name)
+        if len(args) != len(function.param_slots):
+            raise InterpreterError(
+                "{!r} expects {} argument(s)".format(
+                    function_name, len(function.param_slots)
+                )
+            )
+        pairs = [(value, None) for value in args]
+        try:
+            value, _ = self._call(function, pairs, function.location)
+        except ProgramHalt as halt:
+            return halt.code
+        return value
+
+    # -- call machinery ----------------------------------------------------
+
+    def _call(self, function, arg_pairs, location):
+        region = self.memory.push_frame(
+            max(function.frame_size, 1), function.name, len(self._frames) + 1
+        )
+        frame = Frame(function, region)
+        for slot, (value, sym) in zip(function.param_slots, arg_pairs):
+            addr = region.start + slot.offset
+            self._store_scalar_or_struct(addr, slot.ctype, value, sym)
+        self._frames.append(frame)
+        try:
+            return self._execute(function, frame)
+        finally:
+            self._frames.pop()
+            self.memory.pop_frame(region, frame.alloca_regions)
+            self.symbolic.invalidate(region.start, region.size)
+
+    def _store_scalar_or_struct(self, addr, ctype, value, sym):
+        if ctype.is_struct():
+            data = value.data if isinstance(value, _StructValue) else value
+            self.memory.write_bytes(addr, data)
+            if isinstance(value, _StructValue) \
+                    and value.source_addr is not None:
+                self.symbolic.copy_range(value.source_addr, addr, ctype.size)
+            else:
+                self.symbolic.invalidate(addr, ctype.size)
+            return
+        size = ctype.size
+        signed = ctype.is_integer() and ctype.signed
+        self.memory.write_int(addr, value, size, signed)
+        self.symbolic.write(addr, size, sym)
+
+    def _execute(self, function, frame):
+        instrs = function.instrs
+        pc = 0
+        limit = self.options.max_steps
+        while True:
+            self.steps += 1
+            instr = instrs[pc]
+            if self.steps > limit:
+                raise NonTermination(self.steps, instr.location)
+            try:
+                if isinstance(instr, ir.Eval):
+                    self._eval(instr.expr)
+                    pc += 1
+                elif isinstance(instr, ir.Branch):
+                    value, sym = self._eval(instr.cond)
+                    taken = value != 0
+                    constraint = constraint_from_branch(sym, taken)
+                    self.branches_executed += 1
+                    self.covered_branches.add((function.name, pc, taken))
+                    self.hooks.on_branch(taken, constraint, instr.location)
+                    pc = instr.target if taken else pc + 1
+                elif isinstance(instr, ir.Jump):
+                    pc = instr.target
+                elif isinstance(instr, ir.Ret):
+                    if instr.value is None:
+                        return 0, None
+                    return self._eval(instr.value)
+                elif isinstance(instr, ir.AbortInstr):
+                    if instr.reason == "assertion violation":
+                        raise AssertionViolation(
+                            "assertion violated", instr.location
+                        )
+                    raise ProgramAbort("abort() reached", instr.location)
+                else:
+                    raise InterpreterError(
+                        "unknown instruction {!r}".format(instr)
+                    )
+            except ExecutionFault as fault:
+                # Attach the faulting statement's location so reports and
+                # crash-site deduplication have a precise anchor.
+                if fault.location is None:
+                    fault.location = instr.location
+                raise
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, expr):
+        """Evaluate ``expr``; returns (concrete value, symbolic or None)."""
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise InterpreterError(
+                "cannot evaluate {} node".format(type(expr).__name__)
+            )
+        return method(self, expr)
+
+    def _eval_intlit(self, expr):
+        return expr.value, None
+
+    def _eval_stringlit(self, expr):
+        return self._string_addrs[expr.intern_index], None
+
+    def _eval_ident(self, expr):
+        symbol = expr.symbol
+        if symbol.kind == ENUM_CONST:
+            return symbol.value, None
+        addr = self._symbol_addr(symbol)
+        return self._load(addr, expr.ctype)
+
+    def _symbol_addr(self, symbol):
+        if symbol.kind == GLOBAL:
+            return self._global_addrs[symbol.name]
+        return self.current_frame.addr_of(symbol)
+
+    def _load(self, addr, ctype):
+        if ctype.is_array():
+            return addr, None  # decay
+        if ctype.is_struct():
+            # check_init=False: padding bytes are legitimately unwritten.
+            data = self.memory.read_bytes(addr, ctype.size,
+                                          check_init=False)
+            return _StructValue(data, addr), None
+        size = ctype.size
+        signed = ctype.is_integer() and ctype.signed
+        value = self.memory.read_int(addr, size, signed)
+        sym = self.symbolic.read(addr, size)
+        if sym is None and self.symbolic.has_overlap(addr, size):
+            # A partial overlap (e.g. reading an int whose low byte holds
+            # a symbolic char, union/char* aliasing): the loaded value
+            # depends on inputs but carries no symbolic expression —
+            # outside the theory, so completeness is lost (Fig. 1 spirit).
+            self.flags.clear_linear()
+        return value, sym
+
+    # -- lvalues ----------------------------------------------------------
+
+    def _eval_lvalue(self, expr):
+        """The address of an lvalue; clears ``all_locs_definite`` when the
+        address computation itself depends on inputs (Fig. 1's ``*e`` case)."""
+        if isinstance(expr, ast.Ident):
+            return self._symbol_addr(expr.symbol)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            value, sym = self._eval(expr.operand)
+            if sym is not None:
+                self.flags.clear_locs()
+            return value
+        if isinstance(expr, ast.Index):
+            return self._index_addr(expr)
+        if isinstance(expr, ast.Member):
+            return self._member_addr(expr)
+        raise InterpreterError(
+            "not an lvalue: {}".format(type(expr).__name__)
+        )
+
+    def _index_addr(self, expr):
+        base_value, base_sym = self._eval(expr.base)
+        index_value, index_sym = self._eval(expr.index)
+        base_type = expr.base.ctype.decay()
+        if not base_type.is_pointer():
+            # Semantic analysis allows ``i[p]``; normalize.
+            base_value, index_value = index_value, base_value
+            base_sym, index_sym = index_sym, base_sym
+            base_type = expr.index.ctype.decay()
+        if base_sym is not None or index_sym is not None:
+            self.flags.clear_locs()
+        return base_value + index_value * base_type.pointee.size
+
+    def _member_addr(self, expr):
+        if expr.arrow:
+            base_value, base_sym = self._eval(expr.base)
+            if base_sym is not None:
+                self.flags.clear_locs()
+            return base_value + expr.field.offset
+        return self._eval_lvalue(expr.base) + expr.field.offset
+
+    # -- operators ---------------------------------------------------------
+
+    def _eval_unary(self, expr):
+        op = expr.op
+        if op == "&":
+            return self._eval_lvalue(expr.operand), None
+        if op == "*":
+            addr = self._eval_lvalue(expr)
+            return self._load(addr, expr.ctype)
+        if op in ("++", "--"):
+            return self._incdec(expr.operand, op, prefix=True)
+        value, sym = self._eval(expr.operand)
+        if op == "-":
+            result = wrap(-value, expr.ctype)
+            return result, self.evaluator.neg(value, sym)
+        if op == "~":
+            result = wrap(~value, expr.ctype)
+            return result, self.evaluator.nonlinear(sym)
+        if op == "!":
+            result = 0 if value != 0 else 1
+            return result, self.evaluator.logical_not(value, sym)
+        raise InterpreterError("unknown unary operator {!r}".format(op))
+
+    def _eval_postfix(self, expr):
+        return self._incdec(expr.operand, expr.op, prefix=False)
+
+    def _incdec(self, target, op, prefix):
+        addr = self._eval_lvalue(target)
+        ctype = target.ctype.decay()
+        old_value, old_sym = self._load(addr, ctype)
+        step = ctype.pointee.size if ctype.is_pointer() else 1
+        delta = step if op == "++" else -step
+        if ctype.is_pointer():
+            new_value = old_value + delta
+            new_sym = self.evaluator.nonlinear(old_sym)
+        else:
+            new_value = wrap(old_value + delta, ctype)
+            new_sym = self.evaluator.add(old_value, old_sym, delta, None)
+        self._store_scalar(addr, ctype, new_value, new_sym)
+        if prefix:
+            return new_value, new_sym
+        return old_value, old_sym
+
+    def _store_scalar(self, addr, ctype, value, sym):
+        size = ctype.size
+        signed = ctype.is_integer() and ctype.signed
+        self.memory.write_int(addr, value, size, signed)
+        self.symbolic.write(addr, size, sym)
+
+    def _eval_binary(self, expr):
+        op = expr.op
+        left_value, left_sym = self._eval(expr.left)
+        right_value, right_sym = self._eval(expr.right)
+        return self._apply_binary(
+            expr, op,
+            expr.left.ctype.decay(), left_value, left_sym,
+            expr.right.ctype.decay(), right_value, right_sym,
+        )
+
+    def _apply_binary(self, expr, op, left_type, left_value, left_sym,
+                      right_type, right_value, right_sym):
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return self._compare(op, left_type, left_value, left_sym,
+                                 right_type, right_value, right_sym)
+        if left_type.is_pointer() or right_type.is_pointer():
+            return self._pointer_arith(op, left_type, left_value, left_sym,
+                                       right_type, right_value, right_sym,
+                                       expr)
+        result_type = expr.ctype.decay()
+        if not result_type.signed:
+            left_value = to_unsigned(left_value, 4)
+            right_value = to_unsigned(right_value, 4)
+        if op == "+":
+            raw = left_value + right_value
+            sym = self.evaluator.add(left_value, left_sym,
+                                     right_value, right_sym)
+        elif op == "-":
+            raw = left_value - right_value
+            sym = self.evaluator.sub(left_value, left_sym,
+                                     right_value, right_sym)
+        elif op == "*":
+            raw = left_value * right_value
+            sym = self.evaluator.mul(left_value, left_sym,
+                                     right_value, right_sym)
+        elif op in ("/", "%"):
+            if right_value == 0:
+                raise DivisionByZero(
+                    "{} by zero".format(
+                        "division" if op == "/" else "modulo"
+                    ),
+                    expr.location,
+                )
+            raw = c_div(left_value, right_value) if op == "/" \
+                else c_mod(left_value, right_value)
+            sym = self.evaluator.nonlinear(left_sym, right_sym)
+        elif op == "<<":
+            raw = left_value << (right_value & 31)
+            sym = self.evaluator.shift_left(left_value, left_sym,
+                                            right_value & 31, right_sym)
+        elif op == ">>":
+            raw = left_value >> (right_value & 31)
+            sym = self.evaluator.nonlinear(left_sym, right_sym)
+        elif op == "&":
+            raw = left_value & right_value
+            sym = self.evaluator.nonlinear(left_sym, right_sym)
+        elif op == "|":
+            raw = left_value | right_value
+            sym = self.evaluator.nonlinear(left_sym, right_sym)
+        elif op == "^":
+            raw = left_value ^ right_value
+            sym = self.evaluator.nonlinear(left_sym, right_sym)
+        else:
+            raise InterpreterError("unknown binary operator {!r}".format(op))
+        return wrap(raw, result_type), sym
+
+    def _compare(self, op, left_type, left_value, left_sym,
+                 right_type, right_value, right_sym):
+        if left_type.is_pointer() or right_type.is_pointer():
+            lv, rv = to_unsigned(left_value, 4), to_unsigned(right_value, 4)
+        elif not left_type.signed or not right_type.signed:
+            lv, rv = to_unsigned(left_value, 4), to_unsigned(right_value, 4)
+        else:
+            lv, rv = left_value, right_value
+        result = {
+            "==": lv == rv,
+            "!=": lv != rv,
+            "<": lv < rv,
+            ">": lv > rv,
+            "<=": lv <= rv,
+            ">=": lv >= rv,
+        }[op]
+        sym = self.evaluator.compare(op, left_value, left_sym,
+                                     right_value, right_sym)
+        return (1 if result else 0), sym
+
+    def _pointer_arith(self, op, left_type, left_value, left_sym,
+                       right_type, right_value, right_sym, expr):
+        if op == "-" and left_type.is_pointer() and right_type.is_pointer():
+            size = max(left_type.pointee.size, 1)
+            diff = (left_value - right_value) // size
+            if size == 1:
+                sym = self.evaluator.sub(left_value, left_sym,
+                                         right_value, right_sym)
+            else:
+                sym = self.evaluator.nonlinear(left_sym, right_sym)
+            return diff, sym
+        if left_type.is_pointer():
+            ptr_value, ptr_sym = left_value, left_sym
+            int_value, int_sym = right_value, right_sym
+            pointee = left_type.pointee
+        else:
+            ptr_value, ptr_sym = right_value, right_sym
+            int_value, int_sym = left_value, left_sym
+            pointee = right_type.pointee
+        size = max(pointee.size, 1)
+        offset = int_value * size
+        offset_sym = self.evaluator.mul(size, None, int_value, int_sym)
+        if op == "+":
+            value = ptr_value + offset
+            sym = self.evaluator.add(ptr_value, ptr_sym, offset, offset_sym)
+        else:
+            value = ptr_value - offset
+            sym = self.evaluator.sub(ptr_value, ptr_sym, offset, offset_sym)
+        return value, sym
+
+    # -- assignment -----------------------------------------------------------
+
+    def _eval_assign(self, expr):
+        target_type = expr.target.ctype.decay()
+        addr = self._eval_lvalue(expr.target)
+        if expr.op == "=":
+            value, sym = self._eval(expr.value)
+            value, sym = self._convert(
+                value, sym, expr.value.ctype.decay(), target_type
+            )
+        else:
+            old_value, old_sym = self._load(addr, target_type)
+            rhs_value, rhs_sym = self._eval(expr.value)
+            value, sym = self._apply_binary(
+                expr, expr.op[:-1],
+                target_type, old_value, old_sym,
+                expr.value.ctype.decay(), rhs_value, rhs_sym,
+            )
+            if target_type.is_integer():
+                value = wrap(value, target_type)
+        if target_type.is_struct():
+            self._store_scalar_or_struct(addr, target_type, value, sym)
+            return value, sym
+        self._store_scalar(addr, target_type, value, sym)
+        return value, sym
+
+    def _convert(self, value, sym, from_type, to_type):
+        """Implicit conversion on assignment / argument passing / return."""
+        if to_type.is_struct():
+            return value, sym
+        if to_type.is_integer():
+            new_value = wrap(value, to_type)
+            return new_value, self.evaluator.cast_int(value, new_value, sym)
+        if to_type.is_pointer():
+            new_value = to_unsigned(value, 4)
+            return new_value, self.evaluator.cast_int(value, new_value, sym)
+        return value, sym
+
+    def _eval_cast(self, expr):
+        value, sym = self._eval(expr.operand)
+        target = expr.ctype
+        if target.is_void():
+            return 0, None
+        return self._convert(value, sym, expr.operand.ctype.decay(), target)
+
+    # -- aggregate access -----------------------------------------------------
+
+    def _eval_index(self, expr):
+        addr = self._index_addr(expr)
+        return self._load(addr, expr.ctype)
+
+    def _eval_member(self, expr):
+        if expr.arrow or expr.base.is_lvalue:
+            addr = self._member_addr(expr)
+            return self._load(addr, expr.ctype)
+        # Field of a struct rvalue (e.g. the result of a function call).
+        base_value, _ = self._eval(expr.base)
+        field = expr.field
+        data = base_value.data[field.offset : field.offset + field.ctype.size]
+        if field.ctype.is_struct():
+            return _StructValue(bytes(data)), None
+        signed = field.ctype.is_integer() and field.ctype.signed
+        return int.from_bytes(data, "little", signed=signed), None
+
+    # -- calls ------------------------------------------------------------
+
+    def _eval_call(self, expr):
+        name = expr.name
+        kind = INPUT_INTRINSICS.get(name)
+        if kind is not None:
+            return self._acquire_input(kind)
+        arg_pairs = [self._eval(arg) for arg in expr.args]
+        if name in self.module.functions:
+            function = self.module.functions[name]
+            converted = [
+                self._convert(value, sym, arg.ctype.decay(), ptype)
+                for (value, sym), arg, ptype in zip(
+                    arg_pairs, expr.args, function.ftype.param_types
+                )
+            ]
+            return self._call(function, converted, expr.location)
+        handler = BUILTINS.get(name)
+        if handler is not None:
+            if not (self.options.transparent_memory
+                    and name in ("memcpy", "strcpy")):
+                if any(sym is not None for _, sym in arg_pairs):
+                    # A black-box library call consumed symbolic values.
+                    self.flags.clear_linear()
+            return handler(self, arg_pairs, expr.location), None
+        if expr.symbol is not None and expr.symbol.kind == BUILTIN:
+            raise InterpreterError(
+                "builtin {!r} has no implementation".format(name)
+            )
+        raise InterpreterError(
+            "call to external function {!r}: generate a test driver first "
+            "(repro.dart.driver)".format(name)
+        )
+
+    def _acquire_input(self, kind):
+        value, var = self.hooks.acquire_input(kind)
+        ctype = _INPUT_KIND_TYPES[kind]
+        value = wrap(value, ctype)
+        if var is None:
+            return value, None
+        return value, LinExpr.variable(var.ordinal)
+
+    # Dispatch table, built once.
+    _DISPATCH = {}
+
+
+Machine._DISPATCH = {
+    ast.IntLit: Machine._eval_intlit,
+    ast.StringLit: Machine._eval_stringlit,
+    ast.Ident: Machine._eval_ident,
+    ast.Unary: Machine._eval_unary,
+    ast.Postfix: Machine._eval_postfix,
+    ast.Binary: Machine._eval_binary,
+    ast.Assign: Machine._eval_assign,
+    ast.Cast: Machine._eval_cast,
+    ast.Index: Machine._eval_index,
+    ast.Member: Machine._eval_member,
+    ast.Call: Machine._eval_call,
+}

@@ -1,0 +1,65 @@
+"""32-bit machine arithmetic helpers.
+
+The RAM machine of Section 2.2 maps addresses to 32-bit words; mini-C
+follows C's modular semantics: unsigned arithmetic wraps, signed values are
+represented in two's complement, and narrowing conversions truncate.
+"""
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+UINT_MAX = WORD_MASK
+
+
+def wrap_unsigned(value, size=4):
+    """Reduce ``value`` modulo 2**(8*size)."""
+    return value & ((1 << (8 * size)) - 1)
+
+
+def wrap_signed(value, size=4):
+    """Two's-complement wrap of ``value`` into a signed size-byte integer."""
+    bits = 8 * size
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def wrap(value, ctype):
+    """Wrap ``value`` into the representation range of integer type ``ctype``."""
+    if ctype.signed:
+        return wrap_signed(value, ctype.size)
+    return wrap_unsigned(value, ctype.size)
+
+
+def to_unsigned(value, size=4):
+    """Reinterpret a (possibly negative) value as unsigned."""
+    return value & ((1 << (8 * size)) - 1)
+
+
+def c_div(a, b):
+    """C99 integer division: truncation toward zero."""
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def c_mod(a, b):
+    """C99 remainder: ``a == c_div(a, b) * b + c_mod(a, b)``."""
+    return a - c_div(a, b) * b
+
+
+def int_to_bytes(value, size, signed):
+    """Encode an integer as ``size`` little-endian bytes."""
+    if signed:
+        value = wrap_signed(value, size)
+    else:
+        value = wrap_unsigned(value, size)
+    return value.to_bytes(size, "little", signed=signed)
+
+
+def int_from_bytes(data, signed):
+    """Decode a little-endian integer."""
+    return int.from_bytes(data, "little", signed=signed)

@@ -1,0 +1,63 @@
+"""Mini-C: the C-subset language substrate used by the DART reproduction.
+
+The paper instruments real C programs through CIL; this package provides the
+equivalent substrate built from scratch: a lexer, a recursive-descent parser,
+a C type system with byte-accurate sizes and field offsets, a semantic
+analyzer that also discovers the program's external interface, and a lowering
+pass that compiles the checked AST down to the RAM-machine IR of Section 2.2
+of the paper (assignments plus conditional gotos).
+
+Typical use::
+
+    from repro.minic import compile_program
+
+    module = compile_program(source_text)
+
+The resulting :class:`repro.minic.ir.Module` is what the concrete interpreter
+(:mod:`repro.interp`) executes and the DART engine (:mod:`repro.dart`)
+instruments.
+"""
+
+from repro.minic.errors import (
+    LexError,
+    MiniCError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+)
+from repro.minic.lexer import Lexer, tokenize
+from repro.minic.parser import Parser, parse_program
+from repro.minic.semantic import SemanticAnalyzer, analyze
+from repro.minic.lower import lower_program
+from repro.minic.ir import Module
+
+
+def compile_program(source, filename="<source>"):
+    """Compile mini-C source text all the way to an executable IR module.
+
+    Runs the full front-end pipeline: lexing, parsing, semantic analysis
+    (type checking plus interface discovery) and lowering to RAM-machine IR.
+
+    Raises :class:`MiniCError` subclasses on malformed input.
+    """
+    ast = parse_program(source, filename=filename)
+    info = analyze(ast)
+    return lower_program(ast, info)
+
+
+__all__ = [
+    "LexError",
+    "Lexer",
+    "MiniCError",
+    "Module",
+    "ParseError",
+    "Parser",
+    "SemanticAnalyzer",
+    "SemanticError",
+    "SourceLocation",
+    "analyze",
+    "compile_program",
+    "lower_program",
+    "parse_program",
+    "tokenize",
+]

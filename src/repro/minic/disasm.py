@@ -1,0 +1,118 @@
+"""A human-readable disassembler for the RAM-machine IR.
+
+Useful for debugging lowered programs, for documentation, and for tests
+that assert structural properties of the IR.  The output format is one
+instruction per line, label-addressed, e.g.::
+
+    int h(int, int):
+        0: branch (x != y) -> 2
+        1: jump -> 6
+        2: branch (f(x) == (x + 10)) -> 4
+        ...
+"""
+
+from repro.minic import ast_nodes as ast
+from repro.minic import ir
+
+
+def format_expr(expr):
+    """Render an (annotated) expression back to C-ish text."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.StringLit):
+        return repr(expr.data.decode("latin-1"))
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("++", "--"):
+            return "{}{}".format(expr.op, format_expr(expr.operand))
+        return "{}{}".format(expr.op, _wrap(expr.operand))
+    if isinstance(expr, ast.Postfix):
+        return "{}{}".format(_wrap(expr.operand), expr.op)
+    if isinstance(expr, ast.Binary):
+        return "({} {} {})".format(
+            format_expr(expr.left), expr.op, format_expr(expr.right)
+        )
+    if isinstance(expr, ast.Assign):
+        return "{} {} {}".format(
+            format_expr(expr.target), expr.op, format_expr(expr.value)
+        )
+    if isinstance(expr, ast.Call):
+        return "{}({})".format(
+            expr.name, ", ".join(format_expr(a) for a in expr.args)
+        )
+    if isinstance(expr, ast.Index):
+        return "{}[{}]".format(_wrap(expr.base), format_expr(expr.index))
+    if isinstance(expr, ast.Member):
+        return "{}{}{}".format(
+            _wrap(expr.base), "->" if expr.arrow else ".", expr.name
+        )
+    if isinstance(expr, ast.Cast):
+        return "({}) {}".format(
+            expr.ctype if expr.ctype is not None else "?",
+            _wrap(expr.operand),
+        )
+    if isinstance(expr, (ast.SizeofExpr, ast.SizeofType)):
+        return "sizeof(...)"
+    if isinstance(expr, ast.Conditional):
+        return "({} ? {} : {})".format(
+            format_expr(expr.cond), format_expr(expr.then),
+            format_expr(expr.otherwise),
+        )
+    if isinstance(expr, ast.Comma):
+        return "({}, {})".format(
+            format_expr(expr.left), format_expr(expr.right)
+        )
+    return "<{}>".format(type(expr).__name__)
+
+
+def _wrap(expr):
+    text = format_expr(expr)
+    if isinstance(expr, (ast.Ident, ast.IntLit, ast.Call, ast.Index,
+                         ast.Member)):
+        return text
+    return "({})".format(text) if not text.startswith("(") else text
+
+
+def format_instr(instr):
+    if isinstance(instr, ir.Eval):
+        return "eval {}".format(format_expr(instr.expr))
+    if isinstance(instr, ir.Branch):
+        return "branch {} -> {}".format(
+            format_expr(instr.cond), instr.target
+        )
+    if isinstance(instr, ir.Jump):
+        return "jump -> {}".format(instr.target)
+    if isinstance(instr, ir.Ret):
+        if instr.value is None:
+            return "ret"
+        return "ret {}".format(format_expr(instr.value))
+    if isinstance(instr, ir.AbortInstr):
+        return "abort  ; {}".format(instr.reason)
+    return "<{}>".format(type(instr).__name__)
+
+
+def disassemble_function(function):
+    """The listing for one IRFunction."""
+    params = ", ".join(str(t) for t in function.ftype.param_types) or "void"
+    lines = ["{} {}({}):  ; frame {} bytes".format(
+        function.ftype.return_type, function.name, params,
+        function.frame_size,
+    )]
+    for index, instr in enumerate(function.instrs):
+        lines.append("    {:>3}: {}".format(index, format_instr(instr)))
+    return "\n".join(lines)
+
+
+def disassemble(module, include_driver=False):
+    """The listing for a whole module.
+
+    Driver-generated functions (``__dart_*``) are skipped unless
+    ``include_driver`` is set.
+    """
+    chunks = []
+    for name in sorted(module.functions):
+        if not include_driver and name.startswith("__dart_"):
+            continue
+        chunks.append(disassemble_function(module.functions[name]))
+    return "\n\n".join(chunks)

@@ -1,0 +1,65 @@
+"""Diagnostics for the mini-C front end.
+
+All front-end errors carry a :class:`SourceLocation` so that messages point
+at the offending token, in the familiar ``file:line:col`` format.
+"""
+
+
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename="<source>", line=1, column=1):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "SourceLocation({!r}, {}, {})".format(
+            self.filename, self.line, self.column
+        )
+
+    def __str__(self):
+        return "{}:{}:{}".format(self.filename, self.line, self.column)
+
+    def __eq__(self, other):
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (
+            self.filename == other.filename
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self):
+        return hash((self.filename, self.line, self.column))
+
+
+#: Location used when no better position is known.
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)
+
+
+class MiniCError(Exception):
+    """Base class for every error raised by the mini-C front end."""
+
+    def __init__(self, message, location=None):
+        self.location = location or UNKNOWN_LOCATION
+        super().__init__("{}: {}".format(self.location, message))
+        self.message = message
+
+
+class LexError(MiniCError):
+    """A malformed token (bad character, unterminated literal, ...)."""
+
+
+class ParseError(MiniCError):
+    """A syntax error detected by the recursive-descent parser."""
+
+
+class SemanticError(MiniCError):
+    """A type error or other static-semantics violation."""
+
+
+class LoweringError(MiniCError):
+    """An internal inconsistency discovered while lowering to IR."""

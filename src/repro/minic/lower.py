@@ -1,0 +1,564 @@
+"""Lowering: checked AST -> RAM-machine IR.
+
+Control flow is flattened into conditional branches and jumps.  The
+short-circuit operators ``&&``/``||``, the ternary operator and ``assert``
+are compiled into explicit branches, so each primitive predicate becomes one
+:class:`repro.minic.ir.Branch` instruction that the directed search can
+target individually (see the paper's ``foobar`` discussion in Section 2.5).
+
+Side-effect ordering note: when a short-circuit or ternary expression is
+used in value position its evaluation is hoisted in front of the enclosing
+full expression.  C leaves the relative order of such side effects
+unspecified, so this is a legal evaluation order.
+"""
+
+from repro.minic import ast_nodes as ast
+from repro.minic import typesys as ts
+from repro.minic.errors import LoweringError
+from repro.minic.ir import (
+    AbortInstr,
+    Branch,
+    Eval,
+    FrameSlot,
+    GlobalVar,
+    IRFunction,
+    Jump,
+    Label,
+    Module,
+    Ret,
+    StringRef,
+)
+from repro.minic.symbols import ENUM_CONST, LOCAL, Symbol
+
+
+def _round_up(value, alignment):
+    return (value + alignment - 1) // alignment * alignment
+
+
+
+
+class FunctionLowerer:
+    """Lowers one function definition to an :class:`IRFunction`."""
+
+    def __init__(self, func_def, string_indexes):
+        self._def = func_def
+        self._string_indexes = string_indexes
+        self._instrs = []
+        self._frame_offset = 0
+        self._param_slots = []
+        self._break_targets = []     # loops and switches
+        self._continue_targets = []  # loops only
+        self._temp_counter = 0
+
+    def lower(self):
+        for param in self._def.params:
+            slot = self._allocate(param.symbol)
+            self._param_slots.append(slot)
+        self._lower_stmt(self._def.body)
+        self._emit(Ret(None, self._def.location))
+        self._resolve_labels()
+        return IRFunction(
+            self._def.name,
+            self._def.ftype,
+            self._param_slots,
+            _round_up(self._frame_offset, 4),
+            self._instrs,
+            self._def.location,
+        )
+
+    # -- frame management ---------------------------------------------------
+
+    def _allocate(self, symbol):
+        ctype = symbol.ctype
+        size = max(ctype.size, 1)
+        self._frame_offset = _round_up(self._frame_offset, ctype.alignment)
+        symbol.frame_offset = self._frame_offset
+        slot = FrameSlot(symbol.name, ctype, self._frame_offset)
+        self._frame_offset += size
+        return slot
+
+    def _new_temp(self, ctype, location):
+        self._temp_counter += 1
+        symbol = Symbol("$t{}".format(self._temp_counter), LOCAL, ctype)
+        self._allocate(symbol)
+        return symbol, location
+
+    def _temp_ident(self, symbol, ctype, location):
+        ident = ast.Ident(symbol.name, location)
+        ident.symbol = symbol
+        ident.ctype = ctype
+        ident.is_lvalue = True
+        return ident
+
+    # -- instruction emission ----------------------------------------------
+
+    def _emit(self, instr):
+        self._instrs.append(instr)
+
+    def _new_label(self):
+        return Label()
+
+    def _mark(self, label):
+        if label.index is not None:
+            raise LoweringError("label marked twice")
+        label.index = len(self._instrs)
+
+    def _resolve_labels(self):
+        for instr in self._instrs:
+            if isinstance(instr, (Branch, Jump)):
+                label = instr.target
+                if isinstance(label, Label):
+                    if label.index is None:
+                        raise LoweringError("unresolved label")
+                    instr.target = label.index
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_stmt(self, stmt):
+        handler = getattr(self, "_lower_" + type(stmt).__name__.lower())
+        handler(stmt)
+
+    def _lower_block(self, stmt):
+        for inner in stmt.statements:
+            self._lower_stmt(inner)
+
+    def _lower_exprstmt(self, stmt):
+        if stmt.expr is not None:
+            expr = self._flatten(stmt.expr)
+            self._emit(Eval(expr, stmt.location))
+
+    def _lower_declstmt(self, stmt):
+        for decl in stmt.decls:
+            self._allocate(decl.symbol)
+            if decl.init is not None:
+                target = self._temp_ident(
+                    decl.symbol, decl.ctype, decl.location
+                )
+                value = self._flatten(decl.init)
+                assign = ast.Assign("=", target, value, decl.location)
+                assign.ctype = decl.ctype
+                self._emit(Eval(assign, decl.location))
+
+    def _lower_if(self, stmt):
+        then_label = self._new_label()
+        else_label = self._new_label()
+        end_label = self._new_label() if stmt.otherwise else else_label
+        self._lower_condition(stmt.cond, then_label, else_label)
+        self._mark(then_label)
+        self._lower_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self._emit(Jump(end_label, stmt.location))
+            self._mark(else_label)
+            self._lower_stmt(stmt.otherwise)
+            self._mark(end_label)
+        else:
+            self._mark(else_label)
+
+    def _lower_while(self, stmt):
+        cond_label = self._new_label()
+        body_label = self._new_label()
+        end_label = self._new_label()
+        self._mark(cond_label)
+        self._lower_condition(stmt.cond, body_label, end_label)
+        self._mark(body_label)
+        self._in_loop(stmt.body, end_label, cond_label)
+        self._emit(Jump(cond_label, stmt.location))
+        self._mark(end_label)
+
+    def _in_loop(self, body, break_label, continue_label):
+        self._break_targets.append(break_label)
+        self._continue_targets.append(continue_label)
+        try:
+            self._lower_stmt(body)
+        finally:
+            self._break_targets.pop()
+            self._continue_targets.pop()
+
+    def _lower_dowhile(self, stmt):
+        body_label = self._new_label()
+        cond_label = self._new_label()
+        end_label = self._new_label()
+        self._mark(body_label)
+        self._in_loop(stmt.body, end_label, cond_label)
+        self._mark(cond_label)
+        self._lower_condition(stmt.cond, body_label, end_label)
+        self._mark(end_label)
+
+    def _lower_for(self, stmt):
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        cond_label = self._new_label()
+        body_label = self._new_label()
+        step_label = self._new_label()
+        end_label = self._new_label()
+        self._mark(cond_label)
+        if stmt.cond is not None:
+            self._lower_condition(stmt.cond, body_label, end_label)
+        self._mark(body_label)
+        self._in_loop(stmt.body, end_label, step_label)
+        self._mark(step_label)
+        if stmt.step is not None:
+            self._emit(Eval(self._flatten(stmt.step), stmt.location))
+        self._emit(Jump(cond_label, stmt.location))
+        self._mark(end_label)
+
+    def _lower_return(self, stmt):
+        value = None
+        if stmt.value is not None:
+            value = self._flatten(stmt.value)
+        self._emit(Ret(value, stmt.location))
+
+    def _lower_break(self, stmt):
+        if not self._break_targets:
+            raise LoweringError("break outside of loop/switch",
+                                stmt.location)
+        self._emit(Jump(self._break_targets[-1], stmt.location))
+
+    def _lower_continue(self, stmt):
+        if not self._continue_targets:
+            raise LoweringError("continue outside of loop", stmt.location)
+        self._emit(Jump(self._continue_targets[-1], stmt.location))
+
+    def _lower_switch(self, stmt):
+        """C switch with fall-through.
+
+        The subject is evaluated once into a temp; each ``case`` label
+        becomes one equality Branch (so the directed search can steer to
+        any arm), followed by a jump to the ``default`` arm or past the
+        switch; the body is then lowered linearly, which preserves
+        fall-through.
+        """
+        subject_type = ts.integer_promote(stmt.expr.ctype.decay())
+        symbol, location = self._new_temp(subject_type, stmt.location)
+        self._emit_temp_assign(
+            symbol, subject_type, self._flatten(stmt.expr), location
+        )
+        end_label = self._new_label()
+        entry_labels = {}
+        default_index = None
+        for index, (kind, payload) in enumerate(stmt.entries):
+            if kind in ("case", "default"):
+                entry_labels[index] = self._new_label()
+            if kind == "default":
+                default_index = index
+        for index, (kind, payload) in enumerate(stmt.entries):
+            if kind != "case":
+                continue
+            lit = ast.IntLit(payload.case_value, location)
+            lit.ctype = ts.INT
+            comparison = ast.Binary(
+                "==", self._temp_ident(symbol, subject_type, location),
+                lit, location,
+            )
+            comparison.ctype = ts.INT
+            self._emit(Branch(comparison, entry_labels[index], location))
+        fallback = entry_labels.get(default_index, end_label)
+        self._emit(Jump(fallback, location))
+        self._break_targets.append(end_label)
+        try:
+            for index, (kind, payload) in enumerate(stmt.entries):
+                if kind in ("case", "default"):
+                    self._mark(entry_labels[index])
+                else:
+                    self._lower_stmt(payload)
+        finally:
+            self._break_targets.pop()
+        self._mark(end_label)
+
+    def _lower_assertstmt(self, stmt):
+        """``assert(e);`` becomes ``if (e) goto ok; abort; ok:`` so that the
+        directed search can negate the predicate and aim at the violation."""
+        ok_label = self._new_label()
+        fail_label = self._new_label()
+        self._lower_condition(stmt.expr, ok_label, fail_label)
+        self._mark(fail_label)
+        self._emit(AbortInstr("assertion violation", stmt.location))
+        self._mark(ok_label)
+
+    def _lower_abortstmt(self, stmt):
+        self._emit(AbortInstr("abort", stmt.location))
+
+    # -- conditions ------------------------------------------------------------
+
+    def _lower_condition(self, expr, true_label, false_label):
+        """Emit branches so control reaches ``true_label`` iff expr != 0."""
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self._new_label()
+            self._lower_condition(expr.left, mid, false_label)
+            self._mark(mid)
+            self._lower_condition(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self._new_label()
+            self._lower_condition(expr.left, true_label, mid)
+            self._mark(mid)
+            self._lower_condition(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._lower_condition(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, ast.Conditional):
+            then_label = self._new_label()
+            else_label = self._new_label()
+            self._lower_condition(expr.cond, then_label, else_label)
+            self._mark(then_label)
+            self._lower_condition(expr.then, true_label, false_label)
+            self._mark(else_label)
+            self._lower_condition(expr.otherwise, true_label, false_label)
+            return
+        if isinstance(expr, ast.Comma):
+            self._emit(Eval(self._flatten(expr.left), expr.location))
+            self._lower_condition(expr.right, true_label, false_label)
+            return
+        cond = self._flatten(expr)
+        self._emit(Branch(cond, true_label, expr.location))
+        self._emit(Jump(false_label, expr.location))
+
+    # -- expression flattening -------------------------------------------------
+
+    def _flatten(self, expr):
+        """Rewrite ``expr`` so it contains no control flow, emitting the
+        extracted branches in front; returns the rewritten expression."""
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            return self._flatten_boolean(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._flatten_ternary(expr)
+        if isinstance(expr, ast.Comma):
+            self._emit(Eval(self._flatten(expr.left), expr.location))
+            return self._flatten(expr.right)
+        if isinstance(expr, ast.SizeofExpr) or isinstance(expr,
+                                                          ast.SizeofType):
+            lit = ast.IntLit(expr.size, expr.location)
+            lit.ctype = ts.UINT
+            return lit
+        if isinstance(expr, ast.StringLit):
+            expr.intern_index = self._string_indexes[id(expr)]
+            return expr
+        if isinstance(expr, ast.Unary):
+            expr.operand = self._flatten(expr.operand)
+            return _fold_unary(expr)
+        elif isinstance(expr, ast.Postfix):
+            expr.operand = self._flatten(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            expr.left = self._flatten(expr.left)
+            expr.right = self._flatten(expr.right)
+            return _fold_binary(expr)
+        elif isinstance(expr, ast.Assign):
+            expr.target = self._flatten(expr.target)
+            expr.value = self._flatten(expr.value)
+        elif isinstance(expr, ast.Call):
+            expr.args = [self._flatten(arg) for arg in expr.args]
+        elif isinstance(expr, ast.Index):
+            expr.base = self._flatten(expr.base)
+            expr.index = self._flatten(expr.index)
+        elif isinstance(expr, ast.Member):
+            expr.base = self._flatten(expr.base)
+        elif isinstance(expr, ast.Cast):
+            expr.operand = self._flatten(expr.operand)
+        return expr
+
+    def _flatten_boolean(self, expr):
+        """``a && b`` / ``a || b`` in value position -> branches + 0/1 temp."""
+        symbol, location = self._new_temp(ts.INT, expr.location)
+        true_label = self._new_label()
+        false_label = self._new_label()
+        end_label = self._new_label()
+        self._lower_condition(expr, true_label, false_label)
+        self._mark(true_label)
+        self._emit_temp_store(symbol, ts.INT, 1, location)
+        self._emit(Jump(end_label, location))
+        self._mark(false_label)
+        self._emit_temp_store(symbol, ts.INT, 0, location)
+        self._mark(end_label)
+        return self._temp_ident(symbol, ts.INT, location)
+
+    def _flatten_ternary(self, expr):
+        result_type = expr.ctype
+        symbol, location = self._new_temp(result_type, expr.location)
+        then_label = self._new_label()
+        else_label = self._new_label()
+        end_label = self._new_label()
+        self._lower_condition(expr.cond, then_label, else_label)
+        self._mark(then_label)
+        self._emit_temp_assign(symbol, result_type,
+                               self._flatten(expr.then), location)
+        self._emit(Jump(end_label, location))
+        self._mark(else_label)
+        self._emit_temp_assign(symbol, result_type,
+                               self._flatten(expr.otherwise), location)
+        self._mark(end_label)
+        return self._temp_ident(symbol, result_type, location)
+
+    def _emit_temp_store(self, symbol, ctype, value, location):
+        lit = ast.IntLit(value, location)
+        lit.ctype = ts.INT
+        self._emit_temp_assign(symbol, ctype, lit, location)
+
+    def _emit_temp_assign(self, symbol, ctype, value_expr, location):
+        target = self._temp_ident(symbol, ctype, location)
+        assign = ast.Assign("=", target, value_expr, location)
+        assign.ctype = ctype
+        self._emit(Eval(assign, location))
+
+
+def _wrap_to(value, ctype):
+    """Wrap a folded value into the expression's integer type."""
+    if not isinstance(ctype, ts.IntType):
+        return None
+    bits = 8 * ctype.size
+    value &= (1 << bits) - 1
+    if ctype.signed and value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _make_lit(value, template):
+    lit = ast.IntLit(value, template.location)
+    lit.ctype = template.ctype
+    return lit
+
+
+def _fold_unary(expr):
+    """Fold ``-lit``/``~lit``/``!lit`` at compile time (C semantics)."""
+    operand = expr.operand
+    if not isinstance(operand, ast.IntLit):
+        return expr
+    if expr.op == "-":
+        value = -operand.value
+    elif expr.op == "~":
+        value = ~operand.value
+    elif expr.op == "!":
+        value = 0 if operand.value else 1
+    else:
+        return expr
+    wrapped = _wrap_to(value, expr.ctype)
+    if wrapped is None:
+        return expr
+    return _make_lit(wrapped, expr)
+
+
+def _fold_binary(expr):
+    """Fold ``lit op lit`` — except faulting operations (``/ 0``, ``% 0``
+    must still raise at runtime) and non-integer results."""
+    left, right = expr.left, expr.right
+    if not (isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit)):
+        return expr
+    a, b = left.value, right.value
+    op = expr.op
+    if op in ("/", "%") and b == 0:
+        return expr  # keep the runtime division-by-zero fault
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        value = 1 if {
+            "==": a == b, "!=": a != b, "<": a < b,
+            ">": a > b, "<=": a <= b, ">=": a >= b,
+        }[op] else 0
+    elif op == "+":
+        value = a + b
+    elif op == "-":
+        value = a - b
+    elif op == "*":
+        value = a * b
+    elif op == "/":
+        value = abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)
+    elif op == "%":
+        value = a - (abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)) * b
+    elif op == "&":
+        value = a & b
+    elif op == "|":
+        value = a | b
+    elif op == "^":
+        value = a ^ b
+    elif op == "<<":
+        value = a << (b & 31)
+    elif op == ">>":
+        value = a >> (b & 31)
+    else:
+        return expr
+    wrapped = _wrap_to(value, expr.ctype)
+    if wrapped is None:
+        return expr
+    return _make_lit(wrapped, expr)
+
+
+class _ConstInitEvaluator:
+    """Evaluates global initializers, which must be link-time constants."""
+
+    def __init__(self, string_indexes):
+        self._string_indexes = string_indexes
+
+    def evaluate(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return StringRef(self._string_indexes[id(expr)])
+        if isinstance(expr, ast.Ident) and expr.symbol is not None \
+                and expr.symbol.kind == ENUM_CONST:
+            return expr.symbol.value
+        if isinstance(expr, (ast.SizeofExpr, ast.SizeofType)):
+            return expr.size
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._int(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "~":
+            return ~self._int(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return self.evaluate(expr.operand)
+        if isinstance(expr, ast.Binary):
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "|": lambda a, b: a | b,
+                "&": lambda a, b: a & b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](self._int(expr.left),
+                                    self._int(expr.right))
+        raise LoweringError(
+            "global initializer is not a link-time constant", expr.location
+        )
+
+    def _int(self, expr):
+        value = self.evaluate(expr)
+        if not isinstance(value, int):
+            raise LoweringError("non-integer constant", expr.location)
+        return value
+
+
+def lower_program(program, info):
+    """Lower an analyzed Program to an executable :class:`Module`."""
+    strings = []
+    string_indexes = {}
+    for literal in info.string_literals:
+        string_indexes[id(literal)] = len(strings)
+        strings.append(literal.data)
+
+    functions = {}
+    global_vars = []
+    const_eval = _ConstInitEvaluator(string_indexes)
+    seen_globals = set()
+    for decl in program.declarations:
+        if isinstance(decl, ast.FunctionDef):
+            functions[decl.name] = FunctionLowerer(
+                decl, string_indexes
+            ).lower()
+        elif isinstance(decl, ast.VarDecl):
+            symbol = decl.symbol
+            if symbol is None or symbol.name in seen_globals:
+                continue
+            seen_globals.add(symbol.name)
+            if symbol.is_extern:
+                # External variables are inputs; the driver initializes them.
+                global_vars.append(GlobalVar(symbol, None))
+                continue
+            # The defining declaration (semantic analysis points the symbol
+            # at it, even when an extern declaration came first).
+            defining = symbol.decl if isinstance(symbol.decl, ast.VarDecl) \
+                else decl
+            init = None
+            if defining.init is not None:
+                init = const_eval.evaluate(defining.init)
+            global_vars.append(GlobalVar(symbol, init))
+    return Module(functions, global_vars, strings, info)

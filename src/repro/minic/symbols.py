@@ -1,0 +1,77 @@
+"""Symbol tables for mini-C semantic analysis."""
+
+from repro.minic.errors import SemanticError
+
+# Symbol kinds.
+GLOBAL = "global"
+LOCAL = "local"
+PARAM = "param"
+FUNCTION = "function"
+ENUM_CONST = "enum_const"
+BUILTIN = "builtin"
+EXTERNAL_FUNCTION = "external_function"
+
+
+class Symbol:
+    """A named entity: variable, parameter, function or enum constant.
+
+    ``address``/``frame_offset`` are filled in by lowering and the runtime:
+    globals get absolute addresses at link time, locals and params get
+    frame-relative offsets.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "ctype",
+        "value",
+        "decl",
+        "address",
+        "frame_offset",
+        "is_extern",
+    )
+
+    def __init__(self, name, kind, ctype, value=None, decl=None,
+                 is_extern=False):
+        self.name = name
+        self.kind = kind
+        self.ctype = ctype
+        self.value = value  # enum constants only
+        self.decl = decl
+        self.address = None
+        self.frame_offset = None
+        self.is_extern = is_extern
+
+    def __repr__(self):
+        return "Symbol({!r}, {}, {})".format(self.name, self.kind, self.ctype)
+
+
+class Scope:
+    """One lexical scope; chains to its parent for lookups."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self._entries = {}
+
+    def define(self, symbol, location=None):
+        if symbol.name in self._entries:
+            raise SemanticError(
+                "redefinition of {!r}".format(symbol.name), location
+            )
+        self._entries[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            symbol = scope._entries.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+    def lookup_local(self, name):
+        return self._entries.get(name)
+
+    def symbols(self):
+        return list(self._entries.values())

@@ -1,0 +1,126 @@
+"""Token definitions for the mini-C lexer."""
+
+# Token kinds.  Simple string constants keep the lexer and parser readable
+# and make failed-expectation messages self-describing.
+IDENT = "IDENT"
+INT_LIT = "INT_LIT"
+CHAR_LIT = "CHAR_LIT"
+STRING_LIT = "STRING_LIT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+#: Reserved words of the language.  ``assert`` is included because the paper
+#: treats assertion violations as first-class errors that the directed search
+#: aims at; making it a keyword lets the lowering pass turn it into a branch.
+KEYWORDS = frozenset(
+    [
+        "int",
+        "char",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "void",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "extern",
+        "static",
+        "const",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "assert",
+        "abort",
+        "switch",
+        "case",
+        "default",
+        "goto",
+        "NULL",
+    ]
+)
+
+#: Multi-character punctuators, longest first so the lexer can use greedy
+#: maximal-munch matching.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+class Token:
+    """A single lexical token with its source location.
+
+    ``value`` is the decoded payload: an ``int`` for integer and character
+    literals, a ``bytes`` for string literals, and the lexeme itself for
+    identifiers, keywords and punctuators.
+    """
+
+    __slots__ = ("kind", "text", "value", "location")
+
+    def __init__(self, kind, text, value, location):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.location = location
+
+    def is_keyword(self, *names):
+        return self.kind == KEYWORD and self.text in names
+
+    def is_punct(self, *names):
+        return self.kind == PUNCT and self.text in names
+
+    def __repr__(self):
+        return "Token({}, {!r})".format(self.kind, self.text)

@@ -1,0 +1,25 @@
+"""The paper's example programs and evaluation workloads, in mini-C.
+
+* :mod:`repro.programs.samples` — the motivating programs of Section 2
+  (``h``/``f``, the ``z = y`` example, the struct/char* cast, ``foobar``);
+* :mod:`repro.programs.ac_controller` — the air-conditioning controller of
+  Fig. 6 (Section 4.1);
+* :mod:`repro.programs.needham_schroeder` — a C implementation of the
+  Needham–Schroeder public-key protocol with possibilistic and Dolev–Yao
+  intruder models and the Lowe's-fix variants (Section 4.2);
+* :mod:`repro.programs.osip` — a generated oSIP-like SIP library exhibiting
+  the unchecked-NULL-argument pattern and the ``alloca`` parser bug
+  (Section 4.3).
+"""
+
+from repro.programs import samples
+from repro.programs.ac_controller import AC_CONTROLLER_SOURCE
+from repro.programs.needham_schroeder import ns_source
+from repro.programs.osip import OsipLibrary
+
+__all__ = [
+    "AC_CONTROLLER_SOURCE",
+    "OsipLibrary",
+    "ns_source",
+    "samples",
+]

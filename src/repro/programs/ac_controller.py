@@ -1,0 +1,37 @@
+"""The AC-controller benchmark of Fig. 6 / Section 4.1, verbatim.
+
+At ``depth`` 1 no input violates the assertion; at ``depth`` 2 the message
+sequence (3, 0) does: message 3 with a cold room closes the door without
+starting the AC, then message 0 makes the room hot — hot, closed, AC off.
+Only values 0–3 are meaningful inputs; everything else is filtered, which
+is exactly why random testing (2 x 2^-32 per pair, i.e. one in 2^64) never
+finds the sequence while the directed search enumerates the meaningful
+equivalence classes.
+"""
+
+AC_CONTROLLER_SOURCE = """
+/* initially, */
+int is_room_hot = 0;    /* room is not hot */
+int is_door_closed = 0; /* and door is open */
+int ac = 0;             /* so, ac is off */
+
+void ac_controller(int message) {
+  if (message == 0) is_room_hot = 1;
+  if (message == 1) is_room_hot = 0;
+  if (message == 2) {
+    is_door_closed = 0;
+    ac = 0;
+  }
+  if (message == 3) {
+    is_door_closed = 1;
+    if (is_room_hot) ac = 1;
+  }
+  if (is_room_hot && is_door_closed && !ac)
+    abort(); /* check correctness */
+}
+"""
+
+AC_CONTROLLER_TOPLEVEL = "ac_controller"
+
+#: The error-triggering message sequence at depth 2 (paper, Section 4.1).
+DEPTH2_ERROR_SEQUENCE = (3, 0)

@@ -1,0 +1,304 @@
+"""A C implementation of the Needham–Schroeder public-key protocol
+(Section 4.2 of the paper).
+
+The program simulates initiator A and responder B as interleaved state
+machines inside a single process, like the ~400-line C implementation the
+paper tested.  Encryption is modelled symbolically: a message is the tuple
+``(mtype, key, d1, d2, d3)`` and only the owner of ``key`` can read the
+payload — exactly the standard Dolev–Yao abstraction of public-key
+encryption.
+
+Two environment models are provided, mirroring the paper's two experiments:
+
+* **possibilistic** (Fig. 9): the toplevel function accepts *any* raw
+  message.  The environment is all-powerful — it can "guess" nonces, which
+  is why DART finds only the projection of Lowe's attack from B's point of
+  view (steps 2 and 6), at depth 2.
+
+* **dolev_yao** (Fig. 10): the intruder model acts as an input filter.
+  The intruder can instruct A to start a session, *compose* messages only
+  from atoms it knows (its own key and nonce, agent identities, and nonces
+  it has learned by decrypting traffic addressed to it), and *replay*
+  messages it has recorded.  The shortest attack is then the full Lowe
+  attack, of input length 4.
+
+Lowe's fix (B includes its identity in message 2, A checks it) is
+parameterized three ways: ``"none"`` (attackable), ``"buggy"`` — the fix as
+implemented incompletely: A accepts any message whose responder field
+equals B *even when talking to someone else*, reproducing the
+previously-unknown bug DART found in the original code — and ``"correct"``
+(A compares against the peer it actually targets; no attack exists).
+
+The assertion is violated exactly when B commits a session it believes is
+with A although A never initiated a session with B — the authentication
+failure of Lowe's attack.
+"""
+
+_PRELUDE = """
+/* Agents, keys, nonces and message types.  Keys and nonces are plain
+ * integers: the Dolev-Yao abstraction, as in the implementation the
+ * paper analyzed ("agent identifiers, keys, addresses and nonces are all
+ * represented by integers"). */
+enum { AGENT_A = 1, AGENT_B = 2, AGENT_I = 3 };
+enum { KEY_NONE = 0, KEY_A = 11, KEY_B = 12, KEY_I = 13 };
+enum { NONCE_A = 101, NONCE_B = 102, NONCE_I = 103 };
+enum { MSG1 = 1, MSG2 = 2, MSG3 = 3 };
+enum { IDLE = 0, WAITING = 1, DONE = 2 };
+
+/* Protocol state of initiator A. */
+int a_state = 0;
+int a_peer = 0;
+int a_started_with_b = 0;
+
+/* Protocol state of responder B. */
+int b_state = 0;
+int b_peer = 0;
+int b_nonce_peer = 0;
+
+/* The network trace: every message sent by A or B (the intruder sees and
+ * records all traffic). */
+int seen_mtype[16];
+int seen_key[16];
+int seen_d1[16];
+int seen_d2[16];
+int seen_d3[16];
+int seen_count = 0;
+
+/* What the intruder has learned.  It always knows its own nonce; the
+ * other two nonces become known once a message containing them is
+ * encrypted with the intruder's key.  (Booleans instead of a knowledge
+ * list keep the branch count — and hence DART's execution tree — small;
+ * the paper reports the same kind of state-space engineering: "each
+ * variant can have a significant impact on the size of the resulting
+ * search space".) */
+int knows_na = 0;
+int knows_nb = 0;
+
+int key_of(int agent) {
+  if (agent == AGENT_A) return KEY_A;
+  if (agent == AGENT_B) return KEY_B;
+  if (agent == AGENT_I) return KEY_I;
+  return KEY_NONE;
+}
+
+void intruder_learn(int v) {
+  if (v == NONCE_A) knows_na = 1;
+  if (v == NONCE_B) knows_nb = 1;
+}
+
+/* Can the intruder utter nonce v when composing a message? */
+int sayable_nonce(int v) {
+  if (v == NONCE_I) return 1;
+  if (v == NONCE_A) return knows_na;
+  if (v == NONCE_B) return knows_nb;
+  return 0;
+}
+
+/* Every send goes onto the network, i.e. through the intruder: it records
+ * the message and decrypts anything addressed to itself. */
+void net_send(int mtype, int key, int d1, int d2, int d3) {
+  if (seen_count < 16) {
+    seen_mtype[seen_count] = mtype;
+    seen_key[seen_count] = key;
+    seen_d1[seen_count] = d1;
+    seen_d2[seen_count] = d2;
+    seen_d3[seen_count] = d3;
+    seen_count = seen_count + 1;
+  }
+  if (key == KEY_I) {
+    intruder_learn(d1);
+    intruder_learn(d2);
+    intruder_learn(d3);
+  }
+}
+"""
+
+_INITIATOR = """
+/* A starts a session with `peer`: msg1 = {Na, A} encrypted for peer. */
+void a_start(int peer) {
+  if (a_state != IDLE) return;
+  if (peer < AGENT_A) return;
+  if (peer > AGENT_I) return;
+  if (peer == AGENT_A) return;  /* no self-sessions */
+  a_peer = peer;
+  if (peer == AGENT_B) a_started_with_b = 1;
+  a_state = WAITING;
+  net_send(MSG1, key_of(peer), NONCE_A, AGENT_A, 0);
+}
+
+/* A receives msg2 = {Na, Nb [, resp]}Ka and answers msg3 = {Nb}Kpeer. */
+void a_receive(int mtype, int key, int d1, int d2, int d3) {
+  if (key != KEY_A) return;      /* A cannot decrypt it */
+  if (mtype != MSG2) return;
+  if (a_state != WAITING) return;
+  if (d1 != NONCE_A) return;     /* must return A's challenge */
+@A_FIX_CHECK@
+  a_state = DONE;
+  net_send(MSG3, key_of(a_peer), d2, 0, 0);
+}
+"""
+
+_RESPONDER = """
+/* B receives msg1 = {n, agent}Kb and answers msg2; on a valid msg3 it
+ * commits the session and checks authentication. */
+void b_receive(int mtype, int key, int d1, int d2, int d3) {
+  if (key != KEY_B) return;      /* B cannot decrypt it */
+  if (mtype == MSG1) {
+    if (b_state != IDLE) return;
+    if (d2 < AGENT_A) return;    /* claimed initiator must be an agent */
+    if (d2 > AGENT_I) return;
+    b_peer = d2;
+    b_nonce_peer = d1;
+    b_state = WAITING;
+    net_send(MSG2, key_of(b_peer), d1, NONCE_B, @B_MSG2_ID@);
+    return;
+  }
+  if (mtype == MSG3) {
+    if (b_state != WAITING) return;
+    if (d1 != NONCE_B) return;   /* must return B's challenge */
+    b_state = DONE;
+    /* B now believes it authenticated b_peer.  If it believes it talked
+     * to A, then A must have actually started a session with B. */
+    assert(!(b_peer == AGENT_A && !a_started_with_b));
+  }
+}
+"""
+
+_POSSIBILISTIC_TOPLEVEL = """
+/* Possibilistic environment: the input IS the next network event.  A
+ * target of 0 asks A to initiate a session with d1; otherwise the raw
+ * message (mtype, key, d1, d2, d3) is delivered to the target agent. */
+void ns_step(int target, int mtype, int key, int d1, int d2, int d3) {
+  if (target == 0) {
+    a_start(d1);
+    return;
+  }
+  if (target == AGENT_A) {
+    a_receive(mtype, key, d1, d2, d3);
+    return;
+  }
+  if (target == AGENT_B) {
+    b_receive(mtype, key, d1, d2, d3);
+    return;
+  }
+}
+"""
+
+_DOLEV_YAO_TOPLEVEL = """
+void deliver(int target, int mtype, int key, int d1, int d2, int d3) {
+  if (target == AGENT_A) {
+    a_receive(mtype, key, d1, d2, d3);
+    return;
+  }
+  if (target == AGENT_B) {
+    b_receive(mtype, key, d1, d2, d3);
+    return;
+  }
+}
+
+/* Dolev-Yao environment: the intruder filter.  One toplevel call is one
+ * intruder action:
+ *   op 1 - social engineering: get A to start a session with B
+ *   op 2 - get A to start a session with the intruder itself
+ *   op 3 - forward recorded message number x to its addressee
+ *   op 4 - compose msg1 {nonce x, claimed identity y} for B
+ *   op 5 - compose msg3 {nonce x} for B
+ * Composition requires every uttered nonce to be known to the intruder;
+ * forwarding works for any recorded message, decryptable or not.  As in
+ * the paper, the action vocabulary was tuned for the smallest search
+ * space that still contains Lowe's attack and its variants (composition
+ * toward A is omitted: A only ever accepts a message containing its own
+ * fresh nonce, which the intruder can anyway only return by forwarding).
+ */
+void ns_dy_step(int op, int x, int y) {
+  if (op == 1) {
+    a_start(AGENT_B);
+    return;
+  }
+  if (op == 2) {
+    a_start(AGENT_I);
+    return;
+  }
+  if (op == 3) {
+    int i;
+    if (x < 0) return;
+    if (x >= seen_count) return;
+    /* Walk the trace with a concrete index and match it against the
+     * requested message number; this keeps every memory access at a
+     * definite location, so DART's directed search stays complete. */
+    for (i = 0; i < seen_count; i++) {
+      if (i == x) {
+        int rcpt;
+        rcpt = 0;
+        if (seen_key[i] == KEY_A) rcpt = AGENT_A;
+        if (seen_key[i] == KEY_B) rcpt = AGENT_B;
+        if (rcpt == 0) return;  /* addressed to the intruder itself */
+        deliver(rcpt, seen_mtype[i], seen_key[i], seen_d1[i],
+                seen_d2[i], seen_d3[i]);
+        return;
+      }
+    }
+    return;
+  }
+  if (op == 4) {
+    if (!sayable_nonce(x)) return;
+    if (y < AGENT_A) return;
+    if (y > AGENT_I) return;
+    deliver(AGENT_B, MSG1, KEY_B, x, y, 0);
+    return;
+  }
+  if (op == 5) {
+    if (!sayable_nonce(x)) return;
+    deliver(AGENT_B, MSG3, KEY_B, x, 0, 0);
+    return;
+  }
+}
+"""
+
+#: A-side check of the responder-identity field for each fix variant.
+_FIX_CHECKS = {
+    # Original protocol: no identity in msg2, nothing to check.
+    "none": "",
+    # Lowe's fix as implemented incompletely: the programmer special-cased
+    # the "usual" responder B, so a message claiming to come from B is
+    # accepted even when A is talking to someone else.  This reproduces the
+    # previously-unknown bug DART found in the original implementation.
+    "buggy": (
+        "  if (d3 != AGENT_B) {\n"
+        "    if (d3 != a_peer) return;\n"
+        "  }"
+    ),
+    # Lowe's fix, correct: the identity must be the peer A targeted.
+    "correct": "  if (d3 != a_peer) return;",
+}
+
+#: What B puts in msg2's identity field for each fix variant.
+_MSG2_IDS = {"none": "0", "buggy": "AGENT_B", "correct": "AGENT_B"}
+
+TOPLEVELS = {"possibilistic": "ns_step", "dolev_yao": "ns_dy_step"}
+
+#: Input length of the shortest attack in each model (paper, Figs. 9-10).
+SHORTEST_ATTACK_DEPTH = {"possibilistic": 2, "dolev_yao": 4}
+
+
+def ns_source(model="possibilistic", fix="none"):
+    """The mini-C source for one (intruder model, fix) configuration."""
+    if model not in TOPLEVELS:
+        raise ValueError("model must be 'possibilistic' or 'dolev_yao'")
+    if fix not in _FIX_CHECKS:
+        raise ValueError("fix must be 'none', 'buggy' or 'correct'")
+    toplevel_code = (
+        _POSSIBILISTIC_TOPLEVEL
+        if model == "possibilistic"
+        else _DOLEV_YAO_TOPLEVEL
+    )
+    return (
+        _PRELUDE
+        + _INITIATOR.replace("@A_FIX_CHECK@", _FIX_CHECKS[fix])
+        + _RESPONDER.replace("@B_MSG2_ID@", _MSG2_IDS[fix])
+        + toplevel_code
+    )
+
+
+def ns_toplevel(model="possibilistic"):
+    return TOPLEVELS[model]

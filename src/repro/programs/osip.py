@@ -1,0 +1,375 @@
+"""A generated oSIP-like SIP library (Section 4.3 of the paper).
+
+The paper applied DART to oSIP 2.0.9 — ~30,000 lines of C exposing ~600
+externally visible functions — and found that 65 % of them could be crashed
+within 1,000 runs, almost always by the same pattern: "an oSIP function
+takes as argument a pointer to a data structure and then de-references
+later that pointer without checking first whether the pointer is non-NULL";
+some functions do guard their arguments, most do not, and the documentation
+does not say which are which.  It also found a security bug: the parser
+copies the incoming packet into stack space obtained from ``alloca`` and
+never checks the result, so a large message makes ``alloca`` return NULL
+and the parser crash.
+
+The original oSIP sources are not shippable here, so this module
+*generates* a library with the same externally visible shape: ~600 exported
+functions across allocator/list/URI/via/contact/header/body/message
+modules, built from the accessor/mutator/clone/compare/walk templates that
+dominate the real oSIP API, with a seeded choice of which functions guard
+their pointer arguments (calibrated so that ~65 % are crashable), plus a
+hand-written parser module containing the ``alloca`` bug.  The per-function
+DART sweep and the alloca attack therefore exercise exactly the code paths
+the paper describes.
+"""
+
+import random
+
+#: Struct definitions shared by every module (each generated translation
+#: unit is prelude + one module, so per-function compiles stay small).
+PRELUDE = """
+struct osip_node { int value; struct osip_node *next; };
+struct osip_list { int nb_elt; struct osip_node *head; };
+struct osip_uri { int scheme; int port; char *host; char *username; };
+struct osip_param { char *name; char *value; int flags; };
+struct osip_via { int version; int protocol; char *host; int port; };
+struct osip_contact { int displayname; struct osip_uri *url; int tag; };
+struct osip_header { char *hname; char *hvalue; int hflags; };
+struct osip_body { char *text; int length; int content_type; };
+struct osip_message {
+  int status_code;
+  int method;
+  struct osip_uri *req_uri;
+  struct osip_list *headers;
+  struct osip_body *body;
+};
+"""
+
+#: module name -> (struct tag, list of (field name, kind)) where kind is
+#: "int" (plain scalar field) or "ptr" (pointer field).
+_MODULE_STRUCTS = {
+    "list": ("osip_list", [("nb_elt", "int"), ("head", "ptr")]),
+    "uri": (
+        "osip_uri",
+        [("scheme", "int"), ("port", "int"), ("host", "ptr"),
+         ("username", "ptr")],
+    ),
+    "param": (
+        "osip_param",
+        [("flags", "int"), ("name", "ptr"), ("value", "ptr")],
+    ),
+    "via": (
+        "osip_via",
+        [("version", "int"), ("protocol", "int"), ("port", "int"),
+         ("host", "ptr")],
+    ),
+    "contact": (
+        "osip_contact",
+        [("displayname", "int"), ("tag", "int"), ("url", "ptr")],
+    ),
+    "header": (
+        "osip_header",
+        [("hflags", "int"), ("hname", "ptr"), ("hvalue", "ptr")],
+    ),
+    "body": (
+        "osip_body",
+        [("length", "int"), ("content_type", "int"), ("text", "ptr")],
+    ),
+    "message": (
+        "osip_message",
+        [("status_code", "int"), ("method", "int"), ("req_uri", "ptr"),
+         ("headers", "ptr"), ("body", "ptr")],
+    ),
+}
+
+#: The hand-written parser module with the paper's alloca security bug.
+PARSER_MODULE = """
+/* Internal helper: copies the packet; crashes if dst is NULL
+ * (the crash is interprocedural, as in the oSIP report). */
+int osip_util_buffer_copy(char *dst, char *src, int len) {
+  memcpy(dst, src, len);
+  dst[len] = 0;
+  return 0;
+}
+
+/* The vulnerable entry point: the result of alloca() is never checked.
+ * A message larger than the remaining stack makes alloca return NULL and
+ * the copy helper crash -- remotely triggerable in the real oSIP. */
+int osip_message_parse(struct osip_message *sip, char *buf, int length) {
+  char *copy;
+  int i;
+  int separators;
+  if (buf == NULL) return -1;
+  if (length < 0) return -1;
+  copy = (char *) alloca(length + 1);
+  osip_util_buffer_copy(copy, buf, length);
+  separators = 0;
+  for (i = 0; i < length && i < 64; i++) {
+    if (copy[i] == '|') separators = separators + 1;
+  }
+  if (sip == NULL) return -2;
+  sip->status_code = 0;
+  sip->method = separators;
+  return 0;
+}
+
+/* A well-behaved sibling for contrast: checks its allocation. */
+int osip_message_parse_checked(struct osip_message *sip, char *buf,
+                               int length) {
+  char *copy;
+  if (sip == NULL) return -1;
+  if (buf == NULL) return -1;
+  if (length < 0) return -1;
+  copy = (char *) alloca(length + 1);
+  if (copy == NULL) return -3;
+  osip_util_buffer_copy(copy, buf, length);
+  sip->status_code = 0;
+  return 0;
+}
+
+/* Driver used by the attack benchmark: build a packet of `size` bytes
+ * containing no NUL and no '|' characters and feed it to the parser
+ * (the paper's attack recipe). */
+int osip_attack_probe(int size) {
+  char *msg;
+  struct osip_message sip;
+  int result;
+  if (size < 0) return -1;
+  msg = (char *) malloc(size + 1);
+  if (msg == NULL) return -2;
+  memset(msg, 'A', size);
+  msg[size] = 0;
+  result = osip_message_parse(&sip, msg, size);
+  free(msg);
+  return result;
+}
+"""
+
+#: Parser-module functions and whether the per-function DART sweep is
+#: expected to crash them.  osip_message_parse crashes through the
+#: unchecked alloca (random 32-bit lengths readily exceed the stack) and
+#: through out-of-bounds copies of the one-cell driver buffer;
+#: osip_attack_probe feeds it well-formed but arbitrarily large packets.
+PARSER_FUNCTIONS = [
+    ("osip_util_buffer_copy", True),
+    ("osip_message_parse", True),
+    ("osip_message_parse_checked", False),
+    ("osip_attack_probe", True),
+]
+
+
+class OsipFunction:
+    """Metadata about one generated exported function."""
+
+    __slots__ = ("name", "module", "guarded", "takes_pointer", "crashable")
+
+    def __init__(self, name, module, guarded, takes_pointer, crashable):
+        self.name = name
+        self.module = module
+        self.guarded = guarded
+        self.takes_pointer = takes_pointer
+        self.crashable = crashable
+
+    def __repr__(self):
+        return "OsipFunction({!r}, crashable={})".format(
+            self.name, self.crashable
+        )
+
+
+class OsipLibrary:
+    """Deterministically generated oSIP-like library.
+
+    ``seed`` fixes every generation choice; ``functions_per_module``
+    scales the library (default sizes yield ~600 exported functions, the
+    paper's figure).
+    """
+
+    def __init__(self, seed=2005, functions_per_module=74,
+                 guard_fraction=0.29, scalar_fraction=0.08):
+        self._rng = random.Random(seed)
+        self._guard_fraction = guard_fraction
+        self._scalar_fraction = scalar_fraction
+        self.functions = []
+        self._module_sources = {}
+        for module in sorted(_MODULE_STRUCTS):
+            self._module_sources[module] = self._generate_module(
+                module, functions_per_module
+            )
+        self._module_sources["parser"] = PARSER_MODULE
+        for name, crashable in PARSER_FUNCTIONS:
+            self.functions.append(
+                OsipFunction(name, "parser", not crashable, True, crashable)
+            )
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def module_names(self):
+        return sorted(self._module_sources)
+
+    def source_for_module(self, module):
+        """Compilable source: shared structs + one module's functions."""
+        return PRELUDE + self._module_sources[module]
+
+    def source_for_function(self, name):
+        return self.source_for_module(self.function(name).module)
+
+    def function(self, name):
+        for entry in self.functions:
+            if entry.name == name:
+                return entry
+        raise KeyError("no generated function named {!r}".format(name))
+
+    def function_names(self):
+        return [entry.name for entry in self.functions]
+
+    def expected_crash_rate(self):
+        crashable = sum(1 for entry in self.functions if entry.crashable)
+        return crashable / len(self.functions)
+
+    def full_source(self):
+        """The whole library as one translation unit (for line counting)."""
+        return PRELUDE + "".join(
+            self._module_sources[m] for m in self.module_names
+            if m != "parser"
+        ) + PARSER_MODULE
+
+    # -- generation ------------------------------------------------------------
+
+    def _generate_module(self, module, count):
+        struct_tag, fields = _MODULE_STRUCTS[module]
+        int_fields = [f for f, kind in fields if kind == "int"]
+        ptr_fields = [f for f, kind in fields if kind == "ptr"]
+        chunks = ["\n/* ---- module {} ---- */\n".format(module)]
+        for index in range(count):
+            roll = self._rng.random()
+            if roll < self._scalar_fraction:
+                chunks.append(self._scalar_function(module, index))
+                continue
+            guarded = self._rng.random() < self._guard_fraction
+            template = self._rng.choice(
+                ("getter", "setter", "ptr_setter", "clone", "compare",
+                 "walk", "init", "reset")
+            )
+            chunks.append(
+                self._pointer_function(
+                    module, index, struct_tag, int_fields, ptr_fields,
+                    template, guarded,
+                )
+            )
+        return "".join(chunks)
+
+    def _scalar_function(self, module, index):
+        name = "osip_{}_calc_{}".format(module, index)
+        variant = self._rng.randrange(3)
+        if variant == 0:
+            body = (
+                "  if (a > b) return a;\n"
+                "  return b;\n"
+            )
+        elif variant == 1:
+            body = (
+                "  if (b == 0) return 0;\n"
+                "  if (a < 0) return -a;\n"
+                "  return a;\n"
+            )
+        else:
+            body = (
+                "  int r;\n"
+                "  r = a * 31 + b;\n"
+                "  if (r < 0) r = -r;\n"
+                "  return r;\n"
+            )
+        self.functions.append(
+            OsipFunction(name, module, True, False, False)
+        )
+        return "int {}(int a, int b) {{\n{}}}\n".format(name, body)
+
+    def _pointer_function(self, module, index, struct_tag, int_fields,
+                          ptr_fields, template, guarded):
+        name = "osip_{}_{}_{}".format(module, template, index)
+        struct = "struct " + struct_tag
+        int_field = int_fields[index % len(int_fields)]
+        guard = "  if (p == NULL) return -1;\n" if guarded else ""
+        crashable = not guarded
+        if template == "walk" and struct_tag != "osip_list":
+            template = "getter"  # only lists have walkable nodes
+        if template == "ptr_setter" and not ptr_fields:
+            template = "setter"
+        if template == "getter":
+            body = "{}  return p->{};\n".format(guard, int_field)
+            text = "int {}({} *p) {{\n{}}}\n".format(name, struct, body)
+        elif template == "setter":
+            body = "{}  p->{} = v;\n  return 0;\n".format(guard, int_field)
+            text = "int {}({} *p, int v) {{\n{}}}\n".format(
+                name, struct, body
+            )
+        elif template == "ptr_setter":
+            ptr_field = ptr_fields[index % len(ptr_fields)]
+            body = "{}  p->{} = s;\n  return 0;\n".format(guard, ptr_field)
+            text = "int {}({} *p, char *s) {{\n{}}}\n".format(
+                name, struct, body
+            )
+        elif template == "clone":
+            body = (
+                "{guard}"
+                "  q = ({struct} *) malloc(sizeof({struct}));\n"
+                "  if (q == NULL) return -2;\n"
+                "  q->{field} = p->{field};\n"
+                "  return q->{field};\n"
+            ).format(guard=guard, struct=struct, field=int_field)
+            text = (
+                "int {name}({struct} *p) {{\n  {struct} *q;\n{body}}}\n"
+            ).format(name=name, struct=struct, body=body)
+        elif template == "compare":
+            guard2 = (
+                "  if (p == NULL) return -1;\n"
+                "  if (q == NULL) return -1;\n"
+                if guarded else ""
+            )
+            body = (
+                "{}  if (p->{field} == q->{field}) return 0;\n"
+                "  if (p->{field} < q->{field}) return -1;\n"
+                "  return 1;\n"
+            ).format(guard2, field=int_field)
+            text = "int {}({} *p, {} *q) {{\n{}}}\n".format(
+                name, struct, struct, body
+            )
+        elif template == "walk":
+            body = (
+                "{}"
+                "  n = 0;\n"
+                "  node = p->head;\n"
+                "  while (node != NULL && n < 1000) {{\n"
+                "    n = n + 1;\n"
+                "    node = node->next;\n"
+                "  }}\n"
+                "  return n;\n"
+            ).format(guard)
+            text = (
+                "int {}({} *p) {{\n  int n;\n  struct osip_node *node;\n"
+                "{}}}\n"
+            ).format(name, struct, body)
+        elif template == "init":
+            # Interprocedural: the unguarded variant delegates the
+            # dereference to a helper that does not check either.
+            helper = "osip_{}_init_helper_{}".format(module, index)
+            helper_text = (
+                "int {helper}({struct} *q) {{\n"
+                "  q->{field} = 0;\n"
+                "  return 0;\n"
+                "}}\n"
+            ).format(helper=helper, struct=struct, field=int_field)
+            body = "{}  return {}(p);\n".format(guard, helper)
+            text = helper_text + "int {}({} *p) {{\n{}}}\n".format(
+                name, struct, body
+            )
+        else:  # reset
+            assigns = "".join(
+                "  p->{} = 0;\n".format(field) for field in int_fields
+            )
+            body = guard + assigns + "  return 0;\n"
+            text = "int {}({} *p) {{\n{}}}\n".format(name, struct, body)
+        self.functions.append(
+            OsipFunction(name, module, guarded, True, crashable)
+        )
+        return text

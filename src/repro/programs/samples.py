@@ -1,0 +1,102 @@
+"""The motivating example programs of Section 2, verbatim in mini-C.
+
+Each constant is the source text of one paper listing; the toplevel
+function for DART is named in the companion ``*_TOPLEVEL`` constant.
+"""
+
+#: Section 2.1 — the introductory defective function: ``h`` aborts when
+#: ``f(x) == x + 10`` with ``x != y``; random testing essentially never
+#: finds it, the directed search needs two runs.
+H_SOURCE = """
+int f(int x) { return 2 * x; }
+
+int h(int x, int y) {
+  if (x != y)
+    if (f(x) == x + 10)
+      abort();  /* error */
+  return 0;
+}
+"""
+H_TOPLEVEL = "h"
+
+#: Section 2.4 — the worked example whose second path constraint
+#: ``(x == y, y == x + 10)`` is infeasible, so DART terminates and proves
+#: all paths explored.
+Z_SOURCE = """
+int f(int x, int y) {
+  int z;
+  z = y;
+  if (x == z)
+    if (y == x + 10)
+      abort();
+  return 0;
+}
+"""
+Z_TOPLEVEL = "f"
+
+#: Section 2.5 — dynamic data: a struct field overwritten through a
+#: ``char *`` alias.  Static alias analysis cannot prove the abort
+#: reachable; DART reaches it by solving ``a->c == 0`` and executing.
+STRUCT_CAST_SOURCE = """
+struct foo { int i; char c; };
+
+int bar(struct foo *a) {
+  if (a->c == 0) {
+    *((char *)a + sizeof(int)) = 1;
+    if (a->c != 0)
+      abort();
+  }
+  return 0;
+}
+"""
+STRUCT_CAST_TOPLEVEL = "bar"
+
+#: Section 2.5 — the non-linear guard: symbolic execution alone gets stuck
+#: at ``x*x*x > 0``; DART falls back to the concrete value and still finds
+#: the one reachable abort (line 4; the one under the else branch is
+#: unreachable because the concrete execution keeps them consistent).
+FOOBAR_SOURCE = """
+int foobar(int x, int y) {
+  if (x*x*x > 0) {
+    if (x > 0 && y == 10)
+      abort();
+  } else {
+    if (x > 0 && y == 20)
+      abort();
+  }
+  return 0;
+}
+"""
+FOOBAR_TOPLEVEL = "foobar"
+
+#: A tiny input-filtering pipeline (Section 4.1's discussion: directed
+#: search learns to pass sanity checks that random testing gets stuck on).
+FILTER_SOURCE = """
+int core(int cmd, int value) {
+  if (cmd == 7)
+    if (value * 4 == 2497940)
+      abort();  /* the deep bug behind the filters */
+  return value;
+}
+
+int entry(int magic, int cmd, int value) {
+  if (magic != 42)
+    return -1;          /* filter 1: magic number */
+  if (cmd < 0)
+    return -2;          /* filter 2: command range */
+  if (cmd > 15)
+    return -2;
+  return core(cmd, value);
+}
+"""
+FILTER_TOPLEVEL = "entry"
+
+#: All samples, for table-driven tests: name -> (source, toplevel,
+#: has_reachable_abort).
+ALL_SAMPLES = {
+    "h": (H_SOURCE, H_TOPLEVEL, True),
+    "z": (Z_SOURCE, Z_TOPLEVEL, False),
+    "struct_cast": (STRUCT_CAST_SOURCE, STRUCT_CAST_TOPLEVEL, True),
+    "foobar": (FOOBAR_SOURCE, FOOBAR_TOPLEVEL, True),
+    "filter": (FILTER_SOURCE, FILTER_TOPLEVEL, True),
+}

@@ -1,0 +1,25 @@
+"""The linear integer constraint solver (the paper's lp_solve substitute).
+
+Path constraints produced by the directed search are conjunctions of
+:class:`repro.symbolic.expr.CmpExpr` over bounded integer input variables.
+The solver decides them with
+
+1. normalization to ``= 0`` / ``<= 0`` / ``!= 0`` forms
+   (:mod:`repro.solver.problem`);
+2. exact integer Gaussian elimination of equalities with divisibility
+   checks (:mod:`repro.solver.problem`);
+3. interval (bounds) propagation over the inequalities
+   (:mod:`repro.solver.propagate`);
+4. bounded backtracking search with candidate seeding for the remainder
+   (:mod:`repro.solver.core`).
+
+Results are never trusted blind: every model is *verified* against the
+original constraints and domains before being returned.  Incompleteness is
+reported as UNKNOWN, which the DART driver treats exactly like the paper
+treats theorem-prover failure (Section 2.5): fall back to the concrete
+world and keep searching.
+"""
+
+from repro.solver.core import Solver, SolverResult, SAT, UNSAT, UNKNOWN
+
+__all__ = ["SAT", "Solver", "SolverResult", "UNKNOWN", "UNSAT"]

@@ -1,0 +1,86 @@
+"""Fourier–Motzkin refutation for ``lin <= 0`` systems.
+
+Eliminating a variable by combining each positive-coefficient constraint
+with each negative-coefficient one preserves rational satisfiability;
+deriving a constraint ``c <= 0`` with constant ``c > 0`` therefore proves
+the system infeasible over the rationals — and hence over the integers.
+This catches cyclic contradictions that interval propagation cannot, such
+as ``x < y`` together with ``y < x``.
+
+Only used as a refutation: the procedure never claims satisfiability
+(integer gaps make the rational relaxation incomplete in that direction),
+and it gives up silently when the quadratic constraint growth exceeds its
+budget, so it is always sound to consult.
+"""
+
+from math import gcd
+
+from repro.symbolic.expr import LinExpr
+
+#: Abandon elimination when the working set would exceed this size.
+_GROWTH_LIMIT = 400
+
+
+def _normalized(lin):
+    """Divide by the positive GCD of all coefficients and the constant's
+    sign-preserving part, for cheap duplicate elimination."""
+    g = 0
+    for coeff in lin.coeffs.values():
+        g = gcd(g, abs(coeff))
+    if g > 1:
+        # Integer division of the constant keeps soundness for <=:
+        # (g*a <= 0) iff (a <= 0) when dividing exactly; otherwise keep
+        # the floor, which only weakens the constraint.
+        return LinExpr(
+            {v: c // g for v, c in lin.coeffs.items()}, -((-lin.const) // g)
+        )
+    return lin
+
+
+def refutes(inequalities):
+    """True if Fourier–Motzkin proves the ``lin <= 0`` system infeasible."""
+    working = []
+    seen = set()
+    for lin in inequalities:
+        lin = _normalized(lin)
+        if lin.is_constant():
+            if lin.const > 0:
+                return True
+            continue
+        key = (frozenset(lin.coeffs.items()), lin.const)
+        if key not in seen:
+            seen.add(key)
+            working.append(lin)
+
+    variables = set()
+    for lin in working:
+        variables |= lin.variables()
+
+    for var in sorted(variables):
+        positive = [l for l in working if l.coeffs.get(var, 0) > 0]
+        negative = [l for l in working if l.coeffs.get(var, 0) < 0]
+        neutral = [l for l in working if l.coeffs.get(var, 0) == 0]
+        if len(positive) * len(negative) + len(neutral) > _GROWTH_LIMIT:
+            return False  # too expensive; give up (sound)
+        combined = list(neutral)
+        for pos in positive:
+            a = pos.coeffs[var]
+            for neg in negative:
+                b = -neg.coeffs[var]
+                # b*pos + a*neg eliminates var; both scales positive.
+                lin = _normalized(pos.scale(b).add(neg.scale(a)))
+                if lin.is_constant():
+                    if lin.const > 0:
+                        return True
+                    continue
+                key = (frozenset(lin.coeffs.items()), lin.const)
+                if key not in seen:
+                    seen.add(key)
+                    combined.append(lin)
+        working = combined
+        if not working:
+            return False
+    for lin in working:
+        if lin.is_constant() and lin.const > 0:
+            return True
+    return False

@@ -1,0 +1,254 @@
+"""Normalization and exact integer equality elimination.
+
+A conjunction of :class:`CmpExpr` constraints is normalized into three
+buckets over the same :class:`LinExpr` representation:
+
+* equalities  ``lin == 0``
+* inequalities ``lin <= 0`` (strict and >-forms are rewritten using the
+  integrality of the domain: ``lin < 0  <=>  lin + 1 <= 0``)
+* disequalities ``lin != 0``
+
+Equalities are then eliminated one at a time: after dividing by the GCD of
+the coefficients (an infeasibility proof when it does not divide the
+constant — the classic integer relaxation check), any variable with a
+unit coefficient is solved for and substituted away.  An equality with no
+unit-coefficient variable goes through the Omega test's exact integer
+transformation (Pugh 1991): pick the variable ``x_k`` with the smallest
+coefficient magnitude ``|a_k| >= 2``, let ``m = |a_k| + 1``, and introduce
+a fresh auxiliary variable sigma with
+
+    sum_i symmod(a_i, m) * x_i  =  m * sigma + symmod(c, m)
+
+where ``symmod`` is the symmetric residue in ``(-m/2, m/2]``.  Because
+``symmod(a_k, m) = -sign(a_k)``, this new equality *does* have a unit
+coefficient for ``x_k``; substituting it back shrinks every coefficient of
+the original equality by a factor of about 5/6, so iteration terminates.
+Auxiliary variables get negative ordinals so they can never collide with
+(or leak into) DART's input vector.
+"""
+
+from math import gcd
+
+from repro.symbolic.expr import EQ, GE, GT, LE, LT, NE, LinExpr
+
+#: Default domain for variables the caller did not bound: signed int32.
+DEFAULT_DOMAIN = (-(1 << 31), (1 << 31) - 1)
+
+#: Domain for Omega auxiliary variables: wide enough that a quotient of an
+#: int32 quantity by m >= 3 always fits, tightened by propagation later.
+AUX_DOMAIN = (-(1 << 33), 1 << 33)
+
+#: Cap on Omega transformations per solve (termination backstop; Pugh's
+#: 5/6 shrink factor makes even 64-bit coefficients converge in ~100).
+_OMEGA_STEP_LIMIT = 128
+
+
+class Problem:
+    """A normalized conjunction, mutated in place by the solving passes.
+
+    ``domains`` tracks only the variables the constraints mention — the
+    solver must not assign (and hence a model must not overwrite) inputs
+    the path constraint says nothing about (the ``IM + IM'`` update of
+    Fig. 5 preserves them).
+    """
+
+    def __init__(self, domain_source=None):
+        self._domain_source = domain_source or {}
+        self.domains = {}  # ordinal -> [lo, hi] (constraint vars only)
+        self.equalities = []  # LinExpr == 0
+        self.inequalities = []  # LinExpr <= 0
+        self.disequalities = []  # LinExpr != 0
+        self.substitutions = []  # [(var, LinExpr)] in elimination order
+        self.infeasible = False
+        self._next_aux = -1  # Omega auxiliaries use negative ordinals
+
+    def fresh_aux(self):
+        var = self._next_aux
+        self._next_aux -= 1
+        self.domains[var] = list(AUX_DOMAIN)
+        return var
+
+    def variables(self):
+        referenced = set()
+        for lin in self.equalities + self.inequalities + self.disequalities:
+            referenced |= lin.variables()
+        return referenced
+
+    def domain(self, var):
+        if var not in self.domains:
+            self.domains[var] = list(
+                self._domain_source.get(var, DEFAULT_DOMAIN)
+            )
+        return self.domains[var]
+
+
+def normalize(constraints, domains):
+    """Build a :class:`Problem` from CmpExprs plus variable domains."""
+    problem = Problem(domains)
+    for constraint in constraints:
+        lin = constraint.lin
+        op = constraint.op
+        if op == EQ:
+            problem.equalities.append(lin)
+        elif op == NE:
+            problem.disequalities.append(lin)
+        elif op == LE:
+            problem.inequalities.append(lin)
+        elif op == LT:
+            problem.inequalities.append(lin.add_const(1))
+        elif op == GE:
+            problem.inequalities.append(lin.negate())
+        elif op == GT:
+            problem.inequalities.append(lin.negate().add_const(1))
+        else:
+            raise ValueError("unknown operator {!r}".format(op))
+        for var in lin.variables():
+            problem.domain(var)
+    return problem
+
+
+def _coefficient_gcd(lin):
+    g = 0
+    for coeff in lin.coeffs.values():
+        g = gcd(g, abs(coeff))
+    return g
+
+
+def _reduce_by_gcd(lin):
+    """Divide an equality by its coefficient GCD; None if infeasible."""
+    g = _coefficient_gcd(lin)
+    if g == 0:
+        return lin if lin.const == 0 else None
+    if lin.const % g != 0:
+        return None
+    if g == 1:
+        return lin
+    return LinExpr(
+        {v: c // g for v, c in lin.coeffs.items()}, lin.const // g
+    )
+
+
+def substitute(lin, var, replacement):
+    """Replace ``var`` by ``replacement`` inside ``lin``."""
+    coeff = lin.coeffs.get(var)
+    if coeff is None or coeff == 0:
+        return lin
+    remaining = {v: c for v, c in lin.coeffs.items() if v != var}
+    return LinExpr(remaining, lin.const).add(replacement.scale(coeff))
+
+
+def eliminate_equalities(problem):
+    """Solve away equalities; mutates ``problem``.
+
+    Each eliminated variable is recorded in ``problem.substitutions`` so
+    models over the remaining variables can be completed afterwards (in
+    reverse elimination order).  The eliminated variable's domain bounds are
+    folded back in as inequalities over its defining expression.
+    """
+    pending = list(problem.equalities)
+    problem.equalities = []
+    omega_steps = 0
+    while pending:
+        lin = _reduce_by_gcd(pending.pop())
+        if lin is None:
+            problem.infeasible = True
+            return
+        if lin.is_constant():
+            if lin.const != 0:
+                problem.infeasible = True
+                return
+            continue
+        var, coeff = _pick_unit_variable(lin)
+        if var is None:
+            omega_steps += 1
+            if omega_steps > _OMEGA_STEP_LIMIT:
+                # Termination backstop: demote to a <=/>= pair for the
+                # propagation and search phases.
+                problem.inequalities.append(lin)
+                problem.inequalities.append(lin.negate())
+                continue
+            # Omega transformation: the symmod equality has a *unit*
+            # coefficient for the pivot; substituting the pivot from it
+            # (back into ``lin`` among others) shrinks the coefficients by
+            # ~5/6 per round, so the loop terminates (Pugh 1991).
+            pivot, star = _omega_star(problem, lin)
+            pending.append(lin)
+            pending = _solve_and_substitute(
+                problem, pending, star, pivot, star.coeffs[pivot]
+            )
+            continue
+        pending = _solve_and_substitute(problem, pending, lin, var, coeff)
+
+
+def _solve_and_substitute(problem, pending, lin, var, coeff):
+    """Solve ``lin == 0`` (where ``coeff`` of ``var`` is +/-1) for ``var``
+    and substitute everywhere; returns the rewritten pending list."""
+    # coeff is +/-1:  coeff*var + rest = 0  ==>  var = -coeff*rest.
+    rest = LinExpr(
+        {v: c for v, c in lin.coeffs.items() if v != var}, lin.const
+    )
+    replacement = rest.scale(-coeff)
+    problem.substitutions.append((var, replacement))
+    pending = [substitute(e, var, replacement) for e in pending]
+    problem.inequalities = [
+        substitute(e, var, replacement) for e in problem.inequalities
+    ]
+    problem.disequalities = [
+        substitute(e, var, replacement) for e in problem.disequalities
+    ]
+    lo, hi = problem.domain(var)
+    # lo <= replacement <= hi
+    problem.inequalities.append(replacement.negate().add_const(lo))
+    problem.inequalities.append(replacement.add_const(-hi))
+    problem.domains.pop(var, None)
+    return pending
+
+
+def _symmetric_mod(a, m):
+    """The symmetric residue of ``a`` modulo ``m``, in ``(-m/2, m/2]``."""
+    r = a % m  # Python: in [0, m)
+    if 2 * r > m:
+        r -= m
+    return r
+
+
+def _omega_star(problem, lin):
+    """Pugh's auxiliary equality for a no-unit-coefficient ``lin == 0``.
+
+    Picks the pivot with the smallest coefficient magnitude, sets
+    ``m = |a_k| + 1`` and returns ``(pivot, star)`` where
+
+        star:  sum_i symmod(a_i, m) x_i + symmod(c, m) - m * sigma  ==  0
+
+    with a fresh auxiliary ``sigma``.  The pivot's coefficient in ``star``
+    is ``-sign(a_k)`` — a unit — so the caller can solve ``star`` for the
+    pivot directly.
+    """
+    pivot = min(lin.coeffs, key=lambda v: (abs(lin.coeffs[v]), v))
+    m = abs(lin.coeffs[pivot]) + 1
+    sigma = problem.fresh_aux()
+    coeffs = {
+        var: _symmetric_mod(coeff, m)
+        for var, coeff in lin.coeffs.items()
+    }
+    coeffs[sigma] = -m
+    return pivot, LinExpr(coeffs, _symmetric_mod(lin.const, m))
+
+
+def _pick_unit_variable(lin):
+    """A variable with coefficient +/-1 (preferring the lowest ordinal for
+    determinism), or (None, None)."""
+    best = None
+    for var in sorted(lin.coeffs):
+        coeff = lin.coeffs[var]
+        if coeff in (1, -1):
+            best = (var, coeff)
+            break
+    return best if best is not None else (None, None)
+
+
+def complete_model(problem, model):
+    """Fill eliminated variables back into ``model`` (mutated and returned)."""
+    for var, replacement in reversed(problem.substitutions):
+        model[var] = replacement.evaluate(model)
+    return model

@@ -1,0 +1,110 @@
+"""Interval (bounds) propagation over ``lin <= 0`` constraints.
+
+For a constraint ``sum(a_i * x_i) + c <= 0`` and a variable ``x_j``, every
+solution satisfies
+
+    a_j * x_j  <=  -c - min over domains of sum(a_i * x_i, i != j)
+
+so values of ``x_j`` beyond the induced bound can be pruned.  Iterating to a
+fixpoint (with a round cap against slow convergence) yields either a
+refutation (an empty domain — UNSAT) or tightened domains for the search
+phase.  Single-variable disequalities additionally shave domain endpoints.
+"""
+
+
+def _floor_div(a, b):
+    return a // b
+
+
+def _ceil_div(a, b):
+    return -((-a) // b)
+
+
+def propagate(domains, inequalities, disequalities, max_rounds=64):
+    """Tighten ``domains`` in place.
+
+    Returns True if consistent, False when a constraint is refuted
+    (a proof of infeasibility over the integer domains).
+    """
+    for _ in range(max_rounds):
+        changed = False
+        for lin in inequalities:
+            ok, this_changed = _propagate_one(domains, lin)
+            if not ok:
+                return False
+            changed |= this_changed
+        for lin in disequalities:
+            ok, this_changed = _shave_disequality(domains, lin)
+            if not ok:
+                return False
+            changed |= this_changed
+        if not changed:
+            return True
+    return True
+
+
+def _propagate_one(domains, lin):
+    """Prune domains using one ``lin <= 0`` constraint -> (ok, changed)."""
+    coeffs = lin.coeffs
+    if not coeffs:
+        return lin.const <= 0, False
+    changed = False
+    # Domain-minimal value of each term, kept in sync as bounds tighten.
+    term_min = {}
+    for var, coeff in coeffs.items():
+        lo, hi = domains[var]
+        term_min[var] = coeff * lo if coeff > 0 else coeff * hi
+    total_min = lin.const + sum(term_min.values())
+    if total_min > 0:
+        return False, changed  # even the best case violates the constraint
+    for var, coeff in coeffs.items():
+        lo, hi = domains[var]
+        others_min = total_min - term_min[var] - lin.const
+        bound = -lin.const - others_min
+        if coeff > 0:
+            new_hi = _floor_div(bound, coeff)
+            if new_hi < hi:
+                if new_hi < lo:
+                    return False, changed
+                domains[var][1] = new_hi
+                changed = True
+        else:
+            new_lo = _ceil_div(bound, coeff)
+            if new_lo > lo:
+                if new_lo > hi:
+                    return False, changed
+                domains[var][0] = new_lo
+                changed = True
+        if changed:
+            lo, hi = domains[var]
+            new_term_min = coeff * lo if coeff > 0 else coeff * hi
+            total_min += new_term_min - term_min[var]
+            term_min[var] = new_term_min
+    return True, changed
+
+
+def _shave_disequality(domains, lin):
+    """Use a ``lin != 0`` constraint to refute or shave endpoint values."""
+    variables = list(lin.coeffs)
+    if not variables:
+        return lin.const != 0, False
+    if len(variables) > 1:
+        return True, False  # multi-variable: handled by search + verify
+    var = variables[0]
+    coeff = lin.coeffs[var]
+    if (-lin.const) % coeff != 0:
+        return True, False  # the excluded point is not an integer: vacuous
+    excluded = (-lin.const) // coeff
+    lo, hi = domains[var]
+    if excluded < lo or excluded > hi:
+        return True, False
+    if lo == hi:
+        return False, False  # the only remaining value is excluded
+    changed = False
+    if excluded == lo:
+        domains[var][0] = lo + 1
+        changed = True
+    elif excluded == hi:
+        domains[var][1] = hi - 1
+        changed = True
+    return True, changed

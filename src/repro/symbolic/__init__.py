@@ -1,0 +1,45 @@
+"""Symbolic state for the concolic execution of Section 2 of the paper.
+
+This package provides the symbolic counterpart of the concrete RAM machine:
+
+* :mod:`repro.symbolic.expr` — linear symbolic expressions over input
+  variables, comparison terms and symbolic pointer terms;
+* :mod:`repro.symbolic.symmem` — the symbolic memory ``S`` mapping memory
+  addresses to expressions;
+* :mod:`repro.symbolic.evaluate` — the ``evaluate_symbolic`` combinators of
+  Figure 1, including the concrete fallback that clears the completeness
+  flags ``all_linear`` and ``all_locs_definite``.
+"""
+
+from repro.symbolic.expr import (
+    CmpExpr,
+    EQ,
+    GE,
+    GT,
+    InputVar,
+    LE,
+    LT,
+    LinExpr,
+    NE,
+    PtrExpr,
+)
+from repro.symbolic.flags import CompletenessFlags
+from repro.symbolic.symmem import SymbolicMemory
+from repro.symbolic.evaluate import SymbolicEvaluator, constraint_from_branch
+
+__all__ = [
+    "CmpExpr",
+    "CompletenessFlags",
+    "EQ",
+    "GE",
+    "GT",
+    "InputVar",
+    "LE",
+    "LT",
+    "LinExpr",
+    "NE",
+    "PtrExpr",
+    "SymbolicEvaluator",
+    "SymbolicMemory",
+    "constraint_from_branch",
+]

@@ -1,0 +1,194 @@
+"""The ``evaluate_symbolic`` combinators of Figure 1.
+
+The concrete interpreter evaluates every expression to a pair
+``(concrete value, symbolic expression or None)``; the combinators below
+compute the symbolic half.  ``None`` means "no symbolic content" — the value
+does not depend on any input.  Whenever an operation *would* lose symbolic
+content (non-linear arithmetic, bit operations, casts that change the value,
+pointer reasoning outside the NULL test), the combinator returns None *and*
+clears the appropriate completeness flag, exactly like Figure 1's
+``all_linear = 0`` / ``all_locs_definite = 0`` assignments.
+
+Operations whose operands are all concrete return None silently: falling
+back costs completeness only when symbolic information existed to lose.
+"""
+
+from repro.symbolic.expr import (
+    CmpExpr,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LT,
+    LinExpr,
+    NE,
+    PtrExpr,
+)
+
+_MIRROR = {LT: GT, GT: LT, LE: GE, GE: LE, EQ: EQ, NE: NE}
+
+
+class SymbolicEvaluator:
+    """Figure 1, parameterized by the shared completeness flags."""
+
+    def __init__(self, flags):
+        self.flags = flags
+
+    # -- coercion -----------------------------------------------------------
+
+    def _as_lin(self, value, sym):
+        """Coerce a (value, sym) pair to a LinExpr, or None + flag."""
+        if sym is None:
+            return LinExpr.constant(value)
+        if isinstance(sym, LinExpr):
+            return sym
+        # A comparison or pointer term used arithmetically is outside the
+        # linear theory; drop to the concrete value.
+        self.flags.clear_linear()
+        return None
+
+    def _both_concrete(self, left_sym, right_sym):
+        return left_sym is None and right_sym is None
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, left_value, left_sym, right_value, right_sym):
+        if self._both_concrete(left_sym, right_sym):
+            return None
+        left = self._as_lin(left_value, left_sym)
+        right = self._as_lin(right_value, right_sym)
+        if left is None or right is None:
+            return None
+        return left.add(right)
+
+    def sub(self, left_value, left_sym, right_value, right_sym):
+        if self._both_concrete(left_sym, right_sym):
+            return None
+        left = self._as_lin(left_value, left_sym)
+        right = self._as_lin(right_value, right_sym)
+        if left is None or right is None:
+            return None
+        return left.sub(right)
+
+    def mul(self, left_value, left_sym, right_value, right_sym):
+        """Multiplication stays linear only with a concrete co-factor."""
+        if self._both_concrete(left_sym, right_sym):
+            return None
+        if left_sym is not None and right_sym is not None:
+            # Two symbolic factors: non-linear (Fig. 1's "all_linear = 0").
+            self.flags.clear_linear()
+            return None
+        if left_sym is None:
+            lin = self._as_lin(right_value, right_sym)
+            factor = left_value
+        else:
+            lin = self._as_lin(left_value, left_sym)
+            factor = right_value
+        if lin is None:
+            return None
+        return lin.scale(factor)
+
+    def neg(self, value, sym):
+        if sym is None:
+            return None
+        lin = self._as_lin(value, sym)
+        if lin is None:
+            return None
+        return lin.negate()
+
+    def shift_left(self, left_value, left_sym, right_value, right_sym):
+        """``e << k`` with concrete k is multiplication by 2**k."""
+        if self._both_concrete(left_sym, right_sym):
+            return None
+        if right_sym is None and 0 <= right_value < 31:
+            lin = self._as_lin(left_value, left_sym)
+            if lin is None:
+                return None
+            return lin.scale(1 << right_value)
+        self.flags.clear_linear()
+        return None
+
+    def nonlinear(self, *syms):
+        """Division, modulo, right shifts and bit operations: outside the
+        theory whenever any operand carries symbolic content."""
+        if any(sym is not None for sym in syms):
+            self.flags.clear_linear()
+        return None
+
+    # -- comparisons ----------------------------------------------------------
+
+    def compare(self, op, left_value, left_sym, right_value, right_sym):
+        if self._both_concrete(left_sym, right_sym):
+            return None
+        if isinstance(left_sym, PtrExpr) or isinstance(right_sym, PtrExpr):
+            return self._compare_pointer(
+                op, left_value, left_sym, right_value, right_sym
+            )
+        left = self._as_lin(left_value, left_sym)
+        right = self._as_lin(right_value, right_sym)
+        if left is None or right is None:
+            return None
+        return CmpExpr(op, left.sub(right))
+
+    def _compare_pointer(self, op, left_value, left_sym, right_value,
+                         right_sym):
+        # Only the NULL test is directable; put the pointer on the left.
+        if isinstance(right_sym, PtrExpr) and not isinstance(left_sym,
+                                                             PtrExpr):
+            left_value, right_value = right_value, left_value
+            left_sym, right_sym = right_sym, left_sym
+            op = _MIRROR[op]
+        if (
+            isinstance(left_sym, PtrExpr)
+            and right_sym is None
+            and right_value == 0
+            and op in (EQ, NE)
+        ):
+            return left_sym.null_test(op == EQ)
+        # Anything else (two symbolic pointers, ordering comparisons,
+        # comparison against a specific address) is checked concretely, as
+        # Section 2.5 describes; the lost information costs completeness.
+        self.flags.clear_linear()
+        return None
+
+    def logical_not(self, value, sym):
+        """``!e`` — representable whenever ``e`` is."""
+        if sym is None:
+            return None
+        if isinstance(sym, CmpExpr):
+            return sym.negate()
+        if isinstance(sym, LinExpr):
+            return CmpExpr(EQ, sym)
+        if isinstance(sym, PtrExpr):
+            return sym.null_test(True)
+        self.flags.clear_linear()
+        return None
+
+    def cast_int(self, old_value, new_value, sym):
+        """An integer conversion keeps its symbolic value only if the
+        concrete value survived unchanged (an under-approximation that the
+        forcing check of Fig. 4 validates at runtime)."""
+        if sym is None:
+            return None
+        if old_value == new_value and isinstance(sym, (LinExpr, CmpExpr)):
+            return sym
+        self.flags.clear_linear()
+        return None
+
+
+def constraint_from_branch(sym, taken, evaluator=None):
+    """The path-constraint conjunct for a conditional ``if (e)``.
+
+    Returns a :class:`CmpExpr` (or None when the predicate has no symbolic
+    content, in which case the branch cannot be flipped by solving and the
+    caller relies on random restarts — the paper's graceful degradation).
+    """
+    if sym is None:
+        return None
+    if isinstance(sym, CmpExpr):
+        return sym if taken else sym.negate()
+    if isinstance(sym, LinExpr):
+        return CmpExpr(NE if taken else EQ, sym)
+    if isinstance(sym, PtrExpr):
+        return sym.null_test(not taken)
+    return None

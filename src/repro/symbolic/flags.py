@@ -1,0 +1,48 @@
+"""The completeness flags of the paper's run_DART driver (Fig. 2).
+
+``all_linear`` is cleared whenever an expression falls outside linear
+integer arithmetic and the evaluator substitutes its concrete value;
+``all_locs_definite`` is cleared whenever a memory access goes through an
+input-dependent address.  ``forcing_ok`` is cleared when a run diverges
+from the branch outcomes predicted by the previous run's solved constraint
+(Fig. 4).  The invariant proved by the paper —
+``all_linear and all_locs_definite implies forcing_ok`` — is checked by the
+test suite.
+"""
+
+
+class CompletenessFlags:
+    """Mutable flag triple shared by the evaluator, machine and runner."""
+
+    __slots__ = ("all_linear", "all_locs_definite", "forcing_ok")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.all_linear = True
+        self.all_locs_definite = True
+        self.forcing_ok = True
+
+    @property
+    def complete(self):
+        """True while the directed search is provably exhaustive."""
+        return self.all_linear and self.all_locs_definite
+
+    def clear_linear(self):
+        self.all_linear = False
+
+    def clear_locs(self):
+        self.all_locs_definite = False
+
+    def clear_forcing(self):
+        self.forcing_ok = False
+
+    def snapshot(self):
+        return (self.all_linear, self.all_locs_definite, self.forcing_ok)
+
+    def __repr__(self):
+        return (
+            "CompletenessFlags(all_linear={}, all_locs_definite={}, "
+            "forcing_ok={})"
+        ).format(self.all_linear, self.all_locs_definite, self.forcing_ok)

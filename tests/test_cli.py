@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text("""
+int f(int x, int y) {
+  if (x != y)
+    if (2 * x == x + 10)
+      abort();
+  return 0;
+}
+""")
+    return str(path)
+
+
+class TestCli:
+    def test_bug_found_exit_code(self, program_file, capsys):
+        code = main([program_file, "f", "--max-iterations", "100"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Bug found" in out
+        assert "coverage:" in out
+        assert "solver calls" in out
+
+    def test_clean_program_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "clean.c"
+        path.write_text("int f(int x) { if (x > 0) return 1; return 0; }")
+        code = main([str(path), "f"])
+        assert code == 0
+        assert "all" in capsys.readouterr().out
+
+    def test_random_baseline_flag(self, program_file, capsys):
+        code = main([program_file, "f", "--random",
+                     "--max-iterations", "50"])
+        assert code == 0  # random testing cannot find this one
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_quiet_mode(self, program_file, capsys):
+        main([program_file, "f", "--quiet", "--max-iterations", "50"])
+        out = capsys.readouterr().out
+        assert "coverage" not in out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_disasm_mode(self, program_file, capsys):
+        code = main([program_file, "--disasm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "branch" in out and "abort" in out
+
+    def test_missing_file(self, capsys):
+        code = main(["/no/such/file.c", "f"])
+        assert code == 2
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int f( { return 0; }")
+        code = main([str(path), "f"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_toplevel_function(self, program_file, capsys):
+        code = main([program_file, "nonexistent"])
+        assert code == 2
+
+    def test_toplevel_required_without_disasm(self, program_file, capsys):
+        code = main([program_file])
+        assert code == 2
+
+    def test_all_errors_flag(self, tmp_path, capsys):
+        path = tmp_path / "multi.c"
+        path.write_text("""
+        int f(int x) {
+          if (x == 1) abort();
+          if (x == 2) { int z; z = 0; return 3 / z; }
+          return 0;
+        }
+        """)
+        code = main([str(path), "f", "--all-errors",
+                     "--max-iterations", "200"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "abort" in out and "division by zero" in out
+
+    def test_depth_option(self, tmp_path, capsys):
+        path = tmp_path / "ac.c"
+        path.write_text("""
+        int hot = 0; int closed = 0; int ac = 0;
+        void ctl(int m) {
+          if (m == 0) hot = 1;
+          if (m == 3) { closed = 1; if (hot) ac = 1; }
+          if (hot && closed && !ac) abort();
+        }
+        """)
+        assert main([str(path), "ctl", "--depth", "1",
+                     "--max-iterations", "100"]) == 0
+        assert main([str(path), "ctl", "--depth", "2",
+                     "--max-iterations", "500"]) == 1

@@ -1,0 +1,87 @@
+"""Tests for the compile-time constant-folding pass in lowering."""
+
+import pytest
+
+from repro.interp import DivisionByZero, Machine
+from repro.minic import ast_nodes as ast
+from repro.minic import compile_program, ir
+
+
+def folded_return(source_expr, ctype="int"):
+    module = compile_program(
+        "{} f(void) {{ return {}; }}".format(ctype, source_expr)
+    )
+    ret = next(
+        instr for instr in module.functions["f"].instrs
+        if isinstance(instr, ir.Ret)
+    )
+    return ret.value
+
+
+class TestFolding:
+    def test_addition_folds(self):
+        value = folded_return("1 + 2 * 3")
+        assert isinstance(value, ast.IntLit) and value.value == 7
+
+    def test_comparison_folds(self):
+        value = folded_return("3 < 5")
+        assert isinstance(value, ast.IntLit) and value.value == 1
+
+    def test_unary_folds(self):
+        value = folded_return("-(2 + 3)")
+        assert isinstance(value, ast.IntLit) and value.value == -5
+
+    def test_logical_not_folds(self):
+        value = folded_return("!7")
+        assert isinstance(value, ast.IntLit) and value.value == 0
+
+    def test_bitwise_folds(self):
+        value = folded_return("(0xF0 | 0x0F) ^ 0xFF")
+        assert isinstance(value, ast.IntLit) and value.value == 0
+
+    def test_shift_folds(self):
+        value = folded_return("1 << 10")
+        assert isinstance(value, ast.IntLit) and value.value == 1024
+
+    def test_overflow_wraps_when_folding(self):
+        value = folded_return("2147483647 + 1")
+        assert isinstance(value, ast.IntLit)
+        assert value.value == -(2**31)
+
+    def test_unsigned_folding_wraps_modularly(self):
+        value = folded_return("4294967295 + 2", ctype="unsigned int")
+        assert isinstance(value, ast.IntLit) and value.value == 1
+
+    def test_division_truncates_toward_zero(self):
+        value = folded_return("(-7) / 2")
+        assert isinstance(value, ast.IntLit) and value.value == -3
+
+    def test_sizeof_arithmetic_folds(self):
+        value = folded_return("sizeof(int) * 4")
+        assert isinstance(value, ast.IntLit) and value.value == 16
+
+    def test_division_by_zero_not_folded(self):
+        value = folded_return("1 / 0")
+        assert isinstance(value, ast.Binary)  # kept for the runtime fault
+
+    def test_runtime_division_by_zero_still_faults(self):
+        module = compile_program("int f(void) { return 1 / 0; }")
+        with pytest.raises(DivisionByZero):
+            Machine(module).run("f", ())
+
+    def test_variables_not_folded(self):
+        value = folded_return("1 + 2", ctype="int")
+        assert isinstance(value, ast.IntLit)
+        module = compile_program("int f(int x) { return x + 2; }")
+        ret = next(i for i in module.functions["f"].instrs
+                   if isinstance(i, ir.Ret))
+        assert isinstance(ret.value, ast.Binary)
+
+    def test_semantics_preserved(self):
+        source = """
+        int f(void) {
+          return (100 - 36) / 2 + (1 << 4) - ~0 + ('z' - 'a') % 7;
+        }
+        """
+        expected = (100 - 36) // 2 + (1 << 4) + 1 + (ord("z") - ord("a")) % 7
+        assert Machine(compile_program(source)).run("f", ()) == expected

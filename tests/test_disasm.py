@@ -1,0 +1,81 @@
+"""Tests for the IR disassembler."""
+
+from repro.dart.driver import build_test_program
+from repro.minic import compile_program
+from repro.minic.disasm import disassemble, disassemble_function, format_expr
+from repro.minic.parser import parse_program
+from repro.minic.semantic import analyze
+
+
+def expr_of(source_expr):
+    program = parse_program(
+        "int f(int x, int y) { return " + source_expr + "; }"
+    )
+    analyze(program)
+    return program.declarations[0].body.statements[0].value
+
+
+class TestExprFormatting:
+    def test_literals_and_idents(self):
+        assert format_expr(expr_of("42")) == "42"
+        assert format_expr(expr_of("x")) == "x"
+
+    def test_binary(self):
+        assert format_expr(expr_of("x + y * 2")) == "(x + (y * 2))"
+
+    def test_unary_and_postfix(self):
+        assert format_expr(expr_of("-x")) == "-x"
+        assert format_expr(expr_of("x++")) == "x++"
+
+    def test_call(self):
+        text = format_expr(expr_of("f(x, 1)"))
+        assert text == "f(x, 1)"
+
+    def test_assignment(self):
+        assert format_expr(expr_of("x = y")) == "x = y"
+
+
+class TestDisassembly:
+    def test_branches_show_targets(self):
+        module = compile_program(
+            "int f(int x) { if (x > 0) return 1; return 0; }"
+        )
+        text = disassemble_function(module.functions["f"])
+        assert "branch (x > 0) ->" in text
+        assert "ret 1" in text and "ret 0" in text
+
+    def test_abort_annotated(self):
+        module = compile_program("int f(int x) { assert(x); return x; }")
+        text = disassemble_function(module.functions["f"])
+        assert "abort" in text and "assertion violation" in text
+
+    def test_frame_size_reported(self):
+        module = compile_program("int f(void) { int a[4]; a[0] = 1;"
+                                 " return a[0]; }")
+        text = disassemble_function(module.functions["f"])
+        assert "frame" in text
+
+    def test_module_listing_sorted_and_complete(self):
+        module = compile_program(
+            "int b(void) { return 2; } int a(void) { return 1; }"
+        )
+        text = disassemble(module)
+        assert text.index("int a(") < text.index("int b(")
+
+    def test_driver_functions_hidden_by_default(self):
+        module = build_test_program("int f(int x) { return x; }", "f")
+        assert "__dart_init" not in disassemble(module)
+        assert "__dart_init" in disassemble(module, include_driver=True)
+
+    def test_listing_covers_every_instruction(self):
+        module = compile_program("""
+        int f(int x) {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < x; i++) s += i;
+          return s;
+        }
+        """)
+        func = module.functions["f"]
+        lines = disassemble_function(func).splitlines()
+        assert len(lines) == len(func.instrs) + 1  # header + one per instr

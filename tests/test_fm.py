@@ -1,0 +1,101 @@
+"""Unit tests for the Fourier-Motzkin refutation module."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.solver.fm import refutes
+from repro.symbolic.expr import LinExpr
+
+
+def le(coeffs, const=0):
+    """A ``lin <= 0`` constraint."""
+    return LinExpr(coeffs, const)
+
+
+class TestRefutation:
+    def test_empty_system(self):
+        assert not refutes([])
+
+    def test_constant_contradiction(self):
+        assert refutes([le({}, 5)])  # 5 <= 0
+
+    def test_constant_tautology(self):
+        assert not refutes([le({}, -5)])
+
+    def test_cycle_x_lt_y_lt_x(self):
+        # x - y + 1 <= 0 and y - x + 1 <= 0: adding gives 2 <= 0.
+        assert refutes([le({0: 1, 1: -1}, 1), le({0: -1, 1: 1}, 1)])
+
+    def test_consistent_ordering(self):
+        # x < y < z is satisfiable.
+        assert not refutes([le({0: 1, 1: -1}, 1), le({1: 1, 2: -1}, 1)])
+
+    def test_three_cycle(self):
+        # x < y, y < z, z < x.
+        assert refutes([
+            le({0: 1, 1: -1}, 1),
+            le({1: 1, 2: -1}, 1),
+            le({2: 1, 0: -1}, 1),
+        ])
+
+    def test_bounds_squeeze(self):
+        # x >= 10 and x <= 5.
+        assert refutes([le({0: -1}, 10), le({0: 1}, -5)])
+
+    def test_bounds_touching_are_satisfiable(self):
+        # x >= 5 and x <= 5.
+        assert not refutes([le({0: -1}, 5), le({0: 1}, -5)])
+
+    def test_scaled_cycle(self):
+        # 2x <= 2y - 2 and 3y <= 3x - 3.
+        assert refutes([le({0: 2, 1: -2}, 2), le({1: 3, 0: -3}, 3)])
+
+    def test_weighted_combination(self):
+        # x + y <= -1, x - y <= -1, -2x <= 1  => adding first two: 2x <= -2
+        # i.e. x <= -1, consistent with -2x <= 1 (x >= -0.5)? x <= -1 and
+        # x >= -0.5 contradict.
+        assert refutes([
+            le({0: 1, 1: 1}, 1),
+            le({0: 1, 1: -1}, 1),
+            le({0: -2}, 1),
+        ])
+
+    def test_growth_cap_gives_up_soundly(self):
+        # Many constraints over many variables: FM may give up (False),
+        # but must never claim refutation of a satisfiable system.
+        constraints = [
+            le({v: 1, (v + 1) % 12: -1}, -1) for v in range(12)
+        ]  # x_v <= x_{v+1} + 1 around a cycle: satisfiable (all equal)
+        assert not refutes(constraints)
+
+
+class TestRefutationSoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.dictionaries(
+                    st.integers(min_value=0, max_value=2),
+                    st.integers(min_value=-4, max_value=4),
+                    max_size=3,
+                ),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            max_size=5,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=-10, max_value=10),
+            min_size=3, max_size=3,
+        ),
+    )
+    def test_never_refutes_a_satisfied_system(self, raw, witness):
+        # Build constraints and keep only those the witness satisfies;
+        # FM must not refute the resulting system.
+        witness = {v: witness.get(v, 0) for v in range(3)}
+        system = []
+        for coeffs, const in raw:
+            lin = LinExpr(coeffs, const)
+            if lin.evaluate(witness) <= 0:
+                system.append(lin)
+        assert not refutes(system)

@@ -1,0 +1,118 @@
+"""Regression tests for the generational worklist engine (bfs/random).
+
+A naive reordering of Fig. 5's single stack silently discards unexplored
+deep branches when a shallow one is flipped — the original implementation
+of the bfs strategy claimed "complete" on the paper's h example after
+exploring only 2 of 3 feasible paths.  These tests pin the fixed
+behaviour: the worklist engines must reach everything DFS reaches.
+"""
+
+import pytest
+
+from repro import DartOptions, dart_check
+
+NESTED = """
+int f(int a, int b, int c) {
+  if (a == 1) {
+    if (b == 2) {
+      if (c == 3) {
+        abort();
+      }
+    }
+  }
+  return 0;
+}
+"""
+
+LADDER = """
+int f(int a, int b) {
+  int score;
+  score = 0;
+  if (a > 10) score = score + 1;
+  if (b > 20) score = score + 1;
+  if (a > 10 && b > 20 && a + b == 1000) abort();
+  return score;
+}
+"""
+
+
+class TestWorklistReachesDeepBranches:
+    @pytest.mark.parametrize("strategy", ["bfs", "random"])
+    def test_three_level_nest(self, strategy):
+        result = dart_check(NESTED, "f", strategy=strategy,
+                            max_iterations=200, seed=0)
+        assert result.status == "bug_found", strategy
+        assert result.first_error().inputs == [1, 2, 3]
+
+    @pytest.mark.parametrize("strategy", ["bfs", "random"])
+    def test_ladder_with_conjunction(self, strategy):
+        result = dart_check(LADDER, "f", strategy=strategy,
+                            max_iterations=500, seed=1)
+        assert result.status == "bug_found", strategy
+        a, b = result.first_error().inputs
+        assert a > 10 and b > 20 and a + b == 1000
+
+    @pytest.mark.parametrize("strategy", ["dfs", "bfs", "random"])
+    def test_identical_verdicts_across_engines(self, strategy):
+        source = """
+        int f(int x) {
+          if (x > 100)
+            if (x < 200)
+              if (x % 2 == 0)
+                return 1;
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", strategy=strategy,
+                            max_iterations=500, seed=0)
+        # x % 2 is non-linear: no engine may claim completeness, and no
+        # engine may report an error (there is none).
+        assert not result.found_error
+        assert result.status == "exhausted", strategy
+
+    @pytest.mark.parametrize("strategy", ["bfs", "random"])
+    def test_complete_on_full_exploration(self, strategy):
+        source = """
+        int f(int x) {
+          if (x == 5) return 1;
+          if (x == 6) return 2;
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", strategy=strategy,
+                            max_iterations=200, seed=0)
+        assert result.status == "complete", strategy
+        assert len(result.stats.distinct_paths) == 3
+
+    @pytest.mark.parametrize("strategy", ["bfs", "random"])
+    def test_no_duplicate_path_exploration(self, strategy):
+        source = """
+        int f(int x, int y) {
+          if (x > 0)
+            if (y > 0)
+              return 1;
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", strategy=strategy,
+                            max_iterations=200, seed=0)
+        assert result.status == "complete"
+        # Each feasible path executed exactly once.
+        assert result.stats.paths_explored == len(
+            result.stats.distinct_paths
+        )
+
+    def test_bfs_finds_shallow_bug_before_exploring_deep(self):
+        source = """
+        int f(int x, int y) {
+          if (x == 7) abort();          /* shallow */
+          if (x > 0)
+            if (y > 0)
+              if (x + y == 555) abort();  /* deep */
+          return 0;
+        }
+        """
+        bfs = dart_check(source, "f", strategy="bfs",
+                         max_iterations=200, seed=0)
+        assert bfs.found_error
+        assert bfs.first_error().inputs[0] == 7  # the shallow one first

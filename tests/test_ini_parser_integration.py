@@ -1,0 +1,130 @@
+"""A realistic parsing unit under test: a tiny INI-style key=value
+scanner written in mini-C, exercised concretely and by DART.
+
+This is the kind of component the paper's introduction targets: an
+input-processing routine whose corner cases (empty input, missing '=',
+overlong tokens, unterminated lines) hide behind layered checks.
+"""
+
+import pytest
+
+from repro import DartOptions, dart_check
+from repro.interp import AssertionViolation, Machine, SegFault
+from repro.minic import compile_program
+
+INI_PARSER = """
+/* Parses one "key=value" line.  Returns the value length, or a negative
+ * error code.  A planted bug: a key of exactly 8 characters overruns the
+ * fixed key buffer by one NUL byte, clobbering the adjacent canary (the
+ * off-by-one is the `eq > 8` check, which should be `eq >= 8`). */
+int parse_kv(char *line, int length) {
+  char key[8];
+  char canary;
+  int i; int eq; int vlen;
+  canary = 'C';
+  if (line == NULL) return -1;
+  if (length <= 0) return -2;
+  eq = -1;
+  for (i = 0; i < length; i++) {
+    if (line[i] == '=') { eq = i; break; }
+  }
+  if (eq < 0) return -3;       /* no separator */
+  if (eq == 0) return -4;      /* empty key */
+  if (eq > 8) return -5;       /* key too long -- off by one: == 8 slips */
+  for (i = 0; i < eq; i++) {
+    key[i] = line[i];
+  }
+  key[eq] = 0;                 /* writes key[8] == canary when eq == 8 */
+  assert(canary == 'C');       /* the smashed-stack detector */
+  vlen = length - eq - 1;
+  return vlen;
+}
+
+int parse_line(char *text) {
+  if (text == NULL) return -1;
+  return parse_kv(text, strlen(text));
+}
+
+int demo(void) {
+  char buf[32];
+  strcpy(buf, "host=example");
+  return parse_kv(buf, strlen(buf));
+}
+"""
+
+
+def parse_with(module, text, length=None):
+    machine = Machine(module)
+    addr = machine.memory.malloc(64)
+    machine.memory.write_bytes(addr, text.encode() + b"\x00")
+    if length is None:
+        length = len(text)
+    return machine.run("parse_kv", (addr, length))
+
+
+class TestConcreteBehaviour:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return compile_program(INI_PARSER)
+
+    def test_demo_parses(self, module):
+        assert Machine(module).run("demo", ()) == len("example")
+
+    def test_error_codes(self, module):
+        assert parse_with(module, "a=b") == 1
+        assert parse_with(module, "key=") == 0
+        assert parse_with(module, "novalue") == -3
+        assert parse_with(module, "=oops") == -4
+        assert parse_with(module, "waytoolongkey=1") == -5
+
+    def test_seven_char_key_is_fine(self, module):
+        assert parse_with(module, "exactly=value") == 5
+
+    def test_planted_overflow_on_8_char_key(self, module):
+        # eq == 8 slips through `eq > 8` and key[8] lands on the canary.
+        with pytest.raises(AssertionViolation):
+            parse_with(module, "exactly8=x")
+
+
+class TestDartOnParser:
+    def test_dart_finds_a_crash_through_the_raw_api(self):
+        # parse_kv's driver inputs: a one-cell char* plus an arbitrary
+        # length — any length >= 2 walks off the cell (the §4.3 misuse
+        # pattern).  DART must find a crash almost immediately.
+        options = DartOptions(max_iterations=300, seed=0,
+                              max_init_depth=2)
+        result = dart_check(INI_PARSER, "parse_kv", options)
+        assert result.found_error
+        assert result.first_error().kind == "segmentation fault"
+
+    def test_dart_explores_every_error_code_path(self):
+        options = DartOptions(max_iterations=300, seed=0,
+                              stop_on_first_error=False, max_init_depth=2)
+        result = dart_check(INI_PARSER, "parse_kv", options)
+        # With a 1-byte buffer the reachable outcomes include NULL (-1),
+        # non-positive length (-2), no separator within a 1-char line
+        # (-3), '=' first (-4) and the OOB crash for length >= 2.
+        assert result.found_error
+        assert len(result.stats.distinct_paths) >= 5
+
+    def test_dart_crashes_the_string_wrapper_too(self):
+        # parse_line calls strlen: the driver's single-cell string is NUL
+        # only with probability 1/256, so the unterminated-read crash is
+        # the dominant first finding — a true bug of calling strlen on
+        # possibly-unterminated input.
+        options = DartOptions(max_iterations=300, seed=0,
+                              max_init_depth=2)
+        result = dart_check(INI_PARSER, "parse_line", options)
+        assert result.found_error
+        assert result.first_error().kind == "segmentation fault"
+
+    def test_replaying_the_crash_inputs_reproduces_it(self):
+        from repro.dart.runner import Dart
+
+        options = DartOptions(max_iterations=300, seed=0,
+                              max_init_depth=2)
+        dart = Dart(INI_PARSER, "parse_kv", options)
+        result = dart.run()
+        fault = dart.replay(result.first_error().inputs)
+        assert fault is not None
+        assert fault.kind == result.first_error().kind

@@ -1,0 +1,140 @@
+"""End-to-end: every input kind is solvable within its machine domain."""
+
+import pytest
+
+from repro import dart_check
+
+
+class TestTypedInputs:
+    def test_char_input_solved_in_domain(self):
+        source = "int f(char c) { if (c == 'Z') abort(); return 0; }"
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        assert result.first_error().inputs == [ord("Z")]
+
+    def test_negative_char_target(self):
+        source = "int f(char c) { if (c == -100) abort(); return 0; }"
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        assert result.first_error().inputs == [-100]
+
+    def test_char_cannot_reach_out_of_range_value(self):
+        # c == 300 is infeasible for a signed char: DART must prove it.
+        source = "int f(char c) { if (c == 300) abort(); return 0; }"
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.status == "complete"
+        assert not result.found_error
+
+    def test_short_input(self):
+        source = "int f(short s) { if (s == 31000) abort(); return 0; }"
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+
+    def test_unsigned_input_large_value(self):
+        source = """
+        int f(unsigned int u) {
+          if (u > 4000000000) abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        assert result.first_error().inputs[0] > 4_000_000_000
+
+    def test_unsigned_char_boundary(self):
+        source = """
+        int f(unsigned char c) {
+          if (c == 255) abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        assert result.first_error().inputs == [255]
+
+    def test_mixed_kinds_in_one_constraint(self):
+        source = """
+        int f(char c, int n) {
+          if (n == c + 1000) abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        c, n = result.first_error().inputs
+        assert n == c + 1000
+        assert -128 <= c <= 127
+
+    def test_struct_field_of_narrow_type(self):
+        source = """
+        struct msg { char tag; short len; };
+        int f(struct msg *m) {
+          if (m == NULL) return -1;
+          if (m->tag == 'Q' && m->len == 1234) abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=200, seed=0)
+        assert result.found_error
+        inputs = result.first_error().inputs
+        assert inputs[0] == 1  # coin: allocate
+        assert inputs[1] == ord("Q")
+        assert inputs[2] == 1234
+
+    def test_external_function_return_is_an_input(self):
+        source = """
+        int sensor_read(void);
+        int f(void) {
+          int value;
+          value = sensor_read();
+          if (value == 123123) abort();
+          return value;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        assert result.first_error().inputs == [123123]
+
+    def test_external_char_function(self):
+        source = """
+        char next_byte(void);
+        int f(void) {
+          if (next_byte() == 'X') abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+
+    def test_non_unit_coefficient_branch_solved(self):
+        # Needs the Omega transformation: no +/-1 coefficient anywhere.
+        source = """
+        int f(int x, int y) {
+          if (3 * x + 5 * y == 1)
+            abort();
+          return 0;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.found_error
+        x, y = result.first_error().inputs
+        # Solved over mathematical integers; verify no wrap interfered.
+        assert (3 * x + 5 * y - 1) % (1 << 32) == 0
+
+    def test_depth_reads_fresh_inputs_each_call(self):
+        source = """
+        int total = 0;
+        int accumulate(int v) {
+          if (v < 0) return -1;
+          if (v > 100) return -2;
+          total = total + v;
+          if (total == 150) abort();
+          return total;
+        }
+        """
+        result = dart_check(source, "accumulate", depth=2,
+                            max_iterations=2000, seed=0)
+        assert result.found_error
+        a, b = result.first_error().inputs
+        assert 0 <= a <= 100 and 0 <= b <= 100
+        assert a + b == 150

@@ -1,0 +1,90 @@
+"""Unit tests for the input vector IM."""
+
+import random
+
+import pytest
+
+from repro.dart.inputs import (
+    InputVector,
+    domain_for_kind,
+    random_value,
+)
+
+
+class TestDomains:
+    def test_int_domain(self):
+        assert domain_for_kind("int") == (-(2**31), 2**31 - 1)
+
+    def test_char_domain(self):
+        assert domain_for_kind("char") == (-128, 127)
+
+    def test_ptr_choice_is_boolean(self):
+        assert domain_for_kind("ptr_choice") == (0, 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            domain_for_kind("float")
+
+    def test_random_values_in_domain(self):
+        rng = random.Random(0)
+        for kind in ("int", "uint", "char", "uchar", "short", "ushort",
+                     "ptr_choice"):
+            lo, hi = domain_for_kind(kind)
+            for _ in range(50):
+                assert lo <= random_value(kind, rng) <= hi
+
+
+class TestInputVector:
+    def test_empty(self):
+        im = InputVector()
+        assert len(im) == 0
+        assert im.value_or_none(0, "int") is None
+
+    def test_record_and_read_back(self):
+        im = InputVector()
+        im.record(0, "int", 42)
+        assert im.value_or_none(0, "int") == 42
+
+    def test_kind_mismatch_invalidates(self):
+        # Slot recorded as int but consumed as a coin: value is stale.
+        im = InputVector()
+        im.record(0, "int", 42)
+        assert im.value_or_none(0, "ptr_choice") is None
+
+    def test_record_extends_with_gaps(self):
+        im = InputVector()
+        im.record(3, "char", 7)
+        assert len(im) == 4
+        assert im.value_or_none(3, "char") == 7
+
+    def test_updated_merges_model(self):
+        im = InputVector()
+        im.record(0, "int", 1)
+        im.record(1, "int", 2)
+        im.record(2, "int", 3)
+        merged = im.updated({1: 99})
+        # IM + IM' (Fig. 5): solved slots overwritten, others preserved.
+        assert merged.values() == [1, 99, 3]
+        assert im.values() == [1, 2, 3]  # original untouched
+
+    def test_updated_ignores_out_of_range_ordinals(self):
+        im = InputVector()
+        im.record(0, "int", 1)
+        merged = im.updated({5: 7})
+        assert merged.values() == [1]
+
+    def test_domains_keyed_by_ordinal(self):
+        im = InputVector()
+        im.record(0, "int", 0)
+        im.record(1, "ptr_choice", 1)
+        assert im.domains() == {
+            0: (-(2**31), 2**31 - 1),
+            1: (0, 1),
+        }
+
+    def test_clone_is_independent(self):
+        im = InputVector()
+        im.record(0, "int", 5)
+        clone = im.clone()
+        clone.record(0, "int", 6)
+        assert im.value_or_none(0, "int") == 5

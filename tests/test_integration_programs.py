@@ -1,0 +1,159 @@
+"""Integration: realistic algorithmic programs run under the machine and
+under DART.  These exercise long executions, arrays, helper functions and
+planted bugs that need directed input construction."""
+
+import pytest
+
+from repro import DartOptions, dart_check
+from repro.interp import Machine
+from repro.minic import compile_program
+
+SORT = """
+void bubble_sort(int *a, int n) {
+  int i; int j; int tmp;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j + 1 < n - i; j++) {
+      if (a[j] > a[j + 1]) {
+        tmp = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = tmp;
+      }
+    }
+  }
+}
+
+int sort_and_check(int x0, int x1, int x2, int x3) {
+  int a[4];
+  int i;
+  a[0] = x0; a[1] = x1; a[2] = x2; a[3] = x3;
+  bubble_sort(a, 4);
+  for (i = 0; i + 1 < 4; i++) {
+    assert(a[i] <= a[i + 1]);
+  }
+  return a[0];
+}
+"""
+
+BSEARCH_BUGGY = """
+/* Binary search with a planted boundary bug: the last element is never
+ * found because the interval is half-open on the wrong side. */
+int bsearch4(int k0, int k1, int k2, int k3, int needle) {
+  int a[4];
+  int lo; int hi; int mid;
+  a[0] = k0; a[1] = k1; a[2] = k2; a[3] = k3;
+  lo = 0; hi = 3;              /* bug: should be hi = 4 (exclusive) */
+  while (lo < hi) {
+    mid = (lo + hi) / 2;
+    if (a[mid] == needle) return mid;
+    if (a[mid] < needle) lo = mid + 1;
+    else hi = mid;
+  }
+  return -1;
+}
+
+int check(int needle) {
+  int found;
+  found = bsearch4(10, 20, 30, 40, needle);
+  if (needle == 40) {
+    assert(found == 3);   /* violated: the planted bug */
+  }
+  return found;
+}
+"""
+
+CSV_FIELD_COUNTER = """
+/* Counts fields of a comma-separated record; crashes on a record that
+ * ends with a comma followed by nothing (reads one past the buffer
+ * when the trailing separator is at the size limit). */
+int count_fields(char *record, int length) {
+  int i; int fields;
+  if (record == NULL) return -1;
+  if (length <= 0) return 0;
+  fields = 1;
+  for (i = 0; i < length; i++) {
+    if (record[i] == ',') fields = fields + 1;
+  }
+  return fields;
+}
+
+int demo(void) {
+  char buf[16];
+  strcpy(buf, "a,bb,ccc");
+  return count_fields(buf, strlen(buf));
+}
+"""
+
+
+class TestConcreteExecution:
+    def test_sort_sorts(self):
+        module = compile_program(SORT)
+        assert Machine(module).run("sort_and_check", (3, 1, 4, 1)) == 1
+        assert Machine(module).run("sort_and_check", (9, -5, 0, 7)) == -5
+
+    def test_sort_assertion_holds_for_extremes(self):
+        module = compile_program(SORT)
+        big = 2**31 - 1
+        small = -(2**31)
+        assert Machine(module).run(
+            "sort_and_check", (big, small, 0, big)
+        ) == small
+
+    def test_bsearch_finds_interior_elements(self):
+        module = compile_program(BSEARCH_BUGGY)
+        for needle, index in ((10, 0), (20, 1), (30, 2)):
+            assert Machine(module).run("check", (needle,)) == index
+
+    def test_csv_counter(self):
+        module = compile_program(CSV_FIELD_COUNTER)
+        assert Machine(module).run("demo", ()) == 3
+
+
+class TestDartOnAlgorithms:
+    def test_sort_correctness_verified_or_budget(self):
+        # 4 inputs, O(n^2) comparisons: a big but finite path space.
+        # No assertion violation may be reported (the sort is correct).
+        result = dart_check(SORT, "sort_and_check",
+                            max_iterations=500, seed=0)
+        assert not result.found_error
+
+    def test_dart_finds_the_bsearch_boundary_bug(self):
+        result = dart_check(BSEARCH_BUGGY, "check",
+                            max_iterations=500, seed=0)
+        assert result.status == "bug_found"
+        assert result.first_error().inputs[0] == 40
+        assert result.first_error().kind == "assertion violation"
+
+    def test_bsearch_bug_not_found_by_luck(self):
+        from repro import random_check
+
+        result = random_check(BSEARCH_BUGGY, "check",
+                              max_iterations=2000, seed=0)
+        assert not result.found_error
+
+    def test_csv_counter_has_no_reachable_fault(self):
+        # Toplevel takes (char*, int): the one-cell buffer plus arbitrary
+        # length means out-of-bounds lengths DO crash — the API-misuse
+        # pattern of §4.3.  DART must find that.
+        result = dart_check(CSV_FIELD_COUNTER, "count_fields",
+                            max_iterations=200, seed=0)
+        assert result.found_error
+        assert result.first_error().kind == "segmentation fault"
+
+    def test_deep_loop_iteration_counts(self):
+        source = """
+        int f(int n) {
+          int i; int total;
+          if (n < 0) return -1;
+          if (n > 50) return -2;
+          total = 0;
+          for (i = 0; i <= n; i++) total = total + i;
+          if (total == 1275) abort();  /* n == 50 */
+          return total;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=500, seed=0)
+        # total is loop-accumulated from concrete iterations: the abort
+        # guard is linear in total but total's dependence on n is not a
+        # single constraint; DART explores loop counts until n == 50.
+        assert result.status == "bug_found"
+        assert result.first_error().inputs[0] == 50

@@ -1,0 +1,178 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.minic.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import (
+    CHAR_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    PUNCT,
+    STRING_LIT,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_identifier(self):
+        tokens = tokenize("hello_world42")
+        assert tokens[0].kind == IDENT
+        assert tokens[0].text == "hello_world42"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("__dart_int")[0].kind == IDENT
+
+    def test_keyword_recognized(self):
+        tokens = tokenize("int")
+        assert tokens[0].kind == KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("integer")[0].kind == IDENT
+
+    def test_all_statement_keywords(self):
+        for kw in ("if", "else", "while", "for", "return", "break",
+                   "continue", "do", "sizeof", "struct", "typedef"):
+            assert tokenize(kw)[0].kind == KEYWORD, kw
+
+    def test_punctuation_sequence(self):
+        assert texts("+ - * / % = == != <= >= && || -> ++ --") == [
+            "+", "-", "*", "/", "%", "=", "==", "!=", "<=", ">=",
+            "&&", "||", "->", "++", "--",
+        ]
+
+    def test_maximal_munch(self):
+        # ">>=" must lex as one token, not ">" ">" "=".
+        assert texts("a >>= b") == ["a", ">>=", "b"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert values("42") == [42]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_hex(self):
+        assert values("0xFF 0x10") == [255, 16]
+
+    def test_octal(self):
+        assert values("017") == [15]
+
+    def test_suffixes_ignored(self):
+        assert values("10u 10L 10UL") == [10, 10, 10]
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_malformed_octal(self):
+        with pytest.raises(LexError):
+            tokenize("09")
+
+    def test_trailing_letter_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+
+class TestCharAndString:
+    def test_simple_char(self):
+        tokens = tokenize("'A'")
+        assert tokens[0].kind == CHAR_LIT
+        assert tokens[0].value == 65
+
+    def test_escape_chars(self):
+        assert values(r"'\n' '\t' '\0' '\\'") == [10, 9, 0, 92]
+
+    def test_hex_escape(self):
+        assert values(r"'\x41'") == [65]
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_empty_char(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].kind == STRING_LIT
+        assert tokens[0].value == b"hello"
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb\0d"') == [b"a\nb\x00d"]
+
+    def test_hex_escape_is_greedy_like_c(self):
+        # \x consumes every following hex digit, so "\x00c" is the single
+        # byte 0x00c & 0xFF == 0x0c — exactly what a C compiler produces.
+        assert values(r'"\x00c"') == [b"\x0c"]
+        assert values(r'"\x41g"') == [b"Ag"]  # 'g' is not a hex digit
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x * y */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert texts("a /* 1\n2\n3 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert texts('#include <assert.h>\nint x;') == ["int", "x", ";"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_recorded(self):
+        tokens = tokenize("x", filename="prog.c")
+        assert tokens[0].location.filename == "prog.c"
+
+    def test_columns_advance_across_token(self):
+        tokens = tokenize("abc def")
+        assert tokens[1].location.column == 5

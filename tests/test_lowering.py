@@ -1,0 +1,166 @@
+"""Unit tests for the AST -> RAM-machine IR lowering."""
+
+import pytest
+
+from repro.minic import compile_program, ir
+from repro.minic.errors import LoweringError
+from repro.minic.parser import parse_program
+from repro.minic.semantic import analyze
+from repro.minic.lower import lower_program
+
+
+def lower(source):
+    program = parse_program(source)
+    return lower_program(program, analyze(program))
+
+
+def instrs(source, name="f"):
+    return lower(source).functions[name].instrs
+
+
+def count(source, instr_type, name="f"):
+    return sum(
+        1 for i in instrs(source, name) if isinstance(i, instr_type)
+    )
+
+
+class TestControlFlowLowering:
+    def test_if_produces_one_branch(self):
+        src = "int f(int x) { if (x) return 1; return 0; }"
+        assert count(src, ir.Branch) == 1
+
+    def test_every_branch_target_resolved(self):
+        src = """
+        int f(int x) {
+          int i;
+          for (i = 0; i < x; i++) { if (i == 2) continue; }
+          while (x > 0) { x--; if (x == 1) break; }
+          return x;
+        }
+        """
+        for instr in instrs(src):
+            if isinstance(instr, (ir.Branch, ir.Jump)):
+                assert isinstance(instr.target, int)
+                assert 0 <= instr.target <= len(instrs(src))
+
+    def test_short_circuit_becomes_two_branches(self):
+        # Each primitive predicate of `a && b` is one Branch, so the
+        # directed search can flip them independently (the paper's foobar
+        # discussion).
+        src = "int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }"
+        assert count(src, ir.Branch) == 2
+
+    def test_or_chain(self):
+        src = ("int f(int a, int b, int c)"
+               " { if (a || b || c) return 1; return 0; }")
+        assert count(src, ir.Branch) == 3
+
+    def test_negation_swaps_targets_without_extra_branch(self):
+        src = "int f(int a) { if (!a) return 1; return 0; }"
+        assert count(src, ir.Branch) == 1
+
+    def test_value_position_boolean_uses_temp(self):
+        # 2 params + r = 12 bytes; the && lowering adds a temp slot.
+        src = "int f(int a, int b) { int r; r = a && b; return r; }"
+        func = lower(src).functions["f"]
+        assert func.frame_size >= 16
+        assert count(src, ir.Branch) == 2
+
+    def test_ternary_in_value_position(self):
+        src = "int f(int a) { return a > 0 ? a : -a; }"
+        assert count(src, ir.Branch) == 1
+
+    def test_assert_lowers_to_branch_plus_abort(self):
+        src = "int f(int x) { assert(x > 0); return x; }"
+        assert count(src, ir.Branch) == 1
+        assert count(src, ir.AbortInstr) == 1
+
+    def test_abort_reason_distinguishes_assert(self):
+        src = "int f(int x) { assert(x); abort(); }"
+        reasons = [
+            i.reason for i in instrs(src) if isinstance(i, ir.AbortInstr)
+        ]
+        assert reasons == ["assertion violation", "abort"]
+
+    def test_trailing_implicit_return(self):
+        src = "void f(int x) { x = x + 1; }"
+        assert isinstance(instrs(src)[-1], ir.Ret)
+
+
+class TestFrameLayout:
+    def test_params_then_locals(self):
+        src = "int f(int a, char b) { int c; c = a + b; return c; }"
+        func = lower(src).functions["f"]
+        offsets = [slot.offset for slot in func.param_slots]
+        assert offsets == [0, 4]
+        assert func.frame_size >= 12
+
+    def test_alignment_respected(self):
+        src = "int f(char a, int b) { return a + b; }"
+        func = lower(src).functions["f"]
+        assert func.param_slots[1].offset == 4  # int aligned after char
+
+    def test_array_local_size(self):
+        src = "int f(void) { int a[10]; a[0] = 1; return a[0]; }"
+        func = lower(src).functions["f"]
+        assert func.frame_size >= 40
+
+    def test_struct_local_size(self):
+        src = """
+        struct wide { int a; int b; int c; };
+        int f(void) { struct wide w; w.a = 1; return w.a; }
+        """
+        func = lower(src).functions["f"]
+        assert func.frame_size >= 12
+
+    def test_shadowed_locals_get_distinct_slots(self):
+        src = """
+        int f(void) {
+          int x; x = 1;
+          { int x; x = 2; }
+          return x;
+        }
+        """
+        from repro.interp import Machine
+
+        assert Machine(lower(src)).run("f", ()) == 1
+
+
+class TestModuleContents:
+    def test_globals_collected_in_order(self):
+        module = lower("int a; int b = 5; extern int c;")
+        assert [g.name for g in module.globals] == ["a", "b", "c"]
+        assert module.globals[1].init == 5
+
+    def test_string_literals_interned(self):
+        module = lower('char *s = "once"; int f(void) '
+                       '{ return strlen("twice"); }')
+        assert module.strings == [b"once", b"twice"]
+
+    def test_string_global_init_is_ref(self):
+        module = lower('char *s = "hello";')
+        assert isinstance(module.globals[0].init, ir.StringRef)
+
+    def test_enum_global_initializer(self):
+        module = lower("enum { K = 9 }; int x = K;")
+        assert module.globals[0].init == 9
+
+    def test_sizeof_becomes_constant(self):
+        module = lower(
+            "struct s { int a; char b; }; int x = sizeof(struct s);"
+        )
+        assert module.globals[0].init == 8
+
+    def test_non_constant_global_initializer_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("int y; int x = y;")
+
+    def test_extern_then_definition_uses_definition(self):
+        module = lower("extern int x; int x = 7;")
+        assert len(module.globals) == 1
+        assert module.globals[0].init == 7
+
+    def test_function_lookup_error(self):
+        module = lower("int f(void) { return 0; }")
+        with pytest.raises(KeyError):
+            module.function("missing")

@@ -1,0 +1,190 @@
+"""Edge-case semantics: unsigned arithmetic, conversions, evaluation
+order, string literals, and miscellaneous C corners."""
+
+import pytest
+
+from repro.interp import Machine, SegFault
+from repro.minic import compile_program
+
+
+def run(source, function="f", args=()):
+    return Machine(compile_program(source)).run(function, args)
+
+
+class TestUnsignedSemantics:
+    def test_unsigned_division(self):
+        src = ("unsigned int f(unsigned int a, unsigned int b)"
+               " { return a / b; }")
+        assert run(src, args=(0xFFFFFFFE, 2)) == 0x7FFFFFFF
+
+    def test_unsigned_modulo(self):
+        src = ("unsigned int f(unsigned int a, unsigned int b)"
+               " { return a % b; }")
+        assert run(src, args=(0x80000000, 7)) == 0x80000000 % 7
+
+    def test_unsigned_underflow_wraps(self):
+        src = "unsigned int f(unsigned int a) { return a - 1; }"
+        assert run(src, args=(0,)) == 0xFFFFFFFF
+
+    def test_mixed_signed_unsigned_op_converts(self):
+        # -1 + 1u  ==  0u
+        src = "unsigned int f(int a, unsigned int b) { return a + b; }"
+        assert run(src, args=(-1, 1)) == 0
+
+    def test_unsigned_comparison_of_negative(self):
+        src = "int f(int a, unsigned int b) { return a < b; }"
+        assert run(src, args=(-1, 0)) == 0  # -1 converts to UINT_MAX
+
+    def test_uchar_roundtrip(self):
+        src = """
+        int f(int v) {
+          unsigned char c;
+          c = v;
+          return c;
+        }
+        """
+        assert run(src, args=(300,)) == 44
+        assert run(src, args=(-1,)) == 255
+
+
+class TestEvaluationOrder:
+    def test_comma_in_for_header(self):
+        src = """
+        int f(void) {
+          int i; int j; int total;
+          total = 0;
+          for (i = 0, j = 10; i < j; i++, j--) total = total + 1;
+          return total;
+        }
+        """
+        assert run(src) == 5
+
+    def test_assignment_value_is_converted_value(self):
+        src = "int f(void) { char c; return (c = 300); }"
+        assert run(src) == 44  # C: the value of an assignment is post-conversion
+
+    def test_chained_assignment(self):
+        src = "int f(void) { int a; int b; a = b = 7; return a + b; }"
+        assert run(src) == 14
+
+    def test_compound_assignment_through_pointer_once(self):
+        src = """
+        int calls = 0;
+        int index(void) { calls = calls + 1; return 0; }
+        int f(void) {
+          int a[1];
+          a[0] = 5;
+          a[index()] += 3;
+          return a[0] * 10 + calls;
+        }
+        """
+        # The lvalue is computed once: exactly one call.
+        assert run(src) == 81
+
+    def test_nested_ternary(self):
+        src = """
+        int f(int x) { return x < 0 ? -1 : x == 0 ? 0 : 1; }
+        """
+        assert run(src, args=(-9,)) == -1
+        assert run(src, args=(0,)) == 0
+        assert run(src, args=(9,)) == 1
+
+
+class TestStringsAndLiterals:
+    def test_string_literal_is_read_only(self):
+        src = """
+        int f(void) {
+          char *s;
+          s = "fixed";
+          s[0] = 'F';
+          return 0;
+        }
+        """
+        with pytest.raises(SegFault, match="read-only"):
+            run(src)
+
+    def test_identical_literals_interned_separately(self):
+        # Two occurrences may or may not share storage in C; here they
+        # are distinct regions, and comparing contents still works.
+        src = """
+        int f(void) { return strcmp("abc", "abc"); }
+        """
+        assert run(src) == 0
+
+    def test_string_with_embedded_escapes(self):
+        src = r"""
+        int f(void) {
+          char *s;
+          s = "a\tb\n";
+          return strlen(s) * 100 + s[1];
+        }
+        """
+        assert run(src) == 4 * 100 + 9
+
+    def test_char_arithmetic(self):
+        src = "int f(void) { return 'z' - 'a'; }"
+        assert run(src) == 25
+
+    def test_hex_and_octal_literals(self):
+        src = "int f(void) { return 0xFF + 010; }"
+        assert run(src) == 263
+
+
+class TestCallSemantics:
+    def test_arguments_evaluated_before_call(self):
+        src = """
+        int g(int a, int b) { return a * 100 + b; }
+        int f(void) {
+          int i;
+          i = 1;
+          return g(i++, i);
+        }
+        """
+        # Our evaluation order is strictly left-to-right.
+        assert run(src) == 1 * 100 + 2
+
+    def test_recursion_depth_is_per_machine(self):
+        src = """
+        int depth(int n) {
+          if (n == 0) return 0;
+          return 1 + depth(n - 1);
+        }
+        int f(void) { return depth(100); }
+        """
+        assert run(src) == 100
+
+    def test_void_function_call_in_expression_statement(self):
+        src = """
+        int hits = 0;
+        void bump(void) { hits = hits + 1; }
+        int f(void) { bump(); bump(); return hits; }
+        """
+        assert run(src) == 2
+
+    def test_struct_return_value(self):
+        src = """
+        struct pair { int a; int b; };
+        struct pair make(int x) {
+          struct pair p;
+          p.a = x; p.b = x * 2;
+          return p;
+        }
+        int f(void) {
+          struct pair q;
+          q = make(21);
+          return q.a + q.b;
+        }
+        """
+        assert run(src) == 63
+
+    def test_member_of_returned_struct(self):
+        src = """
+        struct pair { int a; int b; };
+        struct pair make(void) {
+          struct pair p;
+          p.a = 5; p.b = 6;
+          return p;
+        }
+        int f(void) { return make().b; }
+        """
+        assert run(src) == 6

@@ -1,0 +1,182 @@
+"""Unit tests for the byte-addressable RAM-machine memory."""
+
+import pytest
+
+from repro.interp.faults import InvalidFree, SegFault, StackOverflow
+from repro.interp.memory import Memory, MemoryOptions
+
+
+@pytest.fixture
+def mem():
+    return Memory()
+
+
+class TestAllocation:
+    def test_global_allocation_zeroed(self, mem):
+        region = mem.alloc_global(8, "g")
+        assert mem.read_bytes(region.start, 8) == b"\x00" * 8
+
+    def test_regions_do_not_overlap(self, mem):
+        a = mem.alloc_global(5, "a")
+        b = mem.alloc_global(5, "b")
+        assert a.end <= b.start
+
+    def test_malloc_returns_address(self, mem):
+        addr = mem.malloc(16)
+        assert addr != 0
+        mem.write_int(addr, 7, 4, True)
+        assert mem.read_int(addr, 4, True) == 7
+
+    def test_malloc_zero_is_valid_unique(self, mem):
+        a = mem.malloc(0)
+        b = mem.malloc(0)
+        assert a != 0 and b != 0 and a != b
+
+    def test_malloc_respects_heap_limit(self):
+        mem = Memory(MemoryOptions(heap_limit=100))
+        assert mem.malloc(200) == 0  # NULL on failure
+
+    def test_malloc_negative_returns_null(self, mem):
+        assert mem.malloc(-1) == 0
+
+    def test_string_interning(self, mem):
+        region = mem.alloc_string(b"hey")
+        assert mem.read_bytes(region.start, 4) == b"hey\x00"
+
+    def test_string_region_read_only(self, mem):
+        region = mem.alloc_string(b"ro")
+        with pytest.raises(SegFault, match="read-only"):
+            mem.write_bytes(region.start, b"x")
+
+
+class TestStackAndAlloca:
+    def test_push_pop_frame(self, mem):
+        frame = mem.push_frame(64, "f", 1)
+        mem.write_int(frame.start, 1, 4, True)
+        mem.pop_frame(frame, [])
+        with pytest.raises(SegFault, match="dead stack frame"):
+            mem.read_int(frame.start, 4, True)
+
+    def test_stack_limit_enforced(self):
+        mem = Memory(MemoryOptions(stack_limit=128))
+        mem.push_frame(100, "f", 1)
+        with pytest.raises(StackOverflow):
+            mem.push_frame(100, "g", 2)
+
+    def test_call_depth_enforced(self):
+        mem = Memory(MemoryOptions(max_call_depth=3))
+        with pytest.raises(StackOverflow):
+            mem.push_frame(8, "f", 4)
+
+    def test_alloca_success(self, mem):
+        region = mem.alloca(32)
+        assert region is not None
+        mem.write_bytes(region.start, b"\x01" * 32)
+
+    def test_alloca_returns_none_when_stack_full(self):
+        # The oSIP security-bug mechanism: alloca fails, caller gets NULL.
+        mem = Memory(MemoryOptions(stack_limit=64))
+        assert mem.alloca(1 << 20) is None
+
+    def test_alloca_negative_fails(self, mem):
+        assert mem.alloca(-5) is None
+
+    def test_alloca_freed_with_frame(self, mem):
+        frame = mem.push_frame(16, "f", 1)
+        block = mem.alloca(16)
+        mem.pop_frame(frame, [block])
+        with pytest.raises(SegFault):
+            mem.read_int(block.start, 4, True)
+
+    def test_stack_used_accounting(self):
+        mem = Memory(MemoryOptions(stack_limit=1024))
+        frame = mem.push_frame(100, "f", 1)
+        used = mem.stack_used
+        mem.pop_frame(frame, [])
+        assert mem.stack_used < used
+
+
+class TestFree:
+    def test_free_then_use_faults(self, mem):
+        addr = mem.malloc(8)
+        mem.free(addr)
+        with pytest.raises(SegFault, match="freed"):
+            mem.read_int(addr, 4, True)
+
+    def test_double_free_faults(self, mem):
+        addr = mem.malloc(8)
+        mem.free(addr)
+        with pytest.raises(InvalidFree, match="double"):
+            mem.free(addr)
+
+    def test_free_null_is_noop(self, mem):
+        mem.free(0)
+
+    def test_free_wild_pointer_faults(self, mem):
+        with pytest.raises(InvalidFree):
+            mem.free(0x123456)
+
+    def test_free_interior_pointer_faults(self, mem):
+        addr = mem.malloc(8)
+        with pytest.raises(InvalidFree):
+            mem.free(addr + 4)
+
+
+class TestAccessChecks:
+    def test_null_dereference(self, mem):
+        with pytest.raises(SegFault, match="NULL"):
+            mem.read_int(0, 4, True)
+
+    def test_null_page_offset_reported(self, mem):
+        # p->field through NULL p lands at the field offset.
+        with pytest.raises(SegFault, match="NULL pointer dereference"):
+            mem.read_int(4, 4, True)
+
+    def test_unmapped_address(self, mem):
+        with pytest.raises(SegFault, match="unmapped"):
+            mem.read_int(0x12345678, 4, True)
+
+    def test_out_of_bounds_past_region(self, mem):
+        addr = mem.malloc(4)
+        with pytest.raises(SegFault, match="out-of-bounds"):
+            mem.read_int(addr + 2, 4, True)
+
+    def test_little_endian_int_roundtrip(self, mem):
+        addr = mem.malloc(4)
+        mem.write_int(addr, -2, 4, True)
+        assert mem.read_bytes(addr, 4) == b"\xfe\xff\xff\xff"
+        assert mem.read_int(addr, 4, True) == -2
+        assert mem.read_int(addr, 4, False) == 0xFFFFFFFE
+
+    def test_byte_access_within_int(self, mem):
+        addr = mem.malloc(4)
+        mem.write_int(addr, 0x01020304, 4, False)
+        assert mem.read_int(addr + 1, 1, False) == 0x03
+
+    def test_fill_and_copy(self, mem):
+        a = mem.malloc(16)
+        b = mem.malloc(16)
+        mem.fill(a, ord("x"), 16)
+        mem.copy(b, a, 16)
+        assert mem.read_bytes(b, 16) == b"x" * 16
+
+    def test_copy_to_null_faults(self, mem):
+        a = mem.malloc(4)
+        with pytest.raises(SegFault):
+            mem.copy(0, a, 4)
+
+    def test_string_at(self, mem):
+        addr = mem.malloc(8)
+        mem.write_bytes(addr, b"hi\x00junk")
+        assert mem.string_at(addr) == b"hi"
+
+    def test_string_at_unterminated_faults(self, mem):
+        addr = mem.malloc(4)
+        mem.write_bytes(addr, b"abcd")
+        with pytest.raises(SegFault, match="unterminated"):
+            mem.string_at(addr)
+
+    def test_find_region(self, mem):
+        addr = mem.malloc(10)
+        assert mem.find_region(addr + 5).start == addr
+        assert mem.find_region(0x7F000000) is None

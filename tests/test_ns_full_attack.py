@@ -1,0 +1,38 @@
+"""The full Lowe attack at depth 4 (slow; run with ``-m slow``).
+
+This is the headline of Fig. 10: the Dolev-Yao intruder model admits no
+attack of input length <= 3, and DART's systematic directed search finds
+the complete six-step Lowe attack at input length 4 — something the
+state-space exploration of [13] (VeriSoft) only managed with heuristics.
+"""
+
+import pytest
+
+from repro import dart_check
+from repro.programs.needham_schroeder import ns_source
+
+pytestmark = pytest.mark.slow
+
+AGENT_A, AGENT_B, AGENT_I = 1, 2, 3
+NONCE_A, NONCE_B = 101, 102
+
+
+def test_depth4_lowe_attack_step_by_step():
+    result = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                        depth=4, max_iterations=400_000, seed=0,
+                        time_limit=900)
+    assert result.status == "bug_found"
+    inputs = result.first_error().inputs
+    steps = [tuple(inputs[i:i + 3]) for i in range(0, 12, 3)]
+    # Step 1 of Lowe's attack: A starts a session with the intruder.
+    assert steps[0][0] == 2
+    # Step 2: I composes msg1 {Na, A}Kb for B (it learned Na in step 1).
+    assert steps[1][0] == 4
+    assert steps[1][1] == NONCE_A
+    assert steps[1][2] == AGENT_A
+    # Steps 3+4: I forwards B's msg2 {Na, Nb}Ka to A, who replies {Nb}Ki.
+    assert steps[2][0] == 3
+    # Steps 5+6: I composes msg3 {Nb}Kb; B commits a session "with A".
+    assert steps[3][0] == 5
+    assert steps[3][1] == NONCE_B
+    assert result.first_error().kind == "assertion violation"

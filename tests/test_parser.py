@@ -1,0 +1,286 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.errors import ParseError
+from repro.minic.parser import parse_program
+
+
+def parse(source):
+    return parse_program(source)
+
+
+def only_function(source):
+    program = parse(source)
+    funcs = [d for d in program.declarations
+             if isinstance(d, ast.FunctionDef)]
+    assert len(funcs) == 1
+    return funcs[0]
+
+
+def first_stmt(source):
+    return only_function(source).body.statements[0]
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        assert parse("").declarations == []
+
+    def test_global_variable(self):
+        program = parse("int x;")
+        assert isinstance(program.declarations[0], ast.VarDecl)
+        assert program.declarations[0].name == "x"
+
+    def test_global_with_initializer(self):
+        decl = parse("int x = 42;").declarations[0]
+        assert isinstance(decl.init, ast.IntLit)
+        assert decl.init.value == 42
+
+    def test_multiple_declarators(self):
+        program = parse("int a, b, c;")
+        assert [d.name for d in program.declarations] == ["a", "b", "c"]
+
+    def test_extern_variable(self):
+        decl = parse("extern int config;").declarations[0]
+        assert decl.is_extern
+
+    def test_function_definition(self):
+        func = only_function("int f(int a, char b) { return 0; }")
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_function_prototype(self):
+        decl = parse("int probe(int x);").declarations[0]
+        assert isinstance(decl, ast.FunctionDecl)
+
+    def test_void_param_list(self):
+        func = only_function("int f(void) { return 1; }")
+        assert func.params == []
+
+    def test_struct_definition(self):
+        decl = parse("struct point { int x; int y; };").declarations[0]
+        assert isinstance(decl, ast.StructDecl)
+        assert [name for name, _ in decl.fields] == ["x", "y"]
+
+    def test_struct_forward_declaration(self):
+        decl = parse("struct node;").declarations[0]
+        assert isinstance(decl, ast.StructDecl)
+        assert decl.fields is None
+
+    def test_typedef_then_use(self):
+        program = parse("typedef int word; word w;")
+        assert isinstance(program.declarations[1], ast.VarDecl)
+
+    def test_enum(self):
+        decl = parse("enum { A = 1, B, C };").declarations[0]
+        assert isinstance(decl, ast.EnumDecl)
+        assert [name for name, _ in decl.enumerators] == ["A", "B", "C"]
+
+    def test_pointer_declarator(self):
+        decl = parse("int *p;").declarations[0]
+        assert isinstance(decl.type_expr, ast.PointerTypeExpr)
+
+    def test_double_pointer(self):
+        decl = parse("char **argv;").declarations[0]
+        assert isinstance(decl.type_expr.pointee, ast.PointerTypeExpr)
+
+    def test_array_declarator(self):
+        decl = parse("int a[10];").declarations[0]
+        assert isinstance(decl.type_expr, ast.ArrayTypeExpr)
+
+    def test_two_dimensional_array(self):
+        decl = parse("int grid[2][3];").declarations[0]
+        assert isinstance(decl.type_expr.element, ast.ArrayTypeExpr)
+        assert decl.type_expr.length_expr.value == 2
+
+    def test_variadic_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int printf2(char *fmt, ...);")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = first_stmt("int f(int x) { if (x) return 1; else return 0; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = first_stmt(
+            "int f(int x) { if (x) if (x > 1) return 2; else return 1;"
+            " return 0; }"
+        )
+        assert stmt.otherwise is None
+        assert isinstance(stmt.then, ast.If)
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        stmt = first_stmt("int f(int x) { while (x) x = x - 1; return 0; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = first_stmt("int f(int x) { do x--; while (x); return 0; }")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_with_decl_init(self):
+        stmt = first_stmt(
+            "int f(void) { for (int i = 0; i < 3; i++) ; return 0; }"
+        )
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_all_parts_empty(self):
+        stmt = first_stmt("int f(void) { for (;;) break; return 0; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        func = only_function(
+            "int f(void) { while (1) { break; } while (1) { continue; }"
+            " return 0; }"
+        )
+        loops = [s for s in func.body.statements
+                 if isinstance(s, ast.While)]
+        assert isinstance(loops[0].body.statements[0], ast.Break)
+        assert isinstance(loops[1].body.statements[0], ast.Continue)
+
+    def test_assert_statement(self):
+        stmt = first_stmt("int f(int x) { assert(x > 0); return x; }")
+        assert isinstance(stmt, ast.AssertStmt)
+
+    def test_abort_statement(self):
+        stmt = first_stmt("int f(void) { abort(); }")
+        assert isinstance(stmt, ast.AbortStmt)
+
+    def test_local_declarations(self):
+        stmt = first_stmt("int f(void) { int a, b; return 0; }")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert [d.name for d in stmt.decls] == ["a", "b"]
+
+    def test_empty_statement(self):
+        stmt = first_stmt("int f(void) { ; return 0; }")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert stmt.expr is None
+
+    def test_switch_parses(self):
+        stmt = first_stmt(
+            "int f(int x) { switch (x) { case 1: return 1; default: ; }"
+            " return 0; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+
+    def test_goto_rejected_with_clear_error(self):
+        with pytest.raises(ParseError, match="goto"):
+            parse("int f(int x) { goto out; out: return 0; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return 0 }")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return first_stmt("int f(int x, int y) { " + text + "; return 0; }").expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x = 1 + 2 * 3")
+        assert isinstance(e.value, ast.Binary) and e.value.op == "+"
+        assert e.value.right.op == "*"
+
+    def test_comparison_precedence(self):
+        e = self.expr("x = 1 + 2 < 3")
+        assert e.value.op == "<"
+
+    def test_logical_precedence(self):
+        e = self.expr("x = 1 && 2 || 3")
+        assert e.value.op == "||"
+        assert e.value.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("x = y = 1")
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = self.expr("x += 2")
+        assert e.op == "+="
+
+    def test_ternary(self):
+        e = self.expr("x = y ? 1 : 2")
+        assert isinstance(e.value, ast.Conditional)
+
+    def test_unary_chain(self):
+        e = self.expr("x = -~!y")
+        assert e.value.op == "-"
+        assert e.value.operand.op == "~"
+        assert e.value.operand.operand.op == "!"
+
+    def test_prefix_and_postfix_incr(self):
+        assert isinstance(self.expr("++x"), ast.Unary)
+        assert isinstance(self.expr("x++"), ast.Postfix)
+
+    def test_call_with_args(self):
+        e = self.expr("f(x, y)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_index_chained(self):
+        e = self.expr("x = y[1]")
+        assert isinstance(e.value, ast.Index)
+
+    def test_member_and_arrow(self):
+        program = parse(
+            "struct s { int v; };"
+            "int f(struct s a, struct s *p) { return a.v + p->v; }"
+        )
+        ret = program.declarations[1].body.statements[0]
+        assert isinstance(ret.value.left, ast.Member)
+        assert not ret.value.left.arrow
+        assert ret.value.right.arrow
+
+    def test_sizeof_type_and_expr(self):
+        e = self.expr("x = sizeof(int)")
+        assert isinstance(e.value, ast.SizeofType)
+        e = self.expr("x = sizeof x")
+        assert isinstance(e.value, ast.SizeofExpr)
+
+    def test_cast(self):
+        program = parse(
+            "typedef int myint;"
+            "int f(int x) { return (myint) x; }"
+        )
+        ret = program.declarations[1].body.statements[0]
+        assert isinstance(ret.value, ast.Cast)
+
+    def test_cast_of_pointer(self):
+        e = self.expr("x = x + sizeof(char *)")
+        assert isinstance(e.value.right, ast.SizeofType)
+
+    def test_parenthesized_ident_is_not_cast(self):
+        e = self.expr("x = (y)")
+        assert isinstance(e.value, ast.Ident)
+
+    def test_null_keyword(self):
+        e = self.expr("x = NULL")
+        assert isinstance(e.value, ast.IntLit)
+        assert e.value.value == 0
+
+    def test_comma_expression(self):
+        e = self.expr("x = (y = 1, 2)")
+        assert isinstance(e.value, ast.Comma)
+
+    def test_char_literal_expression(self):
+        e = self.expr("x = 'Z'")
+        assert e.value.value == 90
+
+    def test_string_literal(self):
+        program = parse('int f(void) { char *s; s = "hi"; return 0; }')
+        assign = program.declarations[0].body.statements[1].expr
+        assert isinstance(assign.value, ast.StringLit)
+        assert assign.value.data == b"hi"
+
+    def test_deep_paren_nesting(self):
+        e = self.expr("x = ((((y))))")
+        assert isinstance(e.value, ast.Ident)
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return (1; }")

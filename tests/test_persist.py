@@ -1,0 +1,104 @@
+"""Tests for inter-run state persistence (resume after budget)."""
+
+import os
+
+import pytest
+
+from repro import DartOptions
+from repro.dart import persist
+from repro.dart.inputs import InputVector
+from repro.dart.pathcond import StackEntry
+from repro.dart.runner import Dart
+from repro.programs.ac_controller import AC_CONTROLLER_SOURCE
+
+
+class TestFileFormat:
+    def roundtrip(self, tmp_path, stack, im):
+        path = str(tmp_path / "state.json")
+        persist.save_state(path, stack, im)
+        return persist.load_state(path)
+
+    def test_roundtrip(self, tmp_path):
+        stack = [StackEntry(1, True), StackEntry(0, False)]
+        im = InputVector()
+        im.record(0, "int", -7)
+        im.record(1, "ptr_choice", 1)
+        loaded_stack, loaded_im = self.roundtrip(tmp_path, stack, im)
+        assert [(e.branch, e.done) for e in loaded_stack] == \
+            [(1, True), (0, False)]
+        assert loaded_im.values() == [-7, 1]
+        assert loaded_im[1].kind == "ptr_choice"
+
+    def test_empty_state(self, tmp_path):
+        loaded_stack, loaded_im = self.roundtrip(
+            tmp_path, [], InputVector()
+        )
+        assert loaded_stack == [] and len(loaded_im) == 0
+
+    def test_missing_file(self, tmp_path):
+        assert persist.load_state(str(tmp_path / "nope.json")) is None
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert persist.load_state(str(path)) is None
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 99, "stack": [], "im": []}')
+        assert persist.load_state(str(path)) is None
+
+    def test_clear_state(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        persist.save_state(path, [], InputVector())
+        persist.clear_state(path)
+        assert not os.path.exists(path)
+        persist.clear_state(path)  # idempotent
+
+
+class TestResume:
+    def test_interrupted_search_resumes_and_completes(self, tmp_path):
+        path = str(tmp_path / "dart-state.json")
+        # First session: budget too small to finish depth-1 exploration.
+        first = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=2, seed=0, state_file=path),
+        ).run()
+        assert first.status == "exhausted"
+        assert os.path.exists(path)
+        # Second session resumes where the first stopped and finishes.
+        second = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=100, seed=0, state_file=path),
+        ).run()
+        assert second.status == "complete"
+        assert not os.path.exists(path)  # cleared on clean termination
+        # Fewer runs than from scratch (some paths already explored).
+        fresh = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=100, seed=0),
+        ).run()
+        assert second.iterations <= fresh.iterations
+
+    def test_resume_finds_the_depth2_bug(self, tmp_path):
+        path = str(tmp_path / "dart-state.json")
+        partial = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(depth=2, max_iterations=3, seed=0,
+                        state_file=path),
+        ).run()
+        assert not partial.found_error
+        resumed = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(depth=2, max_iterations=500, seed=0,
+                        state_file=path),
+        ).run()
+        assert resumed.found_error
+        assert tuple(resumed.first_error().inputs) == (3, 0)
+
+    def test_no_state_file_means_no_files(self, tmp_path):
+        Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=5, seed=0),
+        ).run()
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,67 @@
+"""Tests for the captured printf implementation."""
+
+import pytest
+
+from repro.interp import Machine
+from repro.minic import compile_program
+
+
+def output_of(source, function="f", args=()):
+    machine = Machine(compile_program(source))
+    machine.run(function, args)
+    return machine.output
+
+
+class TestPrintf:
+    def test_plain_text(self):
+        out = output_of('int f(void) { printf("hello"); return 0; }')
+        assert out == [b"hello"]
+
+    def test_decimal(self):
+        out = output_of(
+            'int f(void) { printf("v=%d!", -42); return 0; }'
+        )
+        assert out == [b"v=-42!"]
+
+    def test_unsigned_and_hex(self):
+        out = output_of(
+            'int f(void) { printf("%u %x", -1, 255); return 0; }'
+        )
+        assert out == [b"4294967295 ff"]
+
+    def test_char_and_string(self):
+        out = output_of(
+            'int f(void) { printf("%c %s", 65, "world"); return 0; }'
+        )
+        assert out == [b"A world"]
+
+    def test_percent_escape(self):
+        out = output_of('int f(void) { printf("100%%"); return 0; }')
+        assert out == [b"100%"]
+
+    def test_multiple_calls_accumulate(self):
+        out = output_of(
+            'int f(void) { printf("a"); printf("b%d", 1); return 0; }'
+        )
+        assert out == [b"a", b"b1"]
+
+    def test_missing_argument_kept_literal(self):
+        out = output_of('int f(void) { printf("x=%d"); return 0; }')
+        assert out == [b"x=%d"]
+
+    def test_return_value_is_length(self):
+        source = 'int f(void) { return printf("abc%d", 7); }'
+        machine = Machine(compile_program(source))
+        assert machine.run("f", ()) == 4
+
+    def test_computed_values(self):
+        out = output_of(
+            """
+            int f(int n) {
+              printf("double(%d) = %d", n, n * 2);
+              return 0;
+            }
+            """,
+            args=(21,),
+        )
+        assert out == [b"double(21) = 42"]

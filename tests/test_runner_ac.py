@@ -1,0 +1,65 @@
+"""End-to-end reproduction of the Section 4.1 AC-controller experiment."""
+
+from repro import dart_check, random_check
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+    DEPTH2_ERROR_SEQUENCE,
+)
+
+
+class TestDepthOne:
+    def test_no_error_and_full_coverage(self):
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=1, max_iterations=100, seed=0)
+        assert result.status == "complete"
+        assert not result.found_error
+
+    def test_handful_of_iterations(self):
+        # The paper reports 6 iterations; exact counts depend on branch
+        # accounting, but it must stay a single-digit number of runs.
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=1, max_iterations=100, seed=0)
+        assert result.iterations <= 10
+
+    def test_meaningful_messages_enumerated(self):
+        # Messages 0..3 each drive a distinct path, plus the "other" class.
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=1, max_iterations=100, seed=0)
+        assert len(result.stats.distinct_paths) == 5
+
+
+class TestDepthTwo:
+    def test_assertion_violation_found(self):
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=2, max_iterations=1000, seed=0)
+        assert result.status == "bug_found"
+
+    def test_error_sequence_is_3_then_0(self):
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=2, max_iterations=1000, seed=0)
+        assert tuple(result.first_error().inputs) == DEPTH2_ERROR_SEQUENCE
+
+    def test_found_quickly_for_several_seeds(self):
+        for seed in range(5):
+            result = dart_check(AC_CONTROLLER_SOURCE,
+                                AC_CONTROLLER_TOPLEVEL,
+                                depth=2, max_iterations=1000, seed=seed)
+            assert result.status == "bug_found", seed
+            assert result.iterations <= 60
+
+    def test_random_search_never_finds_it(self):
+        # One in 2**64 per attempt; thousands of runs find nothing.
+        result = random_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                              depth=2, max_iterations=3000, seed=0)
+        assert not result.found_error
+
+
+class TestStatePersistsWithinRun:
+    def test_depth_semantics_carry_globals_across_calls(self):
+        # The depth-2 bug depends on globals persisting between the two
+        # toplevel invocations of one execution: message 3 closes the
+        # door (cold room), message 0 then heats the room.
+        result = dart_check(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                            depth=2, max_iterations=1000, seed=1)
+        assert result.found_error

@@ -1,0 +1,117 @@
+"""End-to-end reproduction of the Section 4.2 Needham-Schroeder
+experiments (the fast rows; full Fig. 9/10 sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro import dart_check, random_check
+from repro.minic import compile_program
+from repro.programs.needham_schroeder import (
+    SHORTEST_ATTACK_DEPTH,
+    ns_source,
+    ns_toplevel,
+)
+
+
+class TestSourceGeneration:
+    @pytest.mark.parametrize("model", ["possibilistic", "dolev_yao"])
+    @pytest.mark.parametrize("fix", ["none", "buggy", "correct"])
+    def test_all_variants_compile(self, model, fix):
+        compile_program(ns_source(model, fix))
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ValueError):
+            ns_source("telepathic")
+
+    def test_bad_fix_rejected(self):
+        with pytest.raises(ValueError):
+            ns_source("possibilistic", fix="duct_tape")
+
+    def test_toplevels(self):
+        assert ns_toplevel("possibilistic") == "ns_step"
+        assert ns_toplevel("dolev_yao") == "ns_dy_step"
+
+
+class TestPossibilisticModel:
+    """Fig. 9: no error at depth 1; attack found at depth 2."""
+
+    def test_depth1_no_error_full_coverage(self):
+        result = dart_check(ns_source("possibilistic"), "ns_step",
+                            depth=1, max_iterations=2000, seed=0)
+        assert result.status == "complete"
+
+    def test_depth2_attack_found(self):
+        result = dart_check(ns_source("possibilistic"), "ns_step",
+                            depth=2, max_iterations=5000, seed=0)
+        assert result.status == "bug_found"
+
+    def test_attack_is_projection_from_b(self):
+        # Inputs per step: (target, mtype, key, d1, d2, d3).  Both
+        # messages of the found attack go to B (target == AGENT_B == 2),
+        # first a msg1 claiming to be A, then a msg3 guessing B's nonce —
+        # the paper's "projection of the attack from B's point of view".
+        result = dart_check(ns_source("possibilistic"), "ns_step",
+                            depth=2, max_iterations=5000, seed=0)
+        inputs = result.first_error().inputs
+        step1, step2 = inputs[:6], inputs[6:12]
+        assert step1[0] == 2 and step1[1] == 1  # msg1 to B
+        assert step1[4] == 1                    # claiming initiator A
+        assert step2[0] == 2 and step2[1] == 3  # msg3 to B
+        assert step2[3] == 102                  # "guessed" nonce Nb
+
+    def test_random_search_fails_at_depth2(self):
+        result = random_check(ns_source("possibilistic"), "ns_step",
+                              depth=2, max_iterations=2000, seed=0)
+        assert not result.found_error
+
+
+class TestDolevYaoModel:
+    """Fig. 10: attack appears only at input length 4."""
+
+    def test_depth1_complete_no_error(self):
+        result = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                            depth=1, max_iterations=2000, seed=0)
+        assert result.status == "complete"
+
+    def test_depth2_complete_no_error(self):
+        result = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                            depth=2, max_iterations=5000, seed=0)
+        assert result.status == "complete"
+
+    def test_search_space_grows_steeply(self):
+        r1 = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                        depth=1, max_iterations=2000, seed=0)
+        r2 = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                        depth=2, max_iterations=5000, seed=0)
+        assert r2.iterations > 10 * r1.iterations
+
+    def test_shortest_attack_depths_documented(self):
+        assert SHORTEST_ATTACK_DEPTH == {
+            "possibilistic": 2, "dolev_yao": 4,
+        }
+
+    @pytest.mark.slow
+    def test_depth3_complete_no_error(self):
+        result = dart_check(ns_source("dolev_yao"), "ns_dy_step",
+                            depth=3, max_iterations=20000, seed=0)
+        assert result.status == "complete"
+        assert not result.found_error
+
+
+class TestLoweFixVariants:
+    """Section 4.2's coda: the buggy fix is still attackable at the
+    projection level; the correct fix blocks that path."""
+
+    def test_possibilistic_projection_attack_unaffected_by_fix(self):
+        # The B-side projection doesn't involve A's check at all.
+        result = dart_check(ns_source("possibilistic", fix="correct"),
+                            "ns_step", depth=2, max_iterations=5000,
+                            seed=0)
+        assert result.status == "bug_found"
+
+    def test_buggy_fix_sources_differ(self):
+        assert ns_source("dolev_yao", "buggy") != \
+            ns_source("dolev_yao", "correct")
+        assert "d3 != AGENT_B" in ns_source("dolev_yao", "buggy")
+
+    def test_correct_fix_checks_peer(self):
+        assert "d3 != a_peer" in ns_source("dolev_yao", "correct")

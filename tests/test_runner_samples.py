@@ -1,0 +1,133 @@
+"""End-to-end DART runs on the paper's Section 2 example programs."""
+
+import pytest
+
+from repro import DartOptions, dart_check, random_check
+from repro.programs import samples
+
+
+class TestIntroductionExample:
+    """Section 2.1: the h/f example."""
+
+    def test_directed_search_finds_abort_in_two_runs(self):
+        result = dart_check(samples.H_SOURCE, "h",
+                            max_iterations=50, seed=7)
+        assert result.status == "bug_found"
+        # First run random, second run solves (x != y, 2x == x+10).
+        assert result.iterations == 2
+
+    def test_error_inputs_satisfy_the_trigger(self):
+        result = dart_check(samples.H_SOURCE, "h",
+                            max_iterations=50, seed=3)
+        x, y = result.first_error().inputs[:2]
+        assert x == 10 and y != 10
+
+    def test_random_search_fails(self):
+        result = random_check(samples.H_SOURCE, "h",
+                              max_iterations=2000, seed=7)
+        assert not result.found_error
+
+    def test_found_for_every_seed(self):
+        for seed in range(8):
+            result = dart_check(samples.H_SOURCE, "h",
+                                max_iterations=50, seed=seed)
+            assert result.status == "bug_found", seed
+            assert result.iterations <= 3
+
+
+class TestTerminationExample:
+    """Section 2.4: infeasible second branch, so DART proves coverage."""
+
+    def test_terminates_complete_with_no_error(self):
+        result = dart_check(samples.Z_SOURCE, "f",
+                            max_iterations=50, seed=1)
+        assert result.status == "complete"
+        assert not result.found_error
+
+    def test_all_flags_still_set(self):
+        result = dart_check(samples.Z_SOURCE, "f",
+                            max_iterations=50, seed=1)
+        assert result.flags == (True, True, True)
+
+    def test_exactly_two_feasible_paths(self):
+        result = dart_check(samples.Z_SOURCE, "f",
+                            max_iterations=50, seed=1)
+        assert len(result.stats.distinct_paths) == 2
+
+
+class TestStructCastExample:
+    """Section 2.5: dynamic data beats static alias analysis."""
+
+    def test_reaches_the_abort(self):
+        options = DartOptions(max_iterations=100, seed=3,
+                              stop_on_first_error=False)
+        result = dart_check(samples.STRUCT_CAST_SOURCE, "bar", options)
+        kinds = {e.kind for e in result.errors}
+        assert "abort" in kinds
+
+    def test_also_finds_the_null_argument_crash(self):
+        options = DartOptions(max_iterations=100, seed=3,
+                              stop_on_first_error=False)
+        result = dart_check(samples.STRUCT_CAST_SOURCE, "bar", options)
+        kinds = {e.kind for e in result.errors}
+        assert "segmentation fault" in kinds
+
+
+class TestFoobarExample:
+    """Section 2.5: non-linear guard, concrete fallback."""
+
+    def test_finds_the_reachable_abort(self):
+        result = dart_check(samples.FOOBAR_SOURCE, "foobar",
+                            max_iterations=200, seed=0)
+        assert result.status == "bug_found"
+        x, y = result.first_error().inputs[:2]
+        assert x > 0 and y == 10  # line-4 abort, the only reachable one
+
+    def test_non_linearity_clears_all_linear(self):
+        result = dart_check(samples.FOOBAR_SOURCE, "foobar",
+                            max_iterations=200, seed=0)
+        all_linear, _, _ = result.flags
+        assert not all_linear
+
+    def test_found_across_seeds(self):
+        found = sum(
+            dart_check(samples.FOOBAR_SOURCE, "foobar",
+                       max_iterations=300, seed=seed).found_error
+            for seed in range(6)
+        )
+        assert found == 6
+
+
+class TestFilterExample:
+    """Input-filtering pipeline: directed search walks through the
+    filters; random testing gets stuck on the magic number."""
+
+    def test_directed_penetrates_filters(self):
+        result = dart_check(samples.FILTER_SOURCE, "entry",
+                            max_iterations=500, seed=2)
+        assert result.status == "bug_found"
+        magic, cmd, value = result.first_error().inputs[:3]
+        assert magic == 42 and cmd == 7
+
+    def test_random_stuck_in_filters(self):
+        result = random_check(samples.FILTER_SOURCE, "entry",
+                              max_iterations=3000, seed=2)
+        assert not result.found_error
+
+    def test_trigger_value_solved_not_guessed(self):
+        result = dart_check(samples.FILTER_SOURCE, "entry",
+                            max_iterations=500, seed=11)
+        assert result.found_error
+        assert result.first_error().inputs[2] == 2497940 // 4
+
+
+class TestReplay:
+    def test_reported_inputs_replay_to_the_same_fault(self):
+        from repro.dart.runner import Dart
+
+        dart = Dart(samples.H_SOURCE, "h", DartOptions(max_iterations=50,
+                                                       seed=7))
+        result = dart.run()
+        fault = dart.replay(result.first_error().inputs)
+        assert fault is not None
+        assert fault.kind == result.first_error().kind

@@ -1,0 +1,213 @@
+"""Unit tests for semantic analysis: typing rules + interface discovery."""
+
+import pytest
+
+from repro.minic import typesys as ts
+from repro.minic.errors import SemanticError
+from repro.minic.parser import parse_program
+from repro.minic.semantic import analyze
+
+
+def check(source):
+    return analyze(parse_program(source))
+
+
+def check_fails(source, match=None):
+    with pytest.raises(SemanticError, match=match):
+        check(source)
+
+
+class TestDeclarations:
+    def test_undeclared_identifier(self):
+        check_fails("int f(void) { return missing; }", "undeclared")
+
+    def test_local_shadowing_in_nested_scope_is_allowed(self):
+        check("int f(int x) { { int x; x = 1; } return x; }")
+
+    def test_redefinition_in_same_scope_rejected(self):
+        check_fails("int f(void) { int a; int a; return 0; }",
+                    "redefinition")
+
+    def test_duplicate_function_rejected(self):
+        check_fails("int f(void) { return 0; } int f(void) { return 1; }")
+
+    def test_prototype_then_definition_ok(self):
+        info = check("int f(int x); int f(int x) { return x; }")
+        assert "f" in info.functions
+
+    def test_conflicting_prototype_rejected(self):
+        check_fails("int f(int x); char f(int x) { return 0; }",
+                    "conflicting")
+
+    def test_void_variable_rejected(self):
+        check_fails("void v;")
+
+    def test_incomplete_struct_variable_rejected(self):
+        check_fails("struct never_defined s;")
+
+    def test_pointer_to_incomplete_struct_ok(self):
+        check("struct fwd; int f(struct fwd *p) { return p == NULL; }")
+
+    def test_enum_constants_usable(self):
+        info = check("enum { LO = 5, HI };\nint f(void) { return HI; }")
+        assert info.globals_scope.lookup("HI").value == 6
+
+    def test_typedef_resolves(self):
+        info = check("typedef unsigned int u32; u32 counter;")
+        assert info.globals_scope.lookup("counter").ctype == ts.UINT
+
+    def test_array_size_must_be_constant(self):
+        check_fails("int f(int n) { int a[n]; return 0; }")
+
+    def test_array_size_from_enum(self):
+        check("enum { N = 4 }; int table[N];")
+
+    def test_global_initializer_type_checked(self):
+        check_fails('int x = "string";')
+
+
+class TestExpressionTyping:
+    def test_arithmetic_result_types(self):
+        check("int f(int a, unsigned int b) { return a + 1; }")
+
+    def test_pointer_arithmetic(self):
+        check("int f(int *p) { return *(p + 1); }")
+
+    def test_pointer_minus_pointer(self):
+        check("int f(int *p, int *q) { return p - q; }")
+
+    def test_pointer_plus_pointer_rejected(self):
+        check_fails("int f(int *p, int *q) { return *(p + q); }")
+
+    def test_dereference_non_pointer_rejected(self):
+        check_fails("int f(int x) { return *x; }", "dereference")
+
+    def test_dereference_void_pointer_rejected(self):
+        check_fails("int f(void *p) { return *p; }")
+
+    def test_address_of_rvalue_rejected(self):
+        check_fails("int f(int x) { return *(&(x + 1)); }", "address")
+
+    def test_assign_to_rvalue_rejected(self):
+        check_fails("int f(int x) { (x + 1) = 2; return 0; }", "lvalue")
+
+    def test_assign_int_to_pointer_rejected(self):
+        check_fails("int f(int *p, int x) { p = x; return 0; }")
+
+    def test_assign_null_literal_to_pointer_ok(self):
+        check("int f(int *p) { p = 0; p = NULL; return p == NULL; }")
+
+    def test_member_of_non_struct_rejected(self):
+        check_fails("int f(int x) { return x.field; }")
+
+    def test_arrow_on_struct_value_rejected(self):
+        check_fails(
+            "struct s { int v; };"
+            "int f(struct s a) { return a->v; }"
+        )
+
+    def test_unknown_field_rejected(self):
+        check_fails(
+            "struct s { int v; };"
+            "int f(struct s *p) { return p->w; }",
+            "no field",
+        )
+
+    def test_array_indexing_both_orders(self):
+        check("int f(int *p) { return p[0] + 0[p]; }")
+
+    def test_call_arity_checked(self):
+        check_fails(
+            "int g(int a, int b) { return a; }"
+            "int f(void) { return g(1); }",
+            "argument",
+        )
+
+    def test_call_argument_type_checked(self):
+        check_fails(
+            "int g(int *p) { return 0; }"
+            "int f(int x) { return g(x); }"
+        )
+
+    def test_call_undeclared_function_rejected(self):
+        check_fails("int f(void) { return mystery(); }", "undeclared")
+
+    def test_function_used_as_value_rejected(self):
+        check_fails("int g(void) { return 0; } int f(void) { return g; }")
+
+    def test_condition_must_be_scalar(self):
+        check_fails(
+            "struct s { int v; };"
+            "int f(struct s a) { if (a) return 1; return 0; }"
+        )
+
+    def test_ternary_branch_compatibility(self):
+        check("int f(int c, int *p) { return *(c ? p : NULL); }")
+
+    def test_string_literal_decays_to_char_pointer(self):
+        check('int f(void) { return strlen("abc"); }')
+
+    def test_sizeof_annotated(self):
+        info = check(
+            "struct s { int a; char b; };"
+            "unsigned int f(void) { return sizeof(struct s); }"
+        )
+        func = info.functions["f"]
+        ret = func.body.statements[0]
+        assert ret.value.size == 8
+
+    def test_cast_between_scalars(self):
+        check("int f(int x) { return (char) x; }")
+        check("int f(int *p) { return (int) p; }")
+        check("int f(int x) { char *c; c = (char *) x; return 0; }")
+
+    def test_cast_struct_rejected(self):
+        check_fails(
+            "struct s { int v; };"
+            "int f(struct s a) { return (int) a; }"
+        )
+
+    def test_break_outside_loop_rejected(self):
+        check_fails("int f(void) { break; return 0; }")
+
+    def test_void_return_with_value_rejected(self):
+        check_fails("void f(void) { return 1; }")
+
+    def test_missing_return_value_rejected(self):
+        check_fails("int f(void) { return; }")
+
+
+class TestInterfaceDiscovery:
+    def test_external_function_detected(self):
+        info = check(
+            "int get_input(void);"
+            "int f(void) { return get_input(); }"
+        )
+        assert "get_input" in info.interface.external_functions
+        assert "f" in info.interface.defined_functions
+
+    def test_defined_function_not_external(self):
+        info = check("int helper(void); int helper(void) { return 1; }")
+        assert "helper" not in info.interface.external_functions
+
+    def test_external_variable_detected(self):
+        info = check("extern int config; int f(void) { return config; }")
+        assert info.interface.external_variables == {"config": ts.INT}
+
+    def test_extern_with_later_definition_not_external(self):
+        info = check("extern int x; int x = 3;")
+        assert "x" not in info.interface.external_variables
+
+    def test_builtins_are_not_external(self):
+        info = check("int f(void) { return malloc(4) == NULL; }")
+        assert "malloc" not in info.interface.external_functions
+
+    def test_builtin_prototype_tolerated(self):
+        info = check(
+            "void *malloc(int n);"
+            "int f(void) { return malloc(4) == NULL; }"
+        )
+        assert "malloc" not in info.interface.external_functions
+
+    def test_builtin_redefinition_rejected(self):
+        check_fails("int strlen(char *s) { return 0; }", "library")

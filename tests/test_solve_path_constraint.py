@@ -1,0 +1,141 @@
+"""Unit tests for solve_path_constraint (Fig. 5) and its strategies."""
+
+import random
+
+import pytest
+
+from repro.dart.inputs import InputVector
+from repro.dart.pathcond import PathRecord, StackEntry
+from repro.dart.solve import candidate_indices, solve_path_constraint
+from repro.solver import Solver
+from repro.symbolic.expr import CmpExpr, EQ, GT, LinExpr, NE
+from repro.symbolic.flags import CompletenessFlags
+
+
+def build_run(entries):
+    """entries: list of (branch, constraint-or-None) -> (record, stack, im)."""
+    record = PathRecord()
+    stack = []
+    im = InputVector()
+    ordinals = set()
+    for branch, constraint in entries:
+        record.append(branch, constraint)
+        stack.append(StackEntry(branch))
+        if constraint is not None:
+            ordinals |= constraint.variables()
+    for ordinal in sorted(ordinals):
+        im.record(ordinal, "int", 0)
+    return record, stack, im
+
+
+def solve(record, stack, im, strategy="dfs", seed=0):
+    flags = CompletenessFlags()
+    plan = solve_path_constraint(
+        record, stack, im, Solver(seed=seed), strategy,
+        random.Random(seed), flags,
+    )
+    return plan, flags
+
+
+def eq(var, const=0):
+    """Constraint var == const, as asserted by a taken branch."""
+    return CmpExpr(EQ, LinExpr({var: 1}, -const))
+
+
+class TestCandidateOrdering:
+    def make_stack(self, done_flags):
+        return [StackEntry(1, done) for done in done_flags]
+
+    def test_dfs_deepest_first(self):
+        stack = self.make_stack([False, True, False])
+        assert candidate_indices(stack, "dfs", random.Random(0)) == [2, 0]
+
+    def test_bfs_shallowest_first(self):
+        stack = self.make_stack([False, True, False])
+        assert candidate_indices(stack, "bfs", random.Random(0)) == [0, 2]
+
+    def test_random_is_permutation(self):
+        stack = self.make_stack([False] * 6)
+        result = candidate_indices(stack, "random", random.Random(3))
+        assert sorted(result) == list(range(6))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_indices([StackEntry(1)], "zigzag", random.Random(0))
+
+
+class TestSolvePathConstraint:
+    def test_flips_deepest_pending_branch(self):
+        # Run took (x0 == 0) then (x1 == 0); DFS should flip the second.
+        record, stack, im = build_run([(1, eq(0)), (1, eq(1))])
+        plan, _ = solve(record, stack, im)
+        assert plan is not None
+        assert [e.branch for e in plan.stack] == [1, 0]
+        # New inputs satisfy x0 == 0 and NOT (x1 == 0).
+        assert plan.im[0].value == 0
+        assert plan.im[1].value != 0
+
+    def test_stack_truncated_at_flip(self):
+        record, stack, im = build_run(
+            [(1, eq(0)), (1, eq(1)), (1, eq(2))]
+        )
+        plan, _ = solve(record, stack, im)
+        assert len(plan.stack) == 3
+        record2, stack2, im2 = build_run([(1, eq(0)), (1, eq(1))])
+        stack2[1].done = True
+        plan2, _ = solve(record2, stack2, im2)
+        assert len(plan2.stack) == 1  # flipped the first instead
+
+    def test_done_branches_skipped(self):
+        record, stack, im = build_run([(1, eq(0))])
+        stack[0].done = True
+        plan, _ = solve(record, stack, im)
+        assert plan is None  # search over
+
+    def test_unsat_flip_falls_back_to_shallower(self):
+        # Deepest: x0 == 5 following x0 == 5 earlier (negation unsat
+        # against the prefix).
+        record, stack, im = build_run([(1, eq(0, 5)), (1, eq(0, 5))])
+        plan, _ = solve(record, stack, im)
+        # Flipping index 1 gives x0 == 5 and x0 != 5: UNSAT; falls back to
+        # flipping index 0 (prefix empty): x0 != 5 is satisfiable.
+        assert plan is not None
+        assert len(plan.stack) == 1
+        assert plan.im[0].value != 5
+
+    def test_unsat_marks_done(self):
+        record, stack, im = build_run([(1, eq(0, 5)), (1, eq(0, 5))])
+        solve(record, stack, im)
+        assert stack[1].done  # memoized as permanently infeasible
+
+    def test_unflippable_concrete_branch_skipped_and_marked(self):
+        record, stack, im = build_run([(1, None)])
+        plan, _ = solve(record, stack, im)
+        assert plan is None
+        assert stack[0].done
+
+    def test_all_constraints_in_prefix_respected(self):
+        # (x0 > 0) then (x1 == 0): flipping the second must keep x0 > 0.
+        gt = CmpExpr(GT, LinExpr({0: 1}))
+        record, stack, im = build_run([(1, gt), (1, eq(1))])
+        plan, _ = solve(record, stack, im)
+        assert plan.im[0].value > 0
+        assert plan.im[1].value != 0
+
+    def test_preserves_unconstrained_inputs(self):
+        record, stack, im = build_run([(1, eq(0))])
+        im.record(5, "int", 777)  # an input no constraint mentions
+        plan, _ = solve(record, stack, im)
+        assert plan.im[5].value == 777
+
+    def test_empty_run_has_nothing_to_flip(self):
+        record, stack, im = build_run([])
+        plan, _ = solve(record, stack, im)
+        assert plan is None
+
+    def test_bfs_flips_shallowest(self):
+        record, stack, im = build_run([(1, eq(0)), (1, eq(1))])
+        plan, _ = solve(record, stack, im, strategy="bfs")
+        assert len(plan.stack) == 1
+        assert plan.stack[0].branch == 0
+        assert plan.im[0].value != 0

@@ -1,0 +1,248 @@
+"""Unit tests for the linear integer constraint solver."""
+
+import pytest
+
+from repro.solver import SAT, Solver, UNKNOWN, UNSAT
+from repro.solver.problem import (
+    eliminate_equalities,
+    normalize,
+    substitute,
+)
+from repro.symbolic.expr import CmpExpr, EQ, GE, GT, LE, LT, NE, LinExpr
+
+
+def lin(coeffs=None, const=0):
+    return LinExpr(coeffs or {}, const)
+
+
+def solve(constraints, domains=None, **kwargs):
+    return Solver(**kwargs).solve(constraints, domains)
+
+
+def assert_sat(constraints, domains=None):
+    result = solve(constraints, domains)
+    assert result.status == SAT, result
+    for constraint in constraints:
+        assert constraint.evaluate(result.model)
+    return result.model
+
+
+class TestSingleVariable:
+    def test_equality(self):
+        model = assert_sat([CmpExpr(EQ, lin({0: 1}, -10))])
+        assert model[0] == 10
+
+    def test_strict_inequalities(self):
+        model = assert_sat([
+            CmpExpr(GT, lin({0: 1}, -5)),
+            CmpExpr(LT, lin({0: 1}, -7)),
+        ])
+        assert model[0] == 6
+
+    def test_disequality(self):
+        assert_sat([CmpExpr(NE, lin({0: 1}))])
+
+    def test_disequality_with_tight_bounds(self):
+        # x in [5,6], x != 5  =>  x == 6
+        model = assert_sat(
+            [CmpExpr(NE, lin({0: 1}, -5))], domains={0: (5, 6)}
+        )
+        assert model[0] == 6
+
+    def test_singleton_domain_excluded_is_unsat(self):
+        result = solve([CmpExpr(NE, lin({0: 1}, -5))], domains={0: (5, 5)})
+        assert result.status == UNSAT
+
+    def test_domain_violation_unsat(self):
+        result = solve(
+            [CmpExpr(EQ, lin({0: 1}, -300))], domains={0: (-128, 127)}
+        )
+        assert result.status == UNSAT
+
+    def test_scaled_equality(self):
+        model = assert_sat([CmpExpr(EQ, lin({0: 3}, -21))])
+        assert model[0] == 7
+
+    def test_gcd_infeasibility(self):
+        assert solve([CmpExpr(EQ, lin({0: 2}, -5))]).status == UNSAT
+
+    def test_contradictory_bounds(self):
+        result = solve([
+            CmpExpr(GE, lin({0: 1}, -10)),  # x >= 10
+            CmpExpr(LE, lin({0: 1}, -5)),   # x <= 5
+        ])
+        assert result.status == UNSAT
+
+    def test_empty_constraint_list_is_sat(self):
+        assert solve([]).status == SAT
+
+
+class TestMultiVariable:
+    def test_paper_example_h(self):
+        # x != y  and  2x == x + 10  (the introduction's h/f example).
+        model = assert_sat([
+            CmpExpr(NE, lin({0: 1, 1: -1})),
+            CmpExpr(EQ, lin({0: 2}, 0).sub(lin({0: 1}, 10))),
+        ])
+        assert model[0] == 10 and model[1] != 10
+
+    def test_paper_example_z_unsat(self):
+        # x == y and y == x + 10 (Section 2.4): infeasible.
+        result = solve([
+            CmpExpr(EQ, lin({0: 1, 1: -1})),
+            CmpExpr(EQ, lin({1: 1, 0: -1}, -10)),
+        ])
+        assert result.status == UNSAT
+
+    def test_chained_equalities(self):
+        model = assert_sat([
+            CmpExpr(EQ, lin({0: 1, 1: -1})),
+            CmpExpr(EQ, lin({1: 1, 2: -1})),
+            CmpExpr(EQ, lin({2: 1}, -4)),
+        ])
+        assert model[0] == model[1] == model[2] == 4
+
+    def test_sum_constraint(self):
+        model = assert_sat([
+            CmpExpr(EQ, lin({0: 1, 1: 1}, -100)),
+            CmpExpr(GE, lin({0: 1}, -40)),
+            CmpExpr(GE, lin({1: 1}, -40)),
+        ])
+        assert model[0] + model[1] == 100
+        assert model[0] >= 40 and model[1] >= 40
+
+    def test_parity_conflict(self):
+        # 2x + 2y == 4  and  x - y == 1: substitution then gcd failure.
+        result = solve([
+            CmpExpr(EQ, lin({0: 2, 1: 2}, -4)),
+            CmpExpr(EQ, lin({0: 1, 1: -1}, -1)),
+        ])
+        assert result.status == UNSAT
+
+    def test_no_unit_coefficient_equality(self):
+        # 3x + 5y == 1: solved exactly by the Omega transformation even
+        # over the full int32 domain.
+        model = assert_sat([CmpExpr(EQ, lin({0: 3, 1: 5}, -1))])
+        assert 3 * model[0] + 5 * model[1] == 1
+
+    def test_omega_large_coprime_coefficients(self):
+        model = assert_sat([CmpExpr(EQ, lin({0: 127, 1: 257}, -5))])
+        assert 127 * model[0] + 257 * model[1] == 5
+
+    def test_omega_huge_coefficients(self):
+        model = assert_sat(
+            [CmpExpr(EQ, lin({0: 1000003, 1: 999983}, -20))]
+        )
+        assert 1000003 * model[0] + 999983 * model[1] == 20
+
+    def test_omega_three_variables(self):
+        model = assert_sat([CmpExpr(EQ, lin({0: 3, 1: 6, 2: 22}, -1))])
+        assert 3 * model[0] + 6 * model[1] + 22 * model[2] == 1
+
+    def test_omega_with_sign_constraints_unsat(self):
+        # 7x + 12y == 17 has no solution with both x, y >= 0.
+        result = solve([
+            CmpExpr(EQ, lin({0: 7, 1: 12}, -17)),
+            CmpExpr(GE, lin({0: 1})),
+            CmpExpr(GE, lin({1: 1})),
+        ])
+        assert result.status == UNSAT
+
+    def test_omega_auxiliaries_stay_out_of_the_model_slots(self):
+        # Negative ordinals (Omega auxiliaries) may appear in the raw
+        # model but must never leak into an input vector update.
+        from repro.dart.inputs import InputVector
+
+        result = solve([CmpExpr(EQ, lin({0: 3, 1: 5}, -1))])
+        assert result.status == SAT
+        im = InputVector()
+        im.record(0, "int", 0)
+        im.record(1, "int", 0)
+        merged = im.updated(result.model)
+        assert 3 * merged[0].value + 5 * merged[1].value == 1
+
+    def test_multi_var_disequality(self):
+        model = assert_sat([
+            CmpExpr(EQ, lin({0: 1, 1: 1}, -10)),
+            CmpExpr(NE, lin({0: 1, 1: -1})),
+        ])
+        assert model[0] != model[1]
+
+    def test_triangular_system(self):
+        model = assert_sat([
+            CmpExpr(LE, lin({0: 1, 1: 1}, -10)),   # x + y <= 10
+            CmpExpr(GE, lin({0: 1}, -3)),          # x >= 3
+            CmpExpr(GE, lin({1: 1}, -4)),          # y >= 4
+            CmpExpr(NE, lin({0: 1, 1: -1})),       # x != y
+        ])
+        assert model[0] + model[1] <= 10
+
+    def test_result_nodes_counted(self):
+        result = solve([CmpExpr(EQ, lin({0: 1}, -1))])
+        assert result.nodes >= 1
+
+
+class TestBudget:
+    def test_tiny_budget_degrades_to_unknown_not_wrong(self):
+        constraints = [
+            CmpExpr(EQ, lin({0: 3, 1: 5, 2: 7}, -23)),
+            CmpExpr(NE, lin({0: 1, 1: -1})),
+            CmpExpr(GE, lin({2: 1}, 0)),
+        ]
+        result = solve(constraints, node_budget=2)
+        assert result.status in (SAT, UNKNOWN, UNSAT)
+        if result.status == SAT:
+            for constraint in constraints:
+                assert constraint.evaluate(result.model)
+
+    def test_default_domains_are_int32(self):
+        model = assert_sat([CmpExpr(LE, lin({0: -1}, -(2**31)))])
+        assert model[0] == -(2**31)
+
+
+class TestNormalization:
+    def test_strict_to_nonstrict(self):
+        problem = normalize([CmpExpr(LT, lin({0: 1}))], {})
+        assert problem.inequalities[0].const == 1  # x + 1 <= 0
+
+    def test_ge_flips(self):
+        problem = normalize([CmpExpr(GE, lin({0: 1}, -2))], {})
+        assert problem.inequalities[0].coeffs == {0: -1}
+
+    def test_substitute(self):
+        target = lin({0: 2, 1: 1}, 3)
+        replaced = substitute(target, 0, lin({2: 1}, -1))
+        assert replaced.coeffs == {1: 1, 2: 2}
+        assert replaced.const == 1
+
+    def test_eliminate_records_substitutions(self):
+        problem = normalize([CmpExpr(EQ, lin({0: 1, 1: -2}, 0))], {})
+        eliminate_equalities(problem)
+        assert not problem.infeasible
+        assert len(problem.substitutions) == 1
+
+    def test_constant_false_equality(self):
+        problem = normalize([CmpExpr(EQ, lin({}, 5))], {})
+        eliminate_equalities(problem)
+        assert problem.infeasible
+
+
+class TestModelVerification:
+    def test_models_always_verified(self):
+        # A large adversarial mix; whatever comes back as SAT must verify.
+        constraints = [
+            CmpExpr(LE, lin({0: 2, 1: -3}, 7)),
+            CmpExpr(GT, lin({1: 1, 2: 4}, -9)),
+            CmpExpr(NE, lin({0: 1, 2: 1}, -1)),
+            CmpExpr(EQ, lin({0: 1, 1: 1, 2: 1}, -6)),
+        ]
+        result = solve(constraints, domains={i: (-50, 50) for i in range(3)})
+        if result.status == SAT:
+            for constraint in constraints:
+                assert constraint.evaluate(result.model)
+
+    def test_deterministic_given_seed(self):
+        constraints = [CmpExpr(NE, lin({0: 1, 1: -1}))]
+        a = solve(constraints, seed=5)
+        b = solve(constraints, seed=5)
+        assert a.model == b.model

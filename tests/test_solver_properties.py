@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the solver and symbolic layers.
+
+Core invariants:
+
+* **soundness of SAT** — any model returned satisfies every constraint and
+  every domain bound (the solver verifies internally; this re-verifies
+  independently);
+* **soundness of UNSAT** — a randomly generated *known-satisfiable* system
+  is never declared UNSAT;
+* **negation** — a CmpExpr and its negation partition every assignment;
+* **linear algebra** — LinExpr operations agree with direct evaluation.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.solver import SAT, Solver, UNSAT
+from repro.symbolic.expr import CmpExpr, EQ, GE, GT, LE, LT, NE, LinExpr
+
+OPS = [EQ, NE, LT, LE, GT, GE]
+
+small_ints = st.integers(min_value=-50, max_value=50)
+coeffs = st.dictionaries(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=-5, max_value=5),
+    max_size=4,
+)
+
+
+@st.composite
+def lin_exprs(draw):
+    return LinExpr(draw(coeffs), draw(small_ints))
+
+
+@st.composite
+def assignments(draw):
+    return {var: draw(small_ints) for var in range(4)}
+
+
+@st.composite
+def satisfiable_systems(draw):
+    """A constraint system built to be satisfied by a known witness."""
+    witness = draw(assignments())
+    constraints = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        lin = draw(lin_exprs())
+        value = lin.evaluate(witness)
+        # Pick an operator this witness satisfies.
+        candidates = [EQ] if value == 0 else [NE]
+        if value <= 0:
+            candidates.append(LE)
+        if value < 0:
+            candidates.append(LT)
+        if value >= 0:
+            candidates.append(GE)
+        if value > 0:
+            candidates.append(GT)
+        constraints.append(CmpExpr(draw(st.sampled_from(candidates)), lin))
+    return witness, constraints
+
+
+class TestLinExprAlgebra:
+    @given(lin_exprs(), lin_exprs(), assignments())
+    def test_add_agrees_with_evaluation(self, a, b, env):
+        assert a.add(b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(lin_exprs(), lin_exprs(), assignments())
+    def test_sub_agrees_with_evaluation(self, a, b, env):
+        assert a.sub(b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(lin_exprs(), small_ints, assignments())
+    def test_scale_agrees_with_evaluation(self, a, k, env):
+        assert a.scale(k).evaluate(env) == k * a.evaluate(env)
+
+    @given(lin_exprs(), assignments())
+    def test_negate_is_scale_minus_one(self, a, env):
+        assert a.negate().evaluate(env) == -a.evaluate(env)
+
+    @given(lin_exprs(), lin_exprs())
+    def test_add_commutes(self, a, b):
+        assert a.add(b) == b.add(a)
+
+
+class TestCmpExprNegation:
+    @given(st.sampled_from(OPS), lin_exprs(), assignments())
+    def test_negation_partitions(self, op, lin, env):
+        constraint = CmpExpr(op, lin)
+        assert constraint.evaluate(env) != constraint.negate().evaluate(env)
+
+    @given(st.sampled_from(OPS), lin_exprs())
+    def test_double_negation_identity(self, op, lin):
+        constraint = CmpExpr(op, lin)
+        assert constraint.negate().negate() == constraint
+
+
+class TestSolverSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(satisfiable_systems())
+    def test_satisfiable_never_reported_unsat(self, case):
+        witness, constraints = case
+        result = Solver(seed=1).solve(constraints)
+        assert result.status != UNSAT, (
+            "solver refuted a system satisfied by {}".format(witness)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(satisfiable_systems())
+    def test_sat_models_verify(self, case):
+        _, constraints = case
+        result = Solver(seed=2).solve(constraints)
+        if result.status == SAT:
+            for constraint in constraints:
+                assert constraint.evaluate(result.model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(satisfiable_systems(), st.integers(min_value=0, max_value=9999))
+    def test_deterministic_for_fixed_seed(self, case, seed):
+        _, constraints = case
+        a = Solver(seed=seed).solve(constraints)
+        b = Solver(seed=seed).solve(constraints)
+        assert a.status == b.status
+        assert a.model == b.model
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-50, max_value=50).filter(lambda c: c),
+            min_size=1, max_size=4,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-100, max_value=100),
+        ),
+    )
+    def test_omega_solves_every_witnessed_equality(self, coeffs, values):
+        """Equalities with arbitrary coefficients (the Omega-elimination
+        path) are decided SAT whenever a witness exists by construction."""
+        witness = {v: values.get(v, 0) for v in coeffs}
+        const = -sum(c * witness[v] for v, c in coeffs.items())
+        constraint = CmpExpr(EQ, LinExpr(coeffs, const))
+        result = Solver(seed=0).solve([constraint])
+        assert result.status == SAT
+        assert constraint.evaluate(result.model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(satisfiable_systems())
+    def test_models_respect_domains(self, case):
+        _, constraints = case
+        domains = {v: (-1000, 1000) for v in range(4)}
+        result = Solver(seed=3).solve(constraints, domains)
+        if result.status == SAT:
+            for var, value in result.model.items():
+                lo, hi = domains.get(var, (-(2**31), 2**31 - 1))
+                assert lo <= value <= hi

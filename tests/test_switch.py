@@ -1,0 +1,172 @@
+"""Tests for the switch statement: parsing, semantics, C fall-through
+semantics, and DART's ability to steer into case arms."""
+
+import pytest
+
+from repro import dart_check
+from repro.interp import Machine
+from repro.minic import compile_program
+from repro.minic.errors import SemanticError
+
+CLASSIFY = """
+int classify(int x) {
+  int r;
+  r = 0;
+  switch (x) {
+    case 1:
+    case 2:
+      r = 10;
+      break;
+    case 3:
+      r = 20;      /* falls through into case 4 */
+    case 4:
+      r = r + 1;
+      break;
+    default:
+      r = -1;
+  }
+  return r;
+}
+"""
+
+
+def run(source, function, args):
+    return Machine(compile_program(source)).run(function, args)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("x,expected", [
+        (1, 10),   # shared label
+        (2, 10),
+        (3, 21),   # fall-through: 20 then +1
+        (4, 1),    # entered directly: 0 then +1
+        (99, -1),  # default
+        (-5, -1),
+    ])
+    def test_classify(self, x, expected):
+        assert run(CLASSIFY, "classify", (x,)) == expected
+
+    def test_switch_without_default_falls_past(self):
+        src = """
+        int f(int x) {
+          switch (x) { case 1: return 10; }
+          return 0;
+        }
+        """
+        assert run(src, "f", (1,)) == 10
+        assert run(src, "f", (2,)) == 0
+
+    def test_case_expression_constants(self):
+        src = """
+        enum { BASE = 100 };
+        int f(int x) {
+          switch (x) {
+            case BASE + 1: return 1;
+            case BASE + 2: return 2;
+          }
+          return 0;
+        }
+        """
+        assert run(src, "f", (101,)) == 1
+        assert run(src, "f", (102,)) == 2
+
+    def test_subject_evaluated_once(self):
+        src = """
+        int calls = 0;
+        int next(void) { calls = calls + 1; return calls; }
+        int f(void) {
+          switch (next()) {
+            case 1: break;
+            case 2: break;
+          }
+          return calls;
+        }
+        """
+        assert run(src, "f", ()) == 1
+
+    def test_break_inside_switch_inside_loop(self):
+        src = """
+        int f(void) {
+          int i; int total;
+          total = 0;
+          for (i = 0; i < 5; i++) {
+            switch (i) {
+              case 2: total = total + 100; break;
+              default: total = total + 1;
+            }
+          }
+          return total;
+        }
+        """
+        assert run(src, "f", ()) == 104
+
+    def test_continue_inside_switch_targets_loop(self):
+        src = """
+        int f(void) {
+          int i; int total;
+          total = 0;
+          for (i = 0; i < 4; i++) {
+            switch (i) {
+              case 1: continue;
+              default: ;
+            }
+            total = total + 1;
+          }
+          return total;
+        }
+        """
+        assert run(src, "f", ()) == 3
+
+
+class TestStaticChecks:
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            compile_program(
+                "int f(int x) { switch (x) { case 1: case 1: break; }"
+                " return 0; }"
+            )
+
+    def test_multiple_defaults_rejected(self):
+        with pytest.raises(SemanticError, match="default"):
+            compile_program(
+                "int f(int x) { switch (x) { default: default: break; }"
+                " return 0; }"
+            )
+
+    def test_non_constant_case_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_program(
+                "int f(int x, int y) { switch (x) { case y: break; }"
+                " return 0; }"
+            )
+
+    def test_non_integer_subject_rejected(self):
+        with pytest.raises(SemanticError, match="integer"):
+            compile_program(
+                "int f(int *p) { switch (p) { case 0: break; } return 0; }"
+            )
+
+
+class TestDirectedSearchThroughSwitch:
+    def test_dart_reaches_deep_case(self):
+        source = """
+        int f(int x) {
+          switch (x) {
+            case 77123: abort();
+            case 5: return 5;
+            default: return 0;
+          }
+          return 1;
+        }
+        """
+        result = dart_check(source, "f", max_iterations=50, seed=0)
+        assert result.status == "bug_found"
+        assert result.first_error().inputs == [77123]
+
+    def test_dart_explores_all_arms(self):
+        result = dart_check(CLASSIFY, "classify",
+                            max_iterations=100, seed=0)
+        assert result.status == "complete"
+        # arms: 1, 2, 3, 4, default = 5 paths.
+        assert len(result.stats.distinct_paths) == 5
+        assert result.coverage.percent == 100.0

@@ -1,0 +1,140 @@
+"""Unit tests for the mini-C type system (sizes, layout, conversions)."""
+
+import pytest
+
+from repro.minic import typesys as ts
+from repro.minic.errors import SemanticError
+
+
+class TestScalarTypes:
+    def test_sizes(self):
+        assert ts.CHAR.size == 1
+        assert ts.SHORT.size == 2
+        assert ts.INT.size == 4
+        assert ts.UINT.size == 4
+        assert ts.PointerType(ts.INT).size == 4
+
+    def test_ranges(self):
+        assert ts.CHAR.min_value == -128 and ts.CHAR.max_value == 127
+        assert ts.UCHAR.min_value == 0 and ts.UCHAR.max_value == 255
+        assert ts.INT.min_value == -(1 << 31)
+        assert ts.UINT.max_value == (1 << 32) - 1
+
+    def test_equality_is_structural(self):
+        assert ts.IntType(4, signed=True) == ts.INT
+        assert ts.IntType(4, signed=False) != ts.INT
+        assert ts.PointerType(ts.INT) == ts.PointerType(ts.INT)
+        assert ts.PointerType(ts.INT) != ts.PointerType(ts.CHAR)
+
+    def test_predicates(self):
+        assert ts.INT.is_integer() and ts.INT.is_scalar()
+        assert ts.PointerType(ts.VOID).is_pointer()
+        assert not ts.VOID.is_complete()
+
+    def test_str_rendering(self):
+        assert str(ts.INT) == "int"
+        assert str(ts.UCHAR) == "unsigned char"
+        assert str(ts.PointerType(ts.CHAR)) == "char*"
+
+
+class TestArrays:
+    def test_size(self):
+        assert ts.ArrayType(ts.INT, 10).size == 40
+        assert ts.ArrayType(ts.CHAR, 7).size == 7
+
+    def test_alignment_follows_element(self):
+        assert ts.ArrayType(ts.INT, 3).alignment == 4
+        assert ts.ArrayType(ts.CHAR, 3).alignment == 1
+
+    def test_decay(self):
+        decayed = ts.ArrayType(ts.INT, 5).decay()
+        assert decayed == ts.PointerType(ts.INT)
+
+    def test_incomplete_array(self):
+        assert not ts.ArrayType(ts.INT, None).is_complete()
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SemanticError):
+            ts.ArrayType(ts.INT, -1)
+
+
+class TestStructLayout:
+    def make(self, *fields):
+        struct = ts.StructType("s")
+        struct.define([ts.StructField(n, t) for n, t in fields])
+        return struct
+
+    def test_packed_same_type(self):
+        struct = self.make(("a", ts.INT), ("b", ts.INT))
+        assert struct.size == 8
+        assert struct.field("b").offset == 4
+
+    def test_padding_for_alignment(self):
+        # char at 0, int must start at 4 -> size 8.
+        struct = self.make(("c", ts.CHAR), ("i", ts.INT))
+        assert struct.field("i").offset == 4
+        assert struct.size == 8
+
+    def test_tail_padding(self):
+        # The paper's struct foo { int i; char c; }: c at offset 4
+        # (== sizeof(int), the aliasing offset used in Section 2.5),
+        # total size rounded to 8.
+        struct = self.make(("i", ts.INT), ("c", ts.CHAR))
+        assert struct.field("c").offset == 4
+        assert struct.size == 8
+
+    def test_short_packing(self):
+        struct = self.make(("a", ts.CHAR), ("b", ts.SHORT), ("c", ts.CHAR))
+        assert struct.field("b").offset == 2
+        assert struct.field("c").offset == 4
+        assert struct.size == 6
+
+    def test_nested_struct_field(self):
+        inner = self.make(("x", ts.INT), ("y", ts.INT))
+        outer = ts.StructType("outer")
+        outer.define([
+            ts.StructField("tag", ts.CHAR),
+            ts.StructField("pt", inner),
+        ])
+        assert outer.field("pt").offset == 4
+        assert outer.size == 12
+
+    def test_unknown_field_rejected(self):
+        struct = self.make(("a", ts.INT))
+        with pytest.raises(SemanticError):
+            struct.field("nope")
+
+    def test_redefinition_rejected(self):
+        struct = self.make(("a", ts.INT))
+        with pytest.raises(SemanticError):
+            struct.define([ts.StructField("b", ts.INT)])
+
+    def test_incomplete_struct_use_rejected(self):
+        struct = ts.StructType("fwd")
+        with pytest.raises(SemanticError):
+            struct.field("a")
+
+    def test_identity_equality(self):
+        a = self.make(("x", ts.INT))
+        b = ts.StructType("s")
+        b.define([ts.StructField("x", ts.INT)])
+        assert a != b  # same shape, different tags/identities
+        assert a == a
+
+
+class TestConversions:
+    def test_integer_promotion(self):
+        assert ts.integer_promote(ts.CHAR) == ts.INT
+        assert ts.integer_promote(ts.SHORT) == ts.INT
+        assert ts.integer_promote(ts.UINT) == ts.UINT
+
+    def test_usual_arithmetic_conversions(self):
+        assert ts.usual_arithmetic_conversion(ts.INT, ts.INT) == ts.INT
+        assert ts.usual_arithmetic_conversion(ts.INT, ts.UINT) == ts.UINT
+        assert ts.usual_arithmetic_conversion(ts.CHAR, ts.CHAR) == ts.INT
+
+    def test_function_type_equality(self):
+        f1 = ts.FunctionType(ts.INT, [ts.INT, ts.PointerType(ts.CHAR)])
+        f2 = ts.FunctionType(ts.INT, [ts.INT, ts.PointerType(ts.CHAR)])
+        f3 = ts.FunctionType(ts.INT, [ts.INT])
+        assert f1 == f2 and f1 != f3

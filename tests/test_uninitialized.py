@@ -1,0 +1,133 @@
+"""Tests for the uninitialized-read detector (the Purify-style extension)."""
+
+import pytest
+
+from repro import DartOptions, dart_check
+from repro.interp import Machine, MachineOptions
+from repro.interp.faults import UninitializedRead
+from repro.interp.memory import MemoryOptions
+from repro.minic import compile_program
+
+
+def run(source, function="f", args=(), track=True):
+    machine = Machine(
+        compile_program(source),
+        MachineOptions(
+            memory=MemoryOptions(track_uninitialized=track)
+        ),
+    )
+    return machine.run(function, args)
+
+
+class TestDetection:
+    def test_uninitialized_local_read_faults(self):
+        src = "int f(void) { int x; return x; }"
+        with pytest.raises(UninitializedRead):
+            run(src)
+
+    def test_initialized_local_is_fine(self):
+        src = "int f(void) { int x; x = 3; return x; }"
+        assert run(src) == 3
+
+    def test_decl_initializer_counts(self):
+        src = "int f(void) { int x = 9; return x; }"
+        assert run(src) == 9
+
+    def test_partial_struct_init_detected(self):
+        src = """
+        struct pair { int a; int b; };
+        int f(void) { struct pair p; p.a = 1; return p.b; }
+        """
+        with pytest.raises(UninitializedRead):
+            run(src)
+
+    def test_struct_copy_propagates_silently(self):
+        # Copying a partially initialized struct is fine (like C);
+        # only the later scalar read of the bad field faults.
+        src = """
+        struct pair { int a; int b; };
+        int f(void) {
+          struct pair p; struct pair q;
+          p.a = 1;
+          q = p;
+          return q.a;
+        }
+        """
+        assert run(src) == 1
+
+    def test_malloc_memory_uninitialized(self):
+        src = """
+        int f(void) {
+          int *p;
+          p = (int *) malloc(8);
+          return p[1];
+        }
+        """
+        with pytest.raises(UninitializedRead):
+            run(src)
+
+    def test_calloc_style_memset_initializes(self):
+        src = """
+        int f(void) {
+          int *p;
+          p = (int *) malloc(8);
+          memset(p, 0, 8);
+          return p[1];
+        }
+        """
+        assert run(src) == 0
+
+    def test_globals_are_zero_initialized(self):
+        src = "int g; int f(void) { return g; }"
+        assert run(src) == 0
+
+    def test_array_element_tracking(self):
+        src = """
+        int f(void) {
+          int a[4];
+          a[0] = 1; a[2] = 3;
+          return a[1];
+        }
+        """
+        with pytest.raises(UninitializedRead):
+            run(src)
+
+    def test_disabled_by_default(self):
+        src = "int f(void) { int x; return x; }"
+        assert run(src, track=False) == 0  # zero-filled, no check
+
+
+class TestDartIntegration:
+    def test_dart_reports_uninitialized_reads_as_bugs(self):
+        # The bug only fires down a branch: DART steers into it.
+        src = """
+        int f(int mode) {
+          int result;
+          if (mode == 4242) {
+            return result;   /* forgot to set it on this path */
+          }
+          result = mode;
+          return result;
+        }
+        """
+        options = DartOptions(max_iterations=100, seed=0,
+                              track_uninitialized=True)
+        result = dart_check(src, "f", options)
+        assert result.found_error
+        assert result.first_error().kind == "uninitialized read"
+        assert result.first_error().inputs[0] == 4242
+
+    def test_driver_inputs_are_always_initialized(self):
+        src = """
+        struct box { int v; };
+        int f(struct box *b, int n) {
+          if (b == NULL) return -1;
+          return b->v + n;
+        }
+        """
+        options = DartOptions(max_iterations=100, seed=0,
+                              track_uninitialized=True)
+        result = dart_check(src, "f", options)
+        # random_init writes every input cell: no false positives.
+        assert not result.found_error
+        assert result.complete

@@ -1,0 +1,86 @@
+"""Unit tests for the 32-bit machine-arithmetic helpers."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.interp import values
+from repro.minic import typesys as ts
+
+
+class TestWrapping:
+    def test_wrap_signed_identity_in_range(self):
+        assert values.wrap_signed(123) == 123
+        assert values.wrap_signed(-123) == -123
+
+    def test_wrap_signed_overflow(self):
+        assert values.wrap_signed(2**31) == -(2**31)
+        assert values.wrap_signed(2**31 - 1) == 2**31 - 1
+        assert values.wrap_signed(-(2**31) - 1) == 2**31 - 1
+
+    def test_wrap_unsigned(self):
+        assert values.wrap_unsigned(2**32) == 0
+        assert values.wrap_unsigned(-1) == 2**32 - 1
+
+    def test_narrow_widths(self):
+        assert values.wrap_signed(200, size=1) == -56
+        assert values.wrap_unsigned(257, size=1) == 1
+        assert values.wrap_signed(0x18000, size=2) == -(0x8000)
+
+    def test_wrap_dispatches_on_type(self):
+        assert values.wrap(300, ts.CHAR) == 44
+        assert values.wrap(300, ts.UCHAR) == 44
+        assert values.wrap(-1, ts.UCHAR) == 255
+        assert values.wrap(2**31, ts.INT) == -(2**31)
+
+    def test_to_unsigned(self):
+        assert values.to_unsigned(-1) == 0xFFFFFFFF
+        assert values.to_unsigned(5) == 5
+
+
+class TestCDivMod:
+    def test_truncation_toward_zero(self):
+        assert values.c_div(7, 2) == 3
+        assert values.c_div(-7, 2) == -3
+        assert values.c_div(7, -2) == -3
+        assert values.c_div(-7, -2) == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert values.c_mod(7, 2) == 1
+        assert values.c_mod(-7, 2) == -1
+        assert values.c_mod(7, -2) == 1
+        assert values.c_mod(-7, -2) == -1
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=-10**9, max_value=10**9).filter(bool))
+    def test_division_identity(self, a, b):
+        assert values.c_div(a, b) * b + values.c_mod(a, b) == a
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    def test_remainder_magnitude(self, a, b):
+        assert abs(values.c_mod(a, b)) < b
+
+
+class TestByteCodecs:
+    def test_roundtrip_signed(self):
+        for value in (-1, 0, 1, -(2**31), 2**31 - 1):
+            data = values.int_to_bytes(value, 4, signed=True)
+            assert values.int_from_bytes(data, signed=True) == value
+
+    def test_roundtrip_unsigned(self):
+        for value in (0, 1, 2**32 - 1):
+            data = values.int_to_bytes(value, 4, signed=False)
+            assert values.int_from_bytes(data, signed=False) == value
+
+    def test_little_endian_layout(self):
+        assert values.int_to_bytes(0x01020304, 4, signed=False) == \
+            b"\x04\x03\x02\x01"
+
+    def test_encode_wraps_out_of_range(self):
+        assert values.int_to_bytes(2**31, 4, signed=True) == \
+            b"\x00\x00\x00\x80"
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip_property(self, value):
+        data = values.int_to_bytes(value, 4, signed=True)
+        assert values.int_from_bytes(data, signed=True) == value
