@@ -3,14 +3,19 @@
 Runs DART (or the random-testing baseline) on a mini-C source file and
 prints the verdict, the errors with their triggering input vectors, branch
 coverage, and session statistics.  Exit status: 0 = no error found,
-1 = bug(s) found, 2 = the input failed to compile.
+1 = bug(s) found, 2 = the input failed to compile, 130 = interrupted
+(SIGINT/SIGTERM; with ``--state-file`` a checkpoint was saved and the
+same command resumes the search).
 """
 
 import argparse
+import json
+import os
 import sys
 
 from repro.dart.config import DartOptions
 from repro.dart.random_testing import RandomTester
+from repro.dart.report import INTERRUPTED
 from repro.dart.runner import Dart
 from repro.minic import compile_program
 from repro.minic.disasm import disassemble
@@ -34,10 +39,24 @@ def build_parser():
                         choices=("dfs", "bfs", "random"))
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget in seconds")
+    parser.add_argument("--run-time-limit", type=float, default=None,
+                        help="wall-clock budget for a single run; a run "
+                             "exceeding it is quarantined and the search "
+                             "continues")
     parser.add_argument("--max-init-depth", type=int, default=None,
                         help="bound random_init pointer recursion")
     parser.add_argument("--all-errors", action="store_true",
                         help="keep searching after the first error")
+    parser.add_argument("--state-file", default=None,
+                        help="checkpoint file: the session periodically "
+                             "saves its full state there and resumes from "
+                             "it on the next invocation")
+    parser.add_argument("--checkpoint-every", type=int, default=25,
+                        help="runs between checkpoint autosaves "
+                             "(with --state-file; default 25)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result (errors, quarantined "
+                             "runs, stats, coverage) as JSON")
     parser.add_argument("--random", action="store_true",
                         help="random-testing baseline (no directed search)")
     parser.add_argument("--disasm", action="store_true",
@@ -45,6 +64,12 @@ def build_parser():
     parser.add_argument("--quiet", action="store_true",
                         help="print only the verdict line")
     return parser
+
+
+def _exit_code(result):
+    if result.status == INTERRUPTED:
+        return 130
+    return 1 if result.found_error else 0
 
 
 def main(argv=None):
@@ -69,6 +94,15 @@ def main(argv=None):
         print("error: a toplevel function is required", file=sys.stderr)
         return 2
 
+    if args.state_file:
+        # Fail fast: discovering an unwritable checkpoint path at the
+        # first autosave would lose the session's work.
+        parent = os.path.dirname(os.path.abspath(args.state_file))
+        if not os.path.isdir(parent):
+            print("error: --state-file directory does not exist: {}"
+                  .format(parent), file=sys.stderr)
+            return 2
+
     options = DartOptions(
         depth=args.depth,
         max_iterations=args.max_iterations,
@@ -76,7 +110,11 @@ def main(argv=None):
         strategy=args.strategy,
         stop_on_first_error=not args.all_errors,
         time_limit=args.time_limit,
+        run_time_limit=args.run_time_limit,
         max_init_depth=args.max_init_depth,
+        state_file=args.state_file,
+        checkpoint_every=args.checkpoint_every,
+        handle_signals=True,
     )
     tester_class = RandomTester if args.random else Dart
     try:
@@ -87,11 +125,16 @@ def main(argv=None):
         return 2
 
     result = tester.run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return _exit_code(result)
     print(result.describe())
     if args.quiet:
-        return 1 if result.found_error else 0
+        return _exit_code(result)
     for error in result.errors:
         print(" -", error.describe())
+    for record in result.quarantined:
+        print(" ! quarantined:", record.describe())
     if result.coverage is not None:
         print("coverage: {}".format(result.coverage.describe()))
     stats = result.stats.summary()
@@ -101,4 +144,4 @@ def main(argv=None):
         "{solver_unsat} / unknown {solver_unknown}), "
         "restarts: {random_restarts}, elapsed: {elapsed_s}s".format(**stats)
     )
-    return 1 if result.found_error else 0
+    return _exit_code(result)

@@ -24,7 +24,12 @@ from repro.dart.driver import generate_driver, build_test_program
 from repro.dart.interface import extract_interface
 from repro.dart.inputs import InputVector, domain_for_kind
 from repro.dart.random_testing import RandomTester, random_check
-from repro.dart.report import DartResult, ErrorReport, RunStats
+from repro.dart.report import (
+    DartResult,
+    ErrorReport,
+    QuarantineRecord,
+    RunStats,
+)
 from repro.dart.runner import Dart, dart_check
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "DartResult",
     "ErrorReport",
     "InputVector",
+    "QuarantineRecord",
     "RandomTester",
     "RunStats",
     "build_test_program",

@@ -1,5 +1,7 @@
 """Configuration for DART runs."""
 
+import hashlib
+
 from repro.interp.memory import MemoryOptions
 
 #: Branch-selection strategies for solve_path_constraint (footnote 4 of the
@@ -37,6 +39,11 @@ class DartOptions:
         track_uninitialized=False,
         time_limit=None,
         state_file=None,
+        run_time_limit=None,
+        watchdog_interval=1024,
+        checkpoint_every=25,
+        solver_escalation=4,
+        handle_signals=False,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -75,9 +82,47 @@ class DartOptions:
         #: Optional wall-clock budget in seconds for a session.
         self.time_limit = time_limit
         #: Path for inter-run state (the paper keeps the branch stack "in
-        #: a file between executions"); lets a dfs search resume after an
-        #: exhausted budget.  None keeps state in memory only.
+        #: a file between executions"); lets a search resume after an
+        #: exhausted budget or an interrupt.  None keeps state in memory
+        #: only.
         self.state_file = state_file
+        #: Optional wall-clock budget in seconds for a *single* run.  A
+        #: run exceeding it is quarantined as ``run-timeout`` and the
+        #: search continues.  (The session ``time_limit`` is additionally
+        #: enforced mid-run through the same watchdog.)
+        self.run_time_limit = run_time_limit
+        #: RAM-machine steps between wall-clock watchdog checks.
+        self.watchdog_interval = watchdog_interval
+        #: With ``state_file`` set, autosave a session checkpoint every
+        #: this many runs (in addition to budget-exhaustion / signal
+        #: checkpoints).  0 disables periodic autosave.
+        self.checkpoint_every = checkpoint_every
+        #: On a solver ``unknown`` (node budget exhausted), retry once
+        #: with the budget multiplied by this factor before degrading to
+        #: the random-testing fallback.  <= 1 disables the retry.
+        self.solver_escalation = solver_escalation
+        #: Install SIGINT/SIGTERM handlers for the duration of the session
+        #: that checkpoint (when ``state_file`` is set) and return a
+        #: partial result instead of dying mid-run.  The CLI enables this.
+        self.handle_signals = handle_signals
+
+    def digest(self):
+        """A stable hash of the options that shape the *search*.
+
+        Budget-style knobs (iteration/time limits, checkpoint cadence,
+        signal handling) are excluded: resuming an exhausted session with
+        a bigger budget must be allowed, while resuming with a different
+        strategy, seed or instrumentation semantics must be rejected.
+        """
+        relevant = (
+            self.depth, self.strategy, self.seed,
+            self.stop_on_first_error, self.max_steps,
+            self.solver_node_budget, self.directed_pointer_choices,
+            self.max_init_depth, self.transparent_memory,
+            self.stack_limit, self.heap_limit, self.max_call_depth,
+            self.track_uninitialized, self.solver_escalation,
+        )
+        return hashlib.sha256(repr(relevant).encode()).hexdigest()[:16]
 
     def memory_options(self):
         return MemoryOptions(

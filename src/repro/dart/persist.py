@@ -1,19 +1,32 @@
-"""Inter-run state persistence.
+"""Inter-run state persistence and v2 session checkpoints.
 
 The paper's architecture re-executes the instrumented *process* for every
 run, so the branch stack and the input vector are "kept in a file between
-executions" (Section 2.3).  Our runs share a Python process and normally
-pass the state in memory, but the same file format is supported so that a
-directed search can be suspended (budget exhausted, process killed) and
-resumed later: pass ``DartOptions(state_file=...)`` and re-run.
+executions" (Section 2.3) and a crash loses at most one execution.  Our
+runs share a Python process, so the same durability is provided by
+*session checkpoints*: pass ``DartOptions(state_file=...)`` and the runner
+periodically serializes everything needed to resume — engine kind, the
+pending worklist, the RNG state, statistics, discovered errors, covered
+branches — plus a **program fingerprint** (source hash + toplevel +
+options digest) so a stale checkpoint from a different program or
+configuration is rejected instead of silently replayed, and a checksum so
+a torn or corrupted file is detected.
 
-The file holds one JSON object::
+Two formats live here:
 
-    {"version": 1,
-     "stack": [[branch, done], ...],
-     "im": [[kind, value], ...]}
+* **v1** (``save_state``/``load_state``): the bare dfs (stack, IM) pair,
+  kept for compatibility with the paper's literal "stack in a file".
+* **v2** (``save_checkpoint``/``load_checkpoint``): the full session
+  checkpoint used by the runner::
+
+      {"version": 2, "checksum": "<sha256 of the body>",
+       "body": {"fingerprint": {...}, "engine": ..., "rng": ...,
+                "counters": {...}, "errors": [...], ...}}
+
+Writes are atomic (write to a temp file, then ``os.replace``).
 """
 
+import hashlib
 import json
 import os
 
@@ -21,20 +34,51 @@ from repro.dart.inputs import InputVector
 from repro.dart.pathcond import StackEntry
 
 _VERSION = 1
+_CHECKPOINT_VERSION = 2
 
 
-def save_state(path, stack, im):
-    """Atomically write the predicted stack and input vector."""
-    payload = {
-        "version": _VERSION,
-        "stack": [[entry.branch, 1 if entry.done else 0]
-                  for entry in stack],
-        "im": [[slot.kind, slot.value] for slot in im],
-    }
+# -- shared encoding helpers -------------------------------------------------
+
+def _encode_stack(stack):
+    return [[entry.branch, 1 if entry.done else 0] for entry in stack]
+
+
+def _decode_stack(payload):
+    return [StackEntry(int(branch), bool(done)) for branch, done in payload]
+
+
+def _encode_im(im):
+    return [[slot.kind, slot.value] for slot in im]
+
+
+def _decode_im(payload):
+    im = InputVector()
+    for ordinal, (kind, value) in enumerate(payload):
+        im.record(ordinal, kind, int(value))
+    return im
+
+
+def _atomic_write(path, payload):
     tmp_path = path + ".tmp"
     with open(tmp_path, "w") as handle:
         json.dump(payload, handle)
     os.replace(tmp_path, path)
+
+
+def _body_checksum(body):
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- v1: the paper's bare (stack, IM) pair -----------------------------------
+
+def save_state(path, stack, im):
+    """Atomically write the predicted stack and input vector."""
+    _atomic_write(path, {
+        "version": _VERSION,
+        "stack": _encode_stack(stack),
+        "im": _encode_im(im),
+    })
 
 
 def load_state(path):
@@ -47,13 +91,8 @@ def load_state(path):
     if not isinstance(payload, dict) or payload.get("version") != _VERSION:
         return None
     try:
-        stack = [
-            StackEntry(int(branch), bool(done))
-            for branch, done in payload["stack"]
-        ]
-        im = InputVector()
-        for ordinal, (kind, value) in enumerate(payload["im"]):
-            im.record(ordinal, kind, int(value))
+        stack = _decode_stack(payload["stack"])
+        im = _decode_im(payload["im"])
     except (KeyError, TypeError, ValueError):
         return None
     return stack, im
@@ -65,3 +104,145 @@ def clear_state(path):
         os.remove(path)
     except OSError:
         pass
+
+
+# -- v2: full session checkpoints --------------------------------------------
+
+class SessionCheckpoint:
+    """Everything a suspended session needs to resume exactly.
+
+    The runner builds one of these every K runs / on budget exhaustion /
+    on SIGINT, and consumes one at session start.  All fields are plain
+    JSON-serializable data; the runner owns the translation to and from
+    its live objects (see ``_Session.checkpoint`` / ``_restore``).
+    """
+
+    def __init__(self, fingerprint, engine, rng_state, flags, counters,
+                 distinct_paths, covered_branches, errors, quarantined,
+                 dfs_pending=None, worklist=None, clean_drain=True):
+        #: {"source": sha256, "toplevel": name, "options": digest}.
+        self.fingerprint = fingerprint
+        #: "dfs" or "generational" — a checkpoint never crosses engines.
+        self.engine = engine
+        #: ``random.Random().getstate()`` (tuples converted on load).
+        self.rng_state = rng_state
+        #: (all_linear, all_locs_definite, forcing_ok).
+        self.flags = flags
+        #: RunStats integer counters, keyed by attribute name.
+        self.counters = counters
+        #: List of path keys (tuples of branch bits).
+        self.distinct_paths = distinct_paths
+        #: List of (function, pc, taken) triples.
+        self.covered_branches = covered_branches
+        #: ErrorReport.to_dict() payloads.
+        self.errors = errors
+        #: QuarantineRecord.to_dict() payloads.
+        self.quarantined = quarantined
+        #: dfs engine: the next (stack, im) plan, or None.
+        self.dfs_pending = dfs_pending
+        #: generational engine: list of (stack, im, bound) items, or None.
+        self.worklist = worklist
+        #: generational engine: False once a mismatch tainted this drain.
+        self.clean_drain = clean_drain
+
+    # -- encoding ---------------------------------------------------------
+
+    def to_body(self):
+        body = {
+            "fingerprint": self.fingerprint,
+            "engine": self.engine,
+            "rng": [self.rng_state[0], list(self.rng_state[1]),
+                    self.rng_state[2]],
+            "flags": list(self.flags),
+            "counters": dict(self.counters),
+            "distinct_paths": [list(path) for path in self.distinct_paths],
+            "covered_branches": [list(entry)
+                                 for entry in self.covered_branches],
+            "errors": list(self.errors),
+            "quarantined": list(self.quarantined),
+            "clean_drain": self.clean_drain,
+        }
+        if self.dfs_pending is not None:
+            stack, im = self.dfs_pending
+            body["dfs"] = {"stack": _encode_stack(stack),
+                           "im": _encode_im(im)}
+        if self.worklist is not None:
+            body["worklist"] = [
+                {"stack": _encode_stack(stack), "im": _encode_im(im),
+                 "bound": bound}
+                for stack, im, bound in self.worklist
+            ]
+        return body
+
+    @classmethod
+    def from_body(cls, body):
+        rng = body["rng"]
+        dfs_pending = None
+        if "dfs" in body:
+            dfs_pending = (_decode_stack(body["dfs"]["stack"]),
+                           _decode_im(body["dfs"]["im"]))
+        worklist = None
+        if "worklist" in body:
+            worklist = [
+                (_decode_stack(item["stack"]), _decode_im(item["im"]),
+                 int(item["bound"]))
+                for item in body["worklist"]
+            ]
+        return cls(
+            fingerprint=dict(body["fingerprint"]),
+            engine=body["engine"],
+            rng_state=(rng[0], tuple(rng[1]), rng[2]),
+            flags=tuple(bool(flag) for flag in body["flags"]),
+            counters={key: int(value)
+                      for key, value in body["counters"].items()},
+            distinct_paths=[tuple(path) for path in body["distinct_paths"]],
+            covered_branches=[
+                (entry[0], int(entry[1]), bool(entry[2]))
+                for entry in body["covered_branches"]
+            ],
+            errors=list(body["errors"]),
+            quarantined=list(body["quarantined"]),
+            dfs_pending=dfs_pending,
+            worklist=worklist,
+            clean_drain=bool(body.get("clean_drain", True)),
+        )
+
+
+def save_checkpoint(path, checkpoint):
+    """Atomically write a v2 session checkpoint with a body checksum."""
+    body = checkpoint.to_body()
+    _atomic_write(path, {
+        "version": _CHECKPOINT_VERSION,
+        "checksum": _body_checksum(body),
+        "body": body,
+    })
+
+
+def load_checkpoint(path, fingerprint):
+    """Read and validate a v2 checkpoint; None when it must not be used.
+
+    Rejected (returning None, so the caller restarts cleanly): a missing
+    or unreadable file, a version mismatch, a checksum mismatch (torn or
+    corrupted write), and — crucially — a **fingerprint mismatch**: a
+    checkpoint written for a different program source, toplevel function
+    or search-relevant configuration.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("version") != _CHECKPOINT_VERSION:
+        return None
+    body = payload.get("body")
+    if not isinstance(body, dict):
+        return None
+    if _body_checksum(body) != payload.get("checksum"):
+        return None
+    if body.get("fingerprint") != fingerprint:
+        return None
+    try:
+        return SessionCheckpoint.from_body(body)
+    except (KeyError, IndexError, TypeError, ValueError):
+        return None

@@ -20,7 +20,7 @@ from repro.dart.report import (
     ErrorReport,
     RunStats,
 )
-from repro.interp.faults import ExecutionFault
+from repro.interp.faults import ExecutionFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.symbolic.flags import CompletenessFlags
 
@@ -72,6 +72,13 @@ class RandomTester:
                 if deadline is not None and time.perf_counter() > deadline:
                     break
                 stats.iterations += 1
+                run_deadline = None
+                if options.run_time_limit is not None:
+                    run_deadline = \
+                        time.perf_counter() + options.run_time_limit
+                if deadline is not None and (run_deadline is None
+                                             or deadline < run_deadline):
+                    run_deadline = deadline
                 im = InputVector()
                 hooks = RandomHooks(im, rng)
                 machine = Machine(
@@ -79,19 +86,26 @@ class RandomTester:
                     MachineOptions(
                         max_steps=options.max_steps,
                         memory=options.memory_options(),
+                        deadline=run_deadline,
+                        watchdog_interval=options.watchdog_interval,
                     ),
                     hooks,
                     CompletenessFlags(),
                 )
                 try:
                     machine.run(DRIVER_ENTRY)
+                except RunTimeout:
+                    # The watchdog bounds one pathological random run; the
+                    # baseline keeps drawing fresh vectors regardless.
+                    pass
                 except ExecutionFault as fault:
                     status = BUG_FOUND
                     key = (fault.kind, str(fault.location))
                     if key not in seen_error_keys:
                         seen_error_keys.add(key)
                         errors.append(
-                            ErrorReport(fault, im.values(), stats.iterations)
+                            ErrorReport(fault, im.values(), stats.iterations,
+                                        kinds=[slot.kind for slot in im])
                         )
                     if options.stop_on_first_error:
                         break

@@ -6,12 +6,18 @@ import time
 BUG_FOUND = "bug_found"  # case (a): a sound error was found
 COMPLETE = "complete"  # case (b): all feasible paths explored, no bug
 EXHAUSTED = "exhausted"  # budget/time ran out (case (c) in the limit)
+INTERRUPTED = "interrupted"  # SIGINT/SIGTERM: checkpointed partial result
+
+#: Quarantine classifications for runs aborted at the fault boundary.
+INTERNAL_ERROR = "internal-error"  # harness bug escaped the machine
+RUN_TIMEOUT = "run-timeout"  # the per-run wall-clock watchdog tripped
+RESOURCE_EXHAUSTED = "resource-exhausted"  # RecursionError / MemoryError
 
 
 class ErrorReport:
     """One detected program error, with everything needed to replay it."""
 
-    def __init__(self, fault, inputs, iteration, path=None):
+    def __init__(self, fault, inputs, iteration, path=None, kinds=None):
         #: The ExecutionFault instance (abort, assertion, segfault, ...).
         self.fault = fault
         #: The input vector (list of raw values) that triggers the error.
@@ -20,6 +26,10 @@ class ErrorReport:
         self.iteration = iteration
         #: Branch signature of the erroneous path, when available.
         self.path = path
+        #: Input kinds aligned with ``inputs`` ("int", "ptr_choice", ...);
+        #: replay needs them to rebuild slots with the right domains.
+        self.kinds = list(kinds) if kinds is not None \
+            else ["int"] * len(inputs)
 
     @property
     def kind(self):
@@ -34,26 +44,88 @@ class ErrorReport:
             self.fault.describe(), self.iteration, self.inputs
         )
 
+    def to_dict(self):
+        """A JSON-ready representation (also the checkpoint format)."""
+        return {
+            "kind": self.fault.kind,
+            "message": getattr(self.fault, "message", str(self.fault)),
+            "location": str(self.fault.location)
+            if self.fault.location is not None else None,
+            "inputs": list(self.inputs),
+            "kinds": list(self.kinds),
+            "iteration": self.iteration,
+            "path": list(self.path) if self.path is not None else None,
+        }
+
     def __repr__(self):
         return "ErrorReport({!r})".format(self.describe())
+
+
+class QuarantineRecord:
+    """One run aborted at the fault boundary, kept for post-mortem.
+
+    The paper's process-per-run architecture loses at most one execution
+    to a crash; this record is the in-process equivalent — the triggering
+    input vector plus a classification and a compact traceback summary,
+    so a harness bug (or a pathological run) costs one iteration instead
+    of the session.
+    """
+
+    def __init__(self, classification, inputs, kinds, iteration, detail):
+        #: One of INTERNAL_ERROR, RUN_TIMEOUT, RESOURCE_EXHAUSTED.
+        self.classification = classification
+        #: The input vector values at the moment the run died.
+        self.inputs = list(inputs)
+        #: Input kinds aligned with ``inputs``.
+        self.kinds = list(kinds)
+        #: 1-based run index of the quarantined execution.
+        self.iteration = iteration
+        #: Exception type, message and innermost harness frame.
+        self.detail = detail
+
+    def describe(self):
+        return "{} (run {}, inputs {}): {}".format(
+            self.classification, self.iteration, self.inputs, self.detail
+        )
+
+    def to_dict(self):
+        return {
+            "classification": self.classification,
+            "inputs": list(self.inputs),
+            "kinds": list(self.kinds),
+            "iteration": self.iteration,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            payload["classification"], payload["inputs"], payload["kinds"],
+            payload["iteration"], payload["detail"],
+        )
+
+    def __repr__(self):
+        return "QuarantineRecord({!r})".format(self.describe())
 
 
 class RunStats:
     """Counters accumulated over a session."""
 
+    #: Plain integer counters (checkpointed verbatim, in this order).
+    COUNTERS = (
+        "iterations", "paths_explored", "solver_calls", "solver_sat",
+        "solver_unsat", "solver_unknown", "solver_retries",
+        "solver_escalations", "forcing_failures", "random_restarts",
+        "branches_executed", "machine_steps",
+    )
+
     def __init__(self):
-        self.iterations = 0
-        self.paths_explored = 0
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
         self.distinct_paths = set()
-        self.solver_calls = 0
-        self.solver_sat = 0
-        self.solver_unsat = 0
-        self.solver_unknown = 0
-        self.forcing_failures = 0
-        self.random_restarts = 0
-        self.branches_executed = 0
-        self.machine_steps = 0
         self.covered_branches = set()
+        #: QuarantineRecord list — runs contained at the fault boundary.
+        self.quarantined = []
         self.started_at = time.perf_counter()
         self.elapsed = 0.0
 
@@ -73,10 +145,13 @@ class RunStats:
             "solver_sat": self.solver_sat,
             "solver_unsat": self.solver_unsat,
             "solver_unknown": self.solver_unknown,
+            "solver_retries": self.solver_retries,
+            "solver_escalations": self.solver_escalations,
             "forcing_failures": self.forcing_failures,
             "random_restarts": self.random_restarts,
             "branches": self.branches_executed,
             "steps": self.machine_steps,
+            "quarantined": len(self.quarantined),
             "elapsed_s": round(self.elapsed, 4),
         }
 
@@ -85,7 +160,7 @@ class DartResult:
     """Outcome of a DART (or random-testing) session."""
 
     def __init__(self, status, errors, stats, flags_snapshot,
-                 coverage=None):
+                 coverage=None, resumed=False):
         self.status = status
         self.errors = errors
         self.stats = stats
@@ -94,6 +169,8 @@ class DartResult:
         #: Branch-direction coverage of the program under test
         #: (:class:`repro.dart.coverage.BranchCoverage`), or None.
         self.coverage = coverage
+        #: True when the session picked up a v2 checkpoint and resumed.
+        self.resumed = resumed
 
     @property
     def found_error(self):
@@ -108,8 +185,37 @@ class DartResult:
         """True when termination proves full path coverage (Theorem 1(b))."""
         return self.status == COMPLETE
 
+    @property
+    def quarantined(self):
+        """Runs contained at the fault boundary (QuarantineRecord list)."""
+        return self.stats.quarantined
+
     def first_error(self):
         return self.errors[0] if self.errors else None
+
+    def to_dict(self):
+        """The full result as a JSON-ready dict (``repro --json``)."""
+        payload = {
+            "status": self.status,
+            "resumed": self.resumed,
+            "flags": {
+                "all_linear": self.flags[0],
+                "all_locs_definite": self.flags[1],
+                "forcing_ok": self.flags[2],
+            },
+            "errors": [error.to_dict() for error in self.errors],
+            "quarantined": [
+                record.to_dict() for record in self.stats.quarantined
+            ],
+            "stats": self.stats.summary(),
+        }
+        if self.coverage is not None:
+            payload["coverage"] = {
+                "covered_directions": self.coverage.covered_directions,
+                "total_directions": self.coverage.total_directions,
+                "percent": round(self.coverage.percent, 2),
+            }
+        return payload
 
     def describe(self):
         if self.status == BUG_FOUND:
@@ -120,6 +226,11 @@ class DartResult:
             return (
                 "No bug; all {} feasible paths explored in {} run(s)"
             ).format(len(self.stats.distinct_paths), self.iterations)
+        if self.status == INTERRUPTED:
+            return (
+                "Interrupted after {} run(s); {} error(s) found "
+                "(checkpoint saved)"
+            ).format(self.iterations, len(self.errors))
         return "Budget exhausted after {} run(s); {} error(s) found".format(
             self.iterations, len(self.errors)
         )

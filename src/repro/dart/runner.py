@@ -10,10 +10,25 @@ still set, all feasible program paths have been explored (Theorem 1(b)) and
 the session reports ``complete``.  A forcing mismatch (the solver's
 prediction diverged at runtime) aborts the directed search and falls back
 to a random restart, as described at the end of Section 2.3.
+
+Fault containment (see DESIGN.md, "Robustness & resumability"): the
+paper's architecture re-executes the instrumented *process* per run, so a
+crash loses at most one execution.  This in-process reproduction gets the
+same containment from a fault boundary around each run — an internal
+failure (``RecursionError``, ``MemoryError``, a watchdog ``RunTimeout``,
+or any harness bug escaping the machine) quarantines the triggering input
+vector, degrades the completeness claim, and the search continues.  With
+``DartOptions(state_file=...)`` the session additionally checkpoints its
+full state (worklist, RNG, statistics, errors) so a killed session
+resumes instead of restarting.
 """
 
+import contextlib
+import hashlib
 import random
+import signal
 import time
+import traceback
 
 from repro.dart import persist
 from repro.dart.config import DartOptions
@@ -25,12 +40,17 @@ from repro.dart.report import (
     BUG_FOUND,
     COMPLETE,
     EXHAUSTED,
+    INTERNAL_ERROR,
+    INTERRUPTED,
+    RESOURCE_EXHAUSTED,
+    RUN_TIMEOUT,
     DartResult,
     ErrorReport,
+    QuarantineRecord,
     RunStats,
 )
-from repro.dart.solve import solve_path_constraint
-from repro.interp.faults import ExecutionFault
+from repro.dart.solve import solve_path_constraint, solve_with_retry
+from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.solver import Solver
 from repro.symbolic.flags import CompletenessFlags
@@ -50,6 +70,13 @@ class Dart:
             seed=self.options.seed,
             node_budget=self.options.solver_node_budget,
         )
+        #: Identifies (program, toplevel, search configuration) so a
+        #: checkpoint written by a different session is rejected.
+        self.fingerprint = {
+            "source": hashlib.sha256(source.encode()).hexdigest(),
+            "toplevel": toplevel,
+            "options": self.options.digest(),
+        }
 
     # -- the paper's Fig. 2 -------------------------------------------------
 
@@ -67,31 +94,44 @@ class Dart:
         """
         session = _Session(self)
         try:
-            if self.options.strategy == "dfs":
-                return session.run_figure5()
-            return session.run_generational()
+            with session.signal_guard():
+                if self.options.strategy == "dfs":
+                    return session.run_figure5()
+                return session.run_generational()
         finally:
             session.stats.finish()
 
-    def _machine(self, hooks, flags):
+    def _machine(self, hooks, flags, deadline=None, interrupt_check=None):
         machine_options = MachineOptions(
             max_steps=self.options.max_steps,
             transparent_memory=self.options.transparent_memory,
             memory=self.options.memory_options(),
+            deadline=deadline,
+            watchdog_interval=self.options.watchdog_interval,
+            interrupt_check=interrupt_check,
         )
         return Machine(self.module, machine_options, hooks, flags)
 
     # -- replay -----------------------------------------------------------
 
-    def replay(self, input_values):
+    def replay(self, inputs, kinds=None):
         """Re-execute the program on a recorded input vector.
 
         Useful for confirming a reported error independently of the
-        search.  Returns the fault raised, or None if the run completes.
+        search.  ``inputs`` is either an :class:`ErrorReport` (preferred —
+        it carries the input kinds, so pointer-choice slots are rebuilt
+        with the right domains) or a raw value list, optionally with an
+        aligned ``kinds`` list.  Returns the fault raised, or None if the
+        run completes.
         """
+        if isinstance(inputs, ErrorReport):
+            kinds = inputs.kinds
+            inputs = inputs.inputs
         im = InputVector()
-        for ordinal, value in enumerate(input_values):
-            im.record(ordinal, "int", value)
+        for ordinal, value in enumerate(inputs):
+            kind = kinds[ordinal] if kinds is not None \
+                and ordinal < len(kinds) else "int"
+            im.record(ordinal, kind, value)
 
         class _ReplayHooks(DirectedHooks):
             def acquire_input(self, kind):
@@ -121,6 +161,10 @@ class _BudgetReached(Exception):
     """Internal control flow: iteration or time budget exhausted."""
 
 
+class _RunInterrupted(Exception):
+    """Internal control flow: a signal arrived mid-run; abandon the run."""
+
+
 class _Pending:
     """A worklist item of the generational search."""
 
@@ -132,6 +176,18 @@ class _Pending:
         #: First branch index this item is allowed to expand (its parent
         #: already enumerated everything shallower).
         self.bound = bound
+
+
+class _RunOutcome:
+    """What one contained execution produced."""
+
+    __slots__ = ("hooks", "fault", "mismatch", "quarantined")
+
+    def __init__(self, hooks, fault=None, mismatch=False, quarantined=False):
+        self.hooks = hooks
+        self.fault = fault
+        self.mismatch = mismatch
+        self.quarantined = quarantined
 
 
 class _Session:
@@ -146,41 +202,150 @@ class _Session:
         self._seen_error_keys = set()
         self.rng = random.Random(self.options.seed)
         self.status = EXHAUSTED
+        self.resumed = False
         self._deadline = None
         if self.options.time_limit is not None:
             self._deadline = time.perf_counter() + self.options.time_limit
+        self._interrupted = False
+        self._engine = "dfs" if self.options.strategy == "dfs" \
+            else "generational"
+        #: dfs: the (stack, im) plan the next run will execute.
+        self._dfs_plan = ([], InputVector())
+        #: generational: the live worklist (mutated in place).
+        self._worklist = []
+        self._clean_drain = True
+
+    # -- graceful interruption ----------------------------------------------
+
+    @contextlib.contextmanager
+    def signal_guard(self):
+        """Install SIGINT/SIGTERM handlers for the session's duration.
+
+        A caught signal sets a flag that the budget check (between runs)
+        and the machine watchdog (mid-run, amortized) both observe: the
+        session checkpoints and returns a partial ``interrupted`` result
+        instead of dying with a traceback.  Only active when the options
+        ask for it, and silently skipped off the main thread (where
+        ``signal.signal`` is unavailable).
+        """
+        if not self.options.handle_signals:
+            yield
+            return
+        previous = {}
+
+        def _handler(signum, frame):
+            self._interrupted = True
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except ValueError:  # not the main thread
+                break
+        try:
+            yield
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def _interrupt_probe(self):
+        """Called by the machine watchdog; aborts the run on a signal."""
+        if self._interrupted:
+            raise _RunInterrupted()
 
     # -- shared plumbing ----------------------------------------------------
 
     def _check_budget(self):
+        if self._interrupted:
+            raise _BudgetReached()
         if self.stats.iterations >= self.options.max_iterations:
             raise _BudgetReached()
         if self._deadline is not None \
                 and time.perf_counter() > self._deadline:
             raise _BudgetReached()
 
+    def _run_deadline(self):
+        """The wall-clock deadline for the next run, or None.
+
+        The tighter of the per-run limit and the session deadline — so a
+        single pathological run can no longer blow past ``time_limit``;
+        the watchdog trips at most one check interval late.
+        """
+        deadline = None
+        if self.options.run_time_limit is not None:
+            deadline = time.perf_counter() + self.options.run_time_limit
+        if self._deadline is not None \
+                and (deadline is None or self._deadline < deadline):
+            deadline = self._deadline
+        return deadline
+
     def _execute(self, im, predicted_stack):
-        """One instrumented run; returns (hooks, fault, mismatch)."""
+        """One instrumented run inside the fault boundary.
+
+        Program faults (:class:`ExecutionFault`) are *results* — real
+        bugs found by a real execution.  Everything else escaping the
+        machine is an internal failure: it is classified, the input
+        vector is quarantined, the completeness claim is degraded, and
+        the search continues — one bad run costs one iteration, not the
+        session.  Signals (KeyboardInterrupt, SystemExit) still
+        propagate.
+        """
         self.stats.iterations += 1
         hooks = DirectedHooks(
             im, predicted_stack, self.flags, self.rng, self.options
         )
-        machine = self.dart._machine(hooks, self.flags)
-        fault = None
-        mismatch = False
+        machine = self.dart._machine(
+            hooks, self.flags, deadline=self._run_deadline(),
+            interrupt_check=self._interrupt_probe
+            if self.options.handle_signals else None,
+        )
+        outcome = _RunOutcome(hooks)
         try:
             machine.run(DRIVER_ENTRY)
         except ForcingMismatch:
-            mismatch = True
+            outcome.mismatch = True
             self.stats.forcing_failures += 1
         except ExecutionFault as caught:
-            fault = caught
+            outcome.fault = caught
+        except _RunInterrupted:
+            # A signal arrived mid-run: abandon the partial run quietly;
+            # the budget check right after will checkpoint and return.
+            outcome.quarantined = True
+        except RunTimeout as caught:
+            outcome.quarantined = True
+            self._quarantine(RUN_TIMEOUT, im, caught)
+        except (RecursionError, MemoryError) as caught:
+            outcome.quarantined = True
+            self._quarantine(RESOURCE_EXHAUSTED, im, caught)
+        except Exception as caught:  # noqa: BLE001 — the fault boundary
+            outcome.quarantined = True
+            self._quarantine(INTERNAL_ERROR, im, caught)
         self.stats.branches_executed += machine.branches_executed
         self.stats.machine_steps += machine.steps
         self.stats.covered_branches |= machine.covered_branches
-        if not mismatch:
+        if not outcome.mismatch and not outcome.quarantined:
             self.stats.note_path(hooks.record.path_key())
-        return hooks, fault, mismatch
+        return outcome
+
+    def _quarantine(self, classification, im, exc):
+        """Contain an internal failure: record it and degrade honestly.
+
+        Mirroring the paper's ``forcing_ok`` degradation, the ``all
+        linear`` completeness flag is cleared — a path this session could
+        not finish executing is a path it cannot claim to have covered,
+        so Theorem 1(b) verdicts stay sound.
+        """
+        self.flags.clear_linear()
+        detail = "{}: {}".format(type(exc).__name__, exc)
+        tb = traceback.extract_tb(exc.__traceback__)
+        if tb:
+            frame = tb[-1]
+            detail += " [{}:{} in {}]".format(
+                frame.filename.rsplit("/", 1)[-1], frame.lineno, frame.name
+            )
+        self.stats.quarantined.append(QuarantineRecord(
+            classification, im.values(), [slot.kind for slot in im],
+            self.stats.iterations, detail,
+        ))
 
     def _record_error(self, fault, im, hooks):
         """Record a found bug; returns True when the session should stop."""
@@ -190,15 +355,19 @@ class _Session:
             self._seen_error_keys.add(key)
             self.errors.append(
                 ErrorReport(fault, im.values(), self.stats.iterations,
-                            hooks.record.path_key())
+                            hooks.record.path_key(),
+                            kinds=[slot.kind for slot in im])
             )
         return self.options.stop_on_first_error
 
     def _result(self):
+        if self._interrupted and self.status == EXHAUSTED:
+            self.status = INTERRUPTED
         return DartResult(
             self.status, self.errors, self.stats, self.flags.snapshot(),
             coverage=BranchCoverage(self.dart.module,
                                     self.stats.covered_branches),
+            resumed=self.resumed,
         )
 
     def _finished_complete(self):
@@ -208,13 +377,119 @@ class _Session:
             return True
         return False
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _make_checkpoint(self):
+        checkpoint = persist.SessionCheckpoint(
+            fingerprint=self.dart.fingerprint,
+            engine=self._engine,
+            rng_state=self.rng.getstate(),
+            flags=self.flags.snapshot(),
+            counters={name: getattr(self.stats, name)
+                      for name in RunStats.COUNTERS},
+            distinct_paths=sorted(self.stats.distinct_paths),
+            covered_branches=sorted(self.stats.covered_branches),
+            errors=[error.to_dict() for error in self.errors],
+            quarantined=[record.to_dict()
+                         for record in self.stats.quarantined],
+            clean_drain=self._clean_drain,
+        )
+        if self._engine == "dfs":
+            checkpoint.dfs_pending = self._dfs_plan
+        else:
+            checkpoint.worklist = [
+                (item.stack, item.im, item.bound) for item in self._worklist
+            ]
+        return checkpoint
+
+    def _save_checkpoint(self):
+        if self.options.state_file is not None:
+            persist.save_checkpoint(self.options.state_file,
+                                    self._make_checkpoint())
+
+    def _autosave(self):
+        """Periodic checkpoint at the between-runs boundary.
+
+        Called at the top of each engine's run loop, where the session
+        state (worklist, RNG, counters) is consistent: the checkpoint
+        describes exactly "N runs done, these remain".
+        """
+        every = self.options.checkpoint_every
+        if self.options.state_file is None or not every:
+            return
+        if self.stats.iterations and self.stats.iterations % every == 0:
+            self._save_checkpoint()
+
+    def _restore(self, checkpoint):
+        """Adopt a validated checkpoint's state; returns the work to do."""
+        self.rng.setstate(checkpoint.rng_state)
+        (self.flags.all_linear, self.flags.all_locs_definite,
+         self.flags.forcing_ok) = checkpoint.flags
+        for name in RunStats.COUNTERS:
+            setattr(self.stats, name, checkpoint.counters.get(name, 0))
+        self.stats.distinct_paths = {
+            tuple(path) for path in checkpoint.distinct_paths
+        }
+        self.stats.covered_branches = set(checkpoint.covered_branches)
+        self.stats.quarantined = [
+            QuarantineRecord.from_dict(payload)
+            for payload in checkpoint.quarantined
+        ]
+        for payload in checkpoint.errors:
+            fault = RestoredFault(payload["kind"], payload["message"],
+                                  payload["location"])
+            self._seen_error_keys.add((fault.kind, str(fault.location)))
+            self.errors.append(ErrorReport(
+                fault, payload["inputs"], payload["iteration"],
+                tuple(payload["path"]) if payload["path"] is not None
+                else None,
+                kinds=payload["kinds"],
+            ))
+        if self.errors:
+            self.status = BUG_FOUND
+        self.resumed = True
+        self._clean_drain = checkpoint.clean_drain
+
+    def _resume(self):
+        """Load this session's checkpoint, if a valid one exists.
+
+        A missing, corrupted, version-mismatched or — most importantly —
+        *fingerprint*-mismatched checkpoint (different program, toplevel
+        or search configuration) yields None and the search starts
+        cleanly from scratch, never silently replaying stale state.
+        """
+        path = self.options.state_file
+        if path is None:
+            return None
+        checkpoint = persist.load_checkpoint(path, self.dart.fingerprint)
+        if checkpoint is not None and checkpoint.engine == self._engine:
+            self._restore(checkpoint)
+            return checkpoint
+        if self._engine == "dfs":
+            # Compatibility: a v1 (stack, im) file — the paper's literal
+            # "stack kept in a file" — still seeds the directed search.
+            legacy = persist.load_state(path)
+            if legacy is not None:
+                checkpoint = persist.SessionCheckpoint(
+                    fingerprint=self.dart.fingerprint, engine="dfs",
+                    rng_state=self.rng.getstate(),
+                    flags=self.flags.snapshot(), counters={},
+                    distinct_paths=[], covered_branches=[], errors=[],
+                    quarantined=[], dfs_pending=legacy,
+                )
+                self.resumed = True
+                return checkpoint
+        return None
+
+    def _clear_checkpoint(self):
+        if self.options.state_file is not None:
+            persist.clear_state(self.options.state_file)
+
     # -- engine 1: the paper's Figs. 2 + 5 ------------------------------------
 
     def run_figure5(self):
-        state_file = self.options.state_file
-        resumed = None
-        if state_file is not None:
-            resumed = persist.load_state(state_file)
+        checkpoint = self._resume()
+        resumed = checkpoint.dfs_pending if checkpoint is not None else None
         try:
             while True:  # the outer "repeat" — random restarts
                 if resumed is not None:
@@ -225,39 +500,43 @@ class _Session:
                     predicted_stack = []
                 search_finished = False
                 while True:  # the inner "while (directed)"
+                    self._dfs_plan = (predicted_stack, im)
+                    self._autosave()
                     self._check_budget()
-                    hooks, fault, mismatch = self._execute(
-                        im, predicted_stack
-                    )
-                    if mismatch:
+                    outcome = self._execute(im, predicted_stack)
+                    if outcome.mismatch:
                         # §2.3: restart with a fresh random input vector.
                         self.flags.forcing_ok = True
                         break
-                    if fault is not None and self._record_error(
-                        fault, im, hooks
+                    if outcome.quarantined:
+                        # The run died inside the fault boundary; its path
+                        # record cannot be trusted, so fall back to a
+                        # random restart — the one-run cost of the fault.
+                        break
+                    if outcome.fault is not None and self._record_error(
+                        outcome.fault, im, outcome.hooks
                     ):
+                        self._clear_checkpoint()
                         return self._result()
                     plan = solve_path_constraint(
-                        hooks.record, hooks.finished_stack(), im,
-                        self.dart.solver, "dfs", self.rng, self.flags,
-                        self.stats,
+                        outcome.hooks.record, outcome.hooks.finished_stack(),
+                        im, self.dart.solver, "dfs", self.rng, self.flags,
+                        self.stats, escalation=self.options.solver_escalation,
                     )
                     if plan is None:
                         search_finished = True
                         break
                     im = plan.im
                     predicted_stack = plan.stack
-                    if state_file is not None:
-                        # §2.3: the stack is "kept in a file between
-                        # executions" — lets the search resume later.
-                        persist.save_state(state_file, predicted_stack, im)
                 # the "until all_linear and all_locs_definite" condition
                 if search_finished and self._finished_complete():
-                    if state_file is not None:
-                        persist.clear_state(state_file)
+                    self._clear_checkpoint()
                     return self._result()
                 self.stats.random_restarts += 1
         except _BudgetReached:
+            # §2.3: the stack is "kept in a file between executions" —
+            # checkpoint the pending plan so the search resumes later.
+            self._save_checkpoint()
             return self._result()
 
     # -- engine 2: generational worklist (footnote 4 done soundly) -----------
@@ -269,28 +548,43 @@ class _Session:
 
     def run_generational(self):
         solver = self.dart.solver
+        escalation = self.options.solver_escalation
+        checkpoint = self._resume()
+        pending = None
+        if checkpoint is not None and checkpoint.worklist is not None:
+            pending = [
+                _Pending(stack, im, bound)
+                for stack, im, bound in checkpoint.worklist
+            ]
         try:
             while True:  # random restarts, as in Fig. 2
-                pending = [_Pending([], InputVector(), 0)]
-                clean_drain = True
+                if pending is None:
+                    pending = [_Pending([], InputVector(), 0)]
+                    self._clean_drain = True
+                self._worklist = pending
                 while pending:
+                    self._autosave()
                     self._check_budget()
                     item = self._pop(pending)
-                    hooks, fault, mismatch = self._execute(
-                        item.im, item.stack
-                    )
-                    if mismatch:
+                    outcome = self._execute(item.im, item.stack)
+                    if outcome.mismatch:
                         # The invariant guarantees a completeness flag was
                         # already cleared; drop the stale item.
                         self.flags.forcing_ok = True
-                        clean_drain = False
+                        self._clean_drain = False
                         continue
-                    if fault is not None and self._record_error(
-                        fault, item.im, hooks
+                    if outcome.quarantined:
+                        # Contained failure: this item is lost (one run's
+                        # worth of work), the rest of the frontier lives.
+                        self._clean_drain = False
+                        continue
+                    if outcome.fault is not None and self._record_error(
+                        outcome.fault, item.im, outcome.hooks
                     ):
+                        self._clear_checkpoint()
                         return self._result()
-                    stack = hooks.finished_stack()
-                    constraints = hooks.record.constraints
+                    stack = outcome.hooks.finished_stack()
+                    constraints = outcome.hooks.record.constraints
                     domains = item.im.domains()
                     for j in range(item.bound, len(stack)):
                         conjunct = constraints[j]
@@ -300,24 +594,24 @@ class _Session:
                             c for c in constraints[:j] if c is not None
                         ]
                         prefix.append(conjunct.negate())
-                        result = solver.solve(prefix, domains)
-                        self.stats.solver_calls += 1
+                        result = solve_with_retry(
+                            solver, prefix, domains, self.stats, escalation
+                        )
                         if result.is_sat:
-                            self.stats.solver_sat += 1
                             child = [e.copy() for e in stack[: j + 1]]
                             child[j] = child[j].flipped()
                             pending.append(_Pending(
                                 child, item.im.updated(result.model), j + 1
                             ))
                         elif result.status == "unknown":
-                            self.stats.solver_unknown += 1
                             self.flags.clear_linear()
-                        else:
-                            self.stats.solver_unsat += 1
-                if clean_drain and self._finished_complete():
+                if self._clean_drain and self._finished_complete():
+                    self._clear_checkpoint()
                     return self._result()
                 self.stats.random_restarts += 1
+                pending = None
         except _BudgetReached:
+            self._save_checkpoint()
             return self._result()
 
 

@@ -15,6 +15,38 @@ different strategy, e.g., randomly or in a breadth-first manner"; the
 """
 
 
+def solve_with_retry(solver, constraints, domains, stats=None,
+                     escalation=1):
+    """One *logical* solver call with budget-exhaustion resilience.
+
+    When the first attempt returns ``unknown`` (node budget exhausted,
+    not a proof either way) and ``escalation`` > 1, the call is retried
+    once with the node budget multiplied by ``escalation`` before the
+    caller degrades to the random-testing fallback.  Statistics count the
+    logical call once (so ``solver_calls == sat + unsat + unknown``
+    stays an invariant) plus the retry/escalation counters.
+    """
+    result = solver.solve(constraints, domains)
+    if result.status == "unknown" and escalation and escalation > 1:
+        if stats is not None:
+            stats.solver_retries += 1
+        result = solver.solve(
+            constraints, domains,
+            node_budget=solver.node_budget * escalation,
+        )
+        if stats is not None and result.status != "unknown":
+            stats.solver_escalations += 1
+    if stats is not None:
+        stats.solver_calls += 1
+        if result.status == "sat":
+            stats.solver_sat += 1
+        elif result.status == "unsat":
+            stats.solver_unsat += 1
+        else:
+            stats.solver_unknown += 1
+    return result
+
+
 class NextRunPlan:
     """What the next execution should try: a predicted stack plus inputs."""
 
@@ -40,7 +72,7 @@ def candidate_indices(stack, strategy, rng):
 
 
 def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
-                          stats=None):
+                          stats=None, escalation=1):
     """Pick a branch to flip and solve for inputs reaching it.
 
     ``record`` is the completed run's :class:`PathRecord` (constraints),
@@ -61,15 +93,8 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
             continue
         prefix = [c for c in constraints[:j] if c is not None]
         prefix.append(conjunct.negate())
-        result = solver.solve(prefix, domains)
-        if stats is not None:
-            stats.solver_calls += 1
-            if result.status == "sat":
-                stats.solver_sat += 1
-            elif result.status == "unsat":
-                stats.solver_unsat += 1
-            else:
-                stats.solver_unknown += 1
+        result = solve_with_retry(solver, prefix, domains, stats,
+                                  escalation)
         if result.is_sat:
             next_stack = [entry.copy() for entry in stack[: j + 1]]
             next_stack[j] = next_stack[j].flipped()

@@ -94,5 +94,37 @@ class NonTermination(ExecutionFault):
         self.steps = steps
 
 
+class RestoredFault(ExecutionFault):
+    """An :class:`ExecutionFault` reconstructed from a session checkpoint.
+
+    Checkpoints store only (kind, message, location string); restoring the
+    exact subclass (with e.g. a faulting address) is neither possible nor
+    needed — reports, deduplication keys and JSON output all work off
+    these three fields.
+    """
+
+    def __init__(self, kind, message, location=None):
+        super().__init__(message, location)
+        self.kind = kind  # shadows the class attribute
+
+
+class RunTimeout(Exception):
+    """The per-run wall-clock watchdog tripped.
+
+    Deliberately *not* an :class:`ExecutionFault`: exceeding a harness
+    resource budget is not evidence of a program bug (unlike
+    :class:`NonTermination`, whose step budget is the paper's §4.3
+    non-termination detector).  The DART run loop catches it at the fault
+    boundary, quarantines the input vector and continues the search.
+    """
+
+    def __init__(self, elapsed, location=None):
+        super().__init__(
+            "run exceeded its wall-clock budget after {:.3f}s".format(elapsed)
+        )
+        self.elapsed = elapsed
+        self.location = location
+
+
 class InterpreterError(Exception):
     """An internal error of the harness itself (never a program bug)."""

@@ -18,6 +18,7 @@ Two extension points connect the machine to the testing layers:
 """
 
 import sys
+import time
 
 from repro.interp.builtins import (
     BUILTINS,
@@ -31,6 +32,7 @@ from repro.interp.faults import (
     InterpreterError,
     NonTermination,
     ProgramAbort,
+    RunTimeout,
 )
 from repro.interp.memory import Memory, MemoryOptions
 from repro.interp.values import c_div, c_mod, to_unsigned, wrap
@@ -58,7 +60,8 @@ class MachineOptions:
     """Tunables for one execution."""
 
     def __init__(self, max_steps=1_000_000, transparent_memory=False,
-                 memory=None):
+                 memory=None, deadline=None, watchdog_interval=1024,
+                 interrupt_check=None):
         #: RAM-machine step budget; exceeding it reports NonTermination,
         #: the paper's timer-based non-termination detection (§4.3).
         self.max_steps = max_steps
@@ -66,6 +69,18 @@ class MachineOptions:
         #: erasing them (the paper treats them as opaque; see DESIGN.md).
         self.transparent_memory = transparent_memory
         self.memory = memory or MemoryOptions()
+        #: Absolute ``time.perf_counter()`` deadline for this execution, or
+        #: None.  Enforced amortized (every ``watchdog_interval`` steps) in
+        #: the step loop; tripping it raises :class:`RunTimeout`, which the
+        #: DART run loop contains instead of aborting the session.
+        self.deadline = deadline
+        #: Steps between wall-clock checks; bounds how far past the
+        #: deadline a run can drift (one interval's worth of steps).
+        self.watchdog_interval = watchdog_interval
+        #: Optional callable probed at the watchdog cadence; it may raise
+        #: to abort the run (the DART session uses it to observe SIGINT/
+        #: SIGTERM mid-run instead of only between runs).
+        self.interrupt_check = interrupt_check
 
 
 class ExecutionHooks:
@@ -129,6 +144,8 @@ class Machine:
         self._frames = []
         self._global_addrs = {}
         self._string_addrs = []
+        #: Step count at which the wall-clock watchdog next fires.
+        self._next_watchdog = self.options.watchdog_interval
         self._load_module()
         if sys.getrecursionlimit() < 20000:
             sys.setrecursionlimit(20000)
@@ -232,11 +249,23 @@ class Machine:
         instrs = function.instrs
         pc = 0
         limit = self.options.max_steps
+        deadline = self.options.deadline
+        interrupt_check = self.options.interrupt_check
+        watchdog = deadline is not None or interrupt_check is not None
         while True:
             self.steps += 1
             instr = instrs[pc]
             if self.steps > limit:
                 raise NonTermination(self.steps, instr.location)
+            if watchdog and self.steps >= self._next_watchdog:
+                self._next_watchdog = \
+                    self.steps + self.options.watchdog_interval
+                if interrupt_check is not None:
+                    interrupt_check()
+                if deadline is not None:
+                    now = time.perf_counter()
+                    if now > deadline:
+                        raise RunTimeout(now - deadline, instr.location)
             try:
                 if isinstance(instr, ir.Eval):
                     self._eval(instr.expr)

@@ -66,15 +66,24 @@ class Solver:
         self._node_budget = node_budget
         self._probe_samples = probe_samples
 
-    def solve(self, constraints, domains=None):
+    @property
+    def node_budget(self):
+        """The default per-call node budget (for escalated retries)."""
+        return self._node_budget
+
+    def solve(self, constraints, domains=None, node_budget=None):
         """Solve ``constraints`` (iterable of CmpExpr).
 
         ``domains`` maps variable ordinals to (lo, hi); unmentioned
-        variables default to signed int32.  Returns a
+        variables default to signed int32.  ``node_budget`` overrides the
+        solver's default budget for this one call (used by the DART
+        engine's escalated retry after an ``unknown``).  Returns a
         :class:`SolverResult`; a SAT model assigns every variable that
         occurs in the constraints.
         """
         constraints = list(constraints)
+        call_budget = self._node_budget if node_budget is None \
+            else node_budget
         problem = normalize(constraints, domains or {})
         eliminate_equalities(problem)
         if problem.infeasible:
@@ -93,13 +102,13 @@ class Solver:
                     search_domains[var] = list(
                         problem.domain(var)
                     )
-        budget = _Budget(self._node_budget)
+        budget = _Budget(call_budget)
         rng = random.Random(self._seed)
         status, model = self._search(
             search_domains, problem.inequalities, problem.disequalities,
             budget, rng,
         )
-        nodes = self._node_budget - budget.remaining
+        nodes = call_budget - budget.remaining
         if status != SAT:
             return SolverResult(status, nodes=nodes)
         complete_model(problem, model)

@@ -1,0 +1,267 @@
+"""v2 session checkpoints: integrity, provenance, and exact resumption."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro import DartOptions
+from repro.dart import persist
+from repro.dart.runner import Dart
+from repro.programs.ac_controller import AC_CONTROLLER_SOURCE
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def stats_key(result):
+    """Everything a resumed session must reproduce exactly (not time)."""
+    stats = result.stats
+    return {
+        "status": result.status,
+        "iterations": stats.iterations,
+        "paths": stats.paths_explored,
+        "distinct_paths": sorted(stats.distinct_paths),
+        "solver_calls": stats.solver_calls,
+        "solver_sat": stats.solver_sat,
+        "solver_unsat": stats.solver_unsat,
+        "solver_unknown": stats.solver_unknown,
+        "forcing_failures": stats.forcing_failures,
+        "random_restarts": stats.random_restarts,
+        "covered": sorted(stats.covered_branches),
+        "errors": [(e.kind, str(e.location), tuple(e.inputs))
+                   for e in result.errors],
+    }
+
+
+class TestGenerationalResume:
+    @pytest.mark.parametrize("strategy", ["bfs", "random"])
+    def test_resumed_session_matches_uninterrupted_run(
+        self, tmp_path, strategy
+    ):
+        options = dict(strategy=strategy, seed=3, stop_on_first_error=False)
+        uninterrupted = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=400, **options),
+        ).run()
+        assert uninterrupted.status == "complete"
+
+        path = str(tmp_path / "gen-state.json")
+        killed = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=3, state_file=path, **options),
+        ).run()
+        assert killed.status == "exhausted"
+        assert os.path.exists(path)
+
+        resumed = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=400, state_file=path, **options),
+        ).run()
+        assert resumed.resumed
+        assert stats_key(resumed) == stats_key(uninterrupted)
+        assert not os.path.exists(path)  # cleared on clean termination
+
+    def test_dfs_resume_matches_uninterrupted_run(self, tmp_path):
+        uninterrupted = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=400, seed=0,
+                        stop_on_first_error=False),
+        ).run()
+        path = str(tmp_path / "dfs-state.json")
+        Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=2, seed=0, state_file=path,
+                        stop_on_first_error=False),
+        ).run()
+        resumed = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=400, seed=0, state_file=path,
+                        stop_on_first_error=False),
+        ).run()
+        assert resumed.resumed
+        assert stats_key(resumed) == stats_key(uninterrupted)
+
+    def test_periodic_autosave_writes_checkpoints(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "autosave.json")
+        saves = []
+        original = persist.save_checkpoint
+
+        def counting(save_path, checkpoint):
+            saves.append(checkpoint.counters["iterations"])
+            return original(save_path, checkpoint)
+
+        monkeypatch.setattr(persist, "save_checkpoint", counting)
+        Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(strategy="bfs", seed=0, max_iterations=3,
+                        state_file=path, checkpoint_every=2),
+        ).run()
+        # Autosave at the 2-run boundary, plus the budget-exhaustion
+        # checkpoint at 3.
+        assert saves == [2, 3]
+        assert os.path.exists(path)
+
+
+class TestCheckpointRejection:
+    def run_once(self, source, path, **overrides):
+        options = dict(strategy="bfs", seed=1, max_iterations=4,
+                       state_file=path)
+        options.update(overrides)
+        return Dart(source, "ac_controller", DartOptions(**options)).run()
+
+    def test_checkpoint_from_different_program_is_rejected(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path)
+        assert os.path.exists(path)
+        # Same toplevel name, different source text.
+        other_source = AC_CONTROLLER_SOURCE + "\n/* patched */\n"
+        resumed = self.run_once(other_source, path, max_iterations=400)
+        assert not resumed.resumed  # restarted cleanly from scratch
+        assert resumed.status == "complete"
+
+    def test_checkpoint_from_different_options_is_rejected(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path, seed=1)
+        resumed = self.run_once(AC_CONTROLLER_SOURCE, path, seed=2,
+                                max_iterations=400)
+        assert not resumed.resumed
+
+    def test_checkpoint_from_different_engine_is_rejected(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path, strategy="bfs")
+        resumed = self.run_once(AC_CONTROLLER_SOURCE, path, strategy="dfs",
+                                max_iterations=400)
+        # dfs and bfs have different option digests, so the fingerprint
+        # already rejects it; the engine tag is belt and braces.
+        assert not resumed.resumed
+
+    def test_corrupted_checkpoint_is_rejected(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path)
+        payload = json.load(open(path))
+        payload["body"]["counters"]["iterations"] += 1  # bit rot
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        fingerprint = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(strategy="bfs", seed=1),
+        ).fingerprint
+        assert persist.load_checkpoint(path, fingerprint) is None
+        resumed = self.run_once(AC_CONTROLLER_SOURCE, path,
+                                max_iterations=400)
+        assert not resumed.resumed
+        assert resumed.status == "complete"
+
+    def test_truncated_checkpoint_is_rejected(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path)
+        data = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(data[: len(data) // 2])  # torn write
+        resumed = self.run_once(AC_CONTROLLER_SOURCE, path,
+                                max_iterations=400)
+        assert not resumed.resumed
+        assert resumed.status == "complete"
+
+    def test_load_checkpoint_roundtrip(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path)
+        fingerprint = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(strategy="bfs", seed=1),
+        ).fingerprint
+        checkpoint = persist.load_checkpoint(path, fingerprint)
+        assert checkpoint is not None
+        assert checkpoint.engine == "generational"
+        assert checkpoint.counters["iterations"] == 4
+        assert checkpoint.worklist  # mid-drain frontier preserved
+        mismatched = dict(fingerprint, toplevel="someone_else")
+        assert persist.load_checkpoint(path, mismatched) is None
+
+
+#: A search space big enough that the CLI session is still running when
+#: the test delivers a signal: 9^3 = 729 feasible paths, and the concrete
+#: warm-up loop makes each run cost tens of milliseconds.
+SLOW_SEARCH_SOURCE = """
+int f(int a, int b, int c) {
+  int n;
+  int i;
+  n = 0;
+  i = 0;
+  while (i < 30000)
+    i = i + 1;
+  if (a == 1) n = n + 1;
+  if (a == 2) n = n + 1;
+  if (a == 3) n = n + 1;
+  if (a == 4) n = n + 1;
+  if (a == 5) n = n + 1;
+  if (a == 6) n = n + 1;
+  if (a == 7) n = n + 1;
+  if (a == 8) n = n + 1;
+  if (b == 1) n = n + 1;
+  if (b == 2) n = n + 1;
+  if (b == 3) n = n + 1;
+  if (b == 4) n = n + 1;
+  if (b == 5) n = n + 1;
+  if (b == 6) n = n + 1;
+  if (b == 7) n = n + 1;
+  if (b == 8) n = n + 1;
+  if (c == 1) n = n + 1;
+  if (c == 2) n = n + 1;
+  if (c == 3) n = n + 1;
+  if (c == 4) n = n + 1;
+  if (c == 5) n = n + 1;
+  if (c == 6) n = n + 1;
+  if (c == 7) n = n + 1;
+  if (c == 8) n = n + 1;
+  return n;
+}
+"""
+
+
+class TestGracefulSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_checkpoints_and_resumes(self, tmp_path, signum):
+        program = tmp_path / "slow.c"
+        program.write_text(SLOW_SEARCH_SOURCE)
+        state = str(tmp_path / "state.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", str(program), "f",
+             "--state-file", state, "--time-limit", "120",
+             "--max-iterations", "1000000"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        time.sleep(2.0)  # let the session get going
+        proc.send_signal(signum)
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 130, (out, err)
+        assert "Interrupted" in out
+        assert "checkpoint saved" in out
+        assert os.path.exists(state)
+
+        # The checkpoint resumes in-process with the same configuration.
+        probe = Dart(SLOW_SEARCH_SOURCE, "f",
+                     DartOptions(state_file=state), filename=str(program))
+        checkpoint = persist.load_checkpoint(state, probe.fingerprint)
+        assert checkpoint is not None
+        done = checkpoint.counters["iterations"]
+        assert done > 0
+        resumed = Dart(
+            SLOW_SEARCH_SOURCE, "f",
+            DartOptions(state_file=state, max_iterations=done + 20),
+            filename=str(program),
+        ).run()
+        assert resumed.resumed
+        assert resumed.iterations == done + 20  # continued, not restarted

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import main
@@ -86,6 +89,78 @@ class TestCli:
         assert code == 1
         out = capsys.readouterr().out
         assert "abort" in out and "division by zero" in out
+
+    def test_json_output(self, program_file, capsys):
+        code = main([program_file, "f", "--json",
+                     "--max-iterations", "100"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "bug_found"
+        assert payload["errors"][0]["kind"] == "abort"
+        assert payload["errors"][0]["inputs"]
+        assert payload["errors"][0]["kinds"]
+        assert payload["quarantined"] == []
+        assert payload["stats"]["iterations"] >= 1
+        assert payload["coverage"]["total_directions"] == 4
+        assert payload["flags"]["forcing_ok"] is True
+        assert payload["resumed"] is False
+
+    def test_json_clean_program(self, tmp_path, capsys):
+        path = tmp_path / "clean.c"
+        path.write_text("int f(int x) { if (x > 0) return 1; return 0; }")
+        code = main([str(path), "f", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "complete"
+        assert payload["errors"] == []
+
+    def test_state_file_resume(self, tmp_path, capsys):
+        path = tmp_path / "ac.c"
+        path.write_text("""
+        int hot = 0; int closed = 0; int ac = 0;
+        void ctl(int m) {
+          if (m == 0) hot = 1;
+          if (m == 3) { closed = 1; if (hot) ac = 1; }
+          if (hot && closed && !ac) abort();
+        }
+        """)
+        state = str(tmp_path / "state.json")
+        first = main([str(path), "ctl", "--max-iterations", "2",
+                      "--state-file", state])
+        assert first == 0
+        assert os.path.exists(state)
+        assert "exhausted" in capsys.readouterr().out.lower()
+        second = main([str(path), "ctl", "--max-iterations", "100",
+                       "--state-file", state, "--json"])
+        assert second == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resumed"] is True
+        assert payload["status"] == "complete"
+        assert not os.path.exists(state)  # cleared on clean termination
+
+    def test_state_file_in_missing_directory_fails_fast(
+        self, program_file, capsys
+    ):
+        code = main([program_file, "f",
+                     "--state-file", "/no/such/dir/state.json"])
+        assert code == 2
+        assert "--state-file directory" in capsys.readouterr().err
+
+    def test_run_time_limit_flag(self, tmp_path, capsys):
+        path = tmp_path / "slow.c"
+        path.write_text("""
+        int f(int x) {
+          int i;
+          i = 0;
+          if (x == 5) { while (i < 50000000) i = i + 1; }
+          return i;
+        }
+        """)
+        code = main([str(path), "f", "--run-time-limit", "0.1",
+                     "--max-iterations", "5", "--strategy", "bfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out and "run-timeout" in out
 
     def test_depth_option(self, tmp_path, capsys):
         path = tmp_path / "ac.c"

@@ -102,3 +102,51 @@ class TestResume:
             DartOptions(max_iterations=5, seed=0),
         ).run()
         assert list(tmp_path.iterdir()) == []
+
+    def test_mismatched_checkpoint_is_rejected_and_search_restarts(
+        self, tmp_path
+    ):
+        # Regression: a state file written for a *different* program used
+        # to be replayed blindly.  The v2 fingerprint rejects it and the
+        # search restarts cleanly, matching a stateless session exactly.
+        path = str(tmp_path / "stale.json")
+        other_program = """
+        int ac_controller(int m) {
+          if (m == 1) m = m + 10;
+          if (m == 2) m = m + 20;
+          if (m == 3) m = m + 30;
+          if (m == 4) m = m + 40;
+          return m;
+        }
+        """
+        stale = Dart(
+            other_program, "ac_controller",
+            DartOptions(max_iterations=2, seed=0, state_file=path),
+        ).run()
+        assert stale.status == "exhausted" and os.path.exists(path)
+        resumed = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=100, seed=0, state_file=path),
+        ).run()
+        fresh = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=100, seed=0),
+        ).run()
+        assert not resumed.resumed
+        assert resumed.status == fresh.status == "complete"
+        assert resumed.iterations == fresh.iterations
+
+    def test_legacy_v1_state_still_seeds_a_dfs_session(self, tmp_path):
+        # The paper's literal "stack kept in a file" format (v1) remains
+        # accepted as a seed for the directed search.
+        path = str(tmp_path / "v1.json")
+        stack = [StackEntry(1, False)]
+        im = InputVector()
+        im.record(0, "int", 3)
+        persist.save_state(path, stack, im)
+        result = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(max_iterations=100, seed=0, state_file=path),
+        ).run()
+        assert result.resumed
+        assert result.status == "complete"
