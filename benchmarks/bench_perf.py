@@ -1,0 +1,178 @@
+"""Solver-throughput benchmark: slicing + caching + parallel search.
+
+Measures the PR's three optimisation layers on the paper's Section 4.1
+AC-controller benchmark (full path exploration at depth 2, so the
+workload is the whole search tree, not just the run that finds the bug):
+
+* **ablation** — baseline (slicing and cache disabled) vs. optimised
+  (both enabled) under dfs and bfs: wall time, solver calls, average
+  conjuncts per call, cache hit rate.  The verdict, triggering inputs
+  and deduplicated error set must be *identical* — the optimisations may
+  change models, never outcomes — and the acceptance bar is a >= 30%
+  reduction in actual solver calls.
+* **parallel** — the bfs generational search with ``jobs=2`` must report
+  exactly the serial engine's error set (and, in full mode, the same
+  check on the depth-2 Needham-Schroeder possibilistic attack search).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--out FILE]
+
+Writes ``BENCH_perf.json`` (repo root by default) and exits non-zero if
+any invariant above is violated, so CI can gate on it.  ``--quick``
+skips the Needham-Schroeder row to stay CI-cheap; the qualitative result
+is identical.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import DartOptions  # noqa: E402
+from repro.dart.runner import Dart  # noqa: E402
+from repro.programs.ac_controller import (  # noqa: E402
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+from repro.programs.needham_schroeder import ns_source  # noqa: E402
+
+ACCEPT_REDUCTION = 0.30  # required solver-call reduction (ISSUE bar)
+
+
+def _run(source, toplevel, **overrides):
+    options = DartOptions(**overrides)
+    start = time.perf_counter()
+    result = Dart(source, toplevel, options).run()
+    wall = time.perf_counter() - start
+    stats = result.stats
+    return {
+        "status": result.status,
+        "iterations": result.iterations,
+        "errors": sorted({
+            "{}@{}".format(error.kind, error.location)
+            for error in result.errors
+        }),
+        "first_error_inputs": list(result.first_error().inputs)
+        if result.found_error else None,
+        "wall_s": round(wall, 4),
+        "solver_calls": stats.solver_calls,
+        "avg_constraints_per_call":
+            round(stats.avg_constraints_per_call, 2),
+        "sliced_conjuncts_dropped": stats.sliced_conjuncts_dropped,
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        "cache_hits": stats.cache_hits,
+        "cache_unsat_shortcuts": stats.cache_unsat_shortcuts,
+        "cache_model_reuses": stats.cache_model_reuses,
+        "cache_misses": stats.cache_misses,
+    }
+
+
+def ablation(strategy, failures):
+    """Baseline vs. optimised on the AC controller, one strategy."""
+    common = dict(depth=2, max_iterations=1000, seed=0, strategy=strategy,
+                  stop_on_first_error=False)
+    baseline = _run(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                    constraint_slicing=False, solver_cache=False, **common)
+    optimised = _run(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                     constraint_slicing=True, solver_cache=True, **common)
+    reduction = 1.0 - optimised["solver_calls"] / baseline["solver_calls"]
+    row = {
+        "strategy": strategy,
+        "baseline": baseline,
+        "optimised": optimised,
+        "solver_call_reduction": round(reduction, 4),
+    }
+    for field in ("status", "errors", "first_error_inputs"):
+        if baseline[field] != optimised[field]:
+            failures.append(
+                "ablation[{}]: {} differs (baseline {!r}, optimised {!r})"
+                .format(strategy, field, baseline[field], optimised[field])
+            )
+    if reduction < ACCEPT_REDUCTION:
+        failures.append(
+            "ablation[{}]: solver-call reduction {:.1%} below the "
+            "{:.0%} bar".format(strategy, reduction, ACCEPT_REDUCTION)
+        )
+    return row
+
+
+def parallel_check(name, source, toplevel, failures, **common):
+    """Serial vs. jobs=2 generational search: identical error sets."""
+    serial = _run(source, toplevel, jobs=1, **common)
+    parallel = _run(source, toplevel, jobs=2, **common)
+    row = {"benchmark": name, "serial": serial, "parallel": parallel}
+    for field in ("status", "errors"):
+        if serial[field] != parallel[field]:
+            failures.append(
+                "parallel[{}]: {} differs (serial {!r}, jobs=2 {!r})"
+                .format(name, field, serial[field], parallel[field])
+            )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the Needham-Schroeder parallel row")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_perf.json"))
+    args = parser.parse_args(argv)
+
+    failures = []
+    report = {
+        "benchmark": "solver-throughput (slicing + cache + parallel)",
+        "program": "sec. 4.1 AC controller, depth 2, full exploration",
+        "quick": args.quick,
+        "ablation": [ablation(s, failures) for s in ("dfs", "bfs")],
+        "parallel": [parallel_check(
+            "ac-controller-depth2", AC_CONTROLLER_SOURCE,
+            AC_CONTROLLER_TOPLEVEL, failures,
+            depth=2, max_iterations=1000, seed=0, strategy="bfs",
+            stop_on_first_error=False,
+        )],
+    }
+    if not args.quick:
+        report["parallel"].append(parallel_check(
+            "ns-possibilistic-depth2", ns_source("possibilistic"),
+            "ns_step", failures,
+            depth=2, max_iterations=50_000, seed=0, strategy="bfs",
+        ))
+    report["ok"] = not failures
+    report["failures"] = failures
+
+    out = os.path.abspath(args.out)
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for row in report["ablation"]:
+        print("ablation {strategy}: {reduction:.1%} fewer solver calls "
+              "({base} -> {opt}), avg conjuncts {bavg} -> {oavg}, "
+              "cache hit rate {rate:.1%}".format(
+                  strategy=row["strategy"],
+                  reduction=row["solver_call_reduction"],
+                  base=row["baseline"]["solver_calls"],
+                  opt=row["optimised"]["solver_calls"],
+                  bavg=row["baseline"]["avg_constraints_per_call"],
+                  oavg=row["optimised"]["avg_constraints_per_call"],
+                  rate=row["optimised"]["cache_hit_rate"]))
+    for row in report["parallel"]:
+        print("parallel {benchmark}: serial errors {s} == jobs=2 errors "
+              "{p}".format(benchmark=row["benchmark"],
+                           s=row["serial"]["errors"],
+                           p=row["parallel"]["errors"]))
+    print("wrote", out)
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,15 @@ def build_parser():
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--strategy", default="dfs",
                         choices=("dfs", "bfs", "random"))
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the bfs/random "
+                             "generational search (default 1 = in-process; "
+                             "dfs is inherently sequential and ignores it)")
+    parser.add_argument("--no-slicing", action="store_true",
+                        help="disable constraint independence slicing "
+                             "(solve the full path-constraint prefix)")
+    parser.add_argument("--no-solver-cache", action="store_true",
+                        help="disable the solver result cache")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget in seconds")
     parser.add_argument("--run-time-limit", type=float, default=None,
@@ -108,6 +117,9 @@ def main(argv=None):
         max_iterations=args.max_iterations,
         seed=args.seed,
         strategy=args.strategy,
+        jobs=args.jobs,
+        constraint_slicing=not args.no_slicing,
+        solver_cache=not args.no_solver_cache,
         stop_on_first_error=not args.all_errors,
         time_limit=args.time_limit,
         run_time_limit=args.run_time_limit,
@@ -143,5 +155,12 @@ def main(argv=None):
         "solver calls: {solver_calls} (sat {solver_sat} / unsat "
         "{solver_unsat} / unknown {solver_unknown}), "
         "restarts: {random_restarts}, elapsed: {elapsed_s}s".format(**stats)
+    )
+    print(
+        "solver avg constraints/call: {avg_constraints_per_call}, "
+        "sliced away: {sliced_conjuncts_dropped}, cache: {cache_hits} hit / "
+        "{cache_unsat_shortcuts} unsat-shortcut / {cache_model_reuses} "
+        "model-reuse / {cache_misses} miss (hit rate "
+        "{cache_hit_rate})".format(**stats)
     )
     return _exit_code(result)

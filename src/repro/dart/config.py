@@ -44,6 +44,9 @@ class DartOptions:
         checkpoint_every=25,
         solver_escalation=4,
         handle_signals=False,
+        constraint_slicing=True,
+        solver_cache=True,
+        jobs=1,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -51,6 +54,8 @@ class DartOptions:
             )
         if depth < 1:
             raise ValueError("depth must be at least 1")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
         #: Number of successive toplevel calls per execution (§3.2).
         self.depth = depth
         #: Upper bound on program executions (runs) per session.
@@ -105,14 +110,32 @@ class DartOptions:
         #: that checkpoint (when ``state_file`` is set) and return a
         #: partial result instead of dying mid-run.  The CLI enables this.
         self.handle_signals = handle_signals
+        #: Hand the solver only the variable-sharing group of the negated
+        #: conjunct instead of the whole path-constraint prefix (see
+        #: repro.dart.slicing for the soundness argument).  Off reproduces
+        #: the paper's Fig. 5 queries literally.
+        self.constraint_slicing = constraint_slicing
+        #: Cache solver verdicts keyed on canonical constraint sets, with
+        #: UNSAT-superset shortcuts and model reuse (repro.solver.cache).
+        self.solver_cache = solver_cache
+        #: Worker processes for the worklist-based strategies ("bfs" and
+        #: "random"): the frontier of pending input vectors is sharded
+        #: across a process pool and merged deterministically each
+        #: generation.  1 = in-process serial search.  The "dfs" strategy
+        #: is inherently sequential (each run's plan depends on the
+        #: previous run's path) and always runs single-process.
+        self.jobs = jobs
 
     def digest(self):
         """A stable hash of the options that shape the *search*.
 
         Budget-style knobs (iteration/time limits, checkpoint cadence,
-        signal handling) are excluded: resuming an exhausted session with
-        a bigger budget must be allowed, while resuming with a different
-        strategy, seed or instrumentation semantics must be rejected.
+        signal handling, ``jobs``) are excluded: resuming an exhausted
+        session with a bigger budget — or more worker processes — must be
+        allowed, while resuming with a different strategy, seed or
+        instrumentation semantics must be rejected.  Slicing and caching
+        are *included*: both can change which model the solver returns
+        (never a verdict), so they shape the concrete search trajectory.
         """
         relevant = (
             self.depth, self.strategy, self.seed,
@@ -121,6 +144,7 @@ class DartOptions:
             self.max_init_depth, self.transparent_memory,
             self.stack_limit, self.heap_limit, self.max_call_depth,
             self.track_uninitialized, self.solver_escalation,
+            self.constraint_slicing, self.solver_cache,
         )
         return hashlib.sha256(repr(relevant).encode()).hexdigest()[:16]
 

@@ -1,0 +1,376 @@
+"""Parallel generational search: the worklist sharded across processes.
+
+The worklist-based strategies ("bfs" and "random") drain a frontier of
+*independent* pending input vectors — each item re-executes the program
+from scratch and expands its own children.  That independence makes the
+frontier embarrassingly parallel: with ``DartOptions(jobs=N)`` each
+generation is sharded across a process pool, every worker executing the
+instrumented run *and* the child-expanding solver calls for its items.
+(The "dfs" strategy is inherently sequential — each plan is derived from
+the previous run's path — and always stays single-process.)
+
+Design constraints, mirroring the serial engines:
+
+* **Determinism.** Results are merged in dispatch order, not completion
+  order, and every item's undefined-slot randomization is seeded from
+  ``(session seed, global iteration index)`` — a given ``(program,
+  options)`` pair explores the same tree on every invocation, regardless
+  of worker scheduling.  ("random" shuffles each generation's frontier
+  with the session RNG, again deterministically.)
+* **Per-worker fault boundary.** A worker wraps each run in the same
+  quarantine classification as the serial engine (run-timeout /
+  resource-exhausted / internal-error) and *returns* the failure as data;
+  a worker process dying outright (the in-process boundary cannot catch a
+  segfault of the interpreter itself) quarantines the whole batch and the
+  pool is rebuilt — one generation is the blast radius, never the
+  session.
+* **Checkpoint integration.** Between generations the remaining frontier
+  *is* the worklist, so the v2 ``SessionCheckpoint`` machinery applies
+  unchanged; serial and parallel sessions can resume each other's
+  checkpoints (``jobs`` is excluded from the options digest exactly so a
+  resumed search may change its parallelism).
+
+Workers rebuild the compiled module from source once per process
+(initializer), keep their own solver and result cache, and report
+statistics deltas that the parent folds into the session's ``RunStats``.
+"""
+
+import random
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.dart import persist
+from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.inputs import InputVector
+from repro.dart.instrument import DirectedHooks, ForcingMismatch
+from repro.dart.report import (
+    BUG_FOUND,
+    INTERNAL_ERROR,
+    RESOURCE_EXHAUSTED,
+    RUN_TIMEOUT,
+    ErrorReport,
+    QuarantineRecord,
+    RunStats,
+)
+from repro.dart.solve import expand_worklist_children
+from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
+from repro.interp.machine import Machine, MachineOptions
+from repro.solver import Solver, SolverResultCache
+from repro.symbolic.flags import CompletenessFlags
+
+#: Counter names a worker reports as deltas (a strict subset of
+#: RunStats.COUNTERS: the parent owns iterations/restarts/forcing).
+_WORKER_COUNTERS = (
+    "solver_calls", "solver_sat", "solver_unsat", "solver_unknown",
+    "solver_retries", "solver_escalations", "branches_executed",
+    "machine_steps", "solver_constraints", "sliced_conjuncts_dropped",
+    "cache_hits", "cache_unsat_shortcuts", "cache_model_reuses",
+    "cache_misses",
+)
+
+
+def _item_seed(base_seed, iteration):
+    """Deterministic RNG seed for one work item (stable across jobs)."""
+    return base_seed * 1_000_003 + iteration
+
+
+# -- worker side --------------------------------------------------------------
+
+_CONTEXT = None
+
+
+class _WorkerContext:
+    """Per-process state: the compiled module, solver, and result cache."""
+
+    def __init__(self, source, toplevel, options, filename):
+        self.options = options
+        self.module = build_test_program(
+            source, toplevel, depth=options.depth, filename=filename,
+            max_init_depth=options.max_init_depth,
+        )
+        self.solver = Solver(seed=options.seed,
+                             node_budget=options.solver_node_budget)
+        self.cache = SolverResultCache() if options.solver_cache else None
+
+    def run_item(self, payload):
+        """Execute one pending item and expand its children."""
+        options = self.options
+        stack = persist._decode_stack(payload["stack"])
+        im = persist._decode_im(payload["im"])
+        flags = CompletenessFlags()
+        stats = RunStats()
+        rng = random.Random(payload["seed"])
+        hooks = DirectedHooks(im, stack, flags, rng, options)
+        deadline = None
+        if options.run_time_limit is not None:
+            deadline = time.perf_counter() + options.run_time_limit
+        machine = Machine(
+            self.module,
+            MachineOptions(
+                max_steps=options.max_steps,
+                transparent_memory=options.transparent_memory,
+                memory=options.memory_options(),
+                deadline=deadline,
+                watchdog_interval=options.watchdog_interval,
+            ),
+            hooks, flags,
+        )
+        out = {"status": "ok", "children": (), "error": None,
+               "quarantine": None, "path": None}
+        fault = None
+        try:
+            machine.run(DRIVER_ENTRY)
+        except ForcingMismatch:
+            out["status"] = "mismatch"
+        except ExecutionFault as caught:
+            fault = caught
+        except RunTimeout as caught:
+            out["status"] = "quarantined"
+            out["quarantine"] = self._quarantine(RUN_TIMEOUT, im, caught)
+        except (RecursionError, MemoryError) as caught:
+            out["status"] = "quarantined"
+            out["quarantine"] = self._quarantine(
+                RESOURCE_EXHAUSTED, im, caught)
+        except Exception as caught:  # noqa: BLE001 — the fault boundary
+            out["status"] = "quarantined"
+            out["quarantine"] = self._quarantine(INTERNAL_ERROR, im, caught)
+        stats.branches_executed = machine.branches_executed
+        stats.machine_steps = machine.steps
+        if out["status"] == "ok":
+            out["path"] = list(hooks.record.path_key())
+            if fault is not None:
+                out["error"] = {
+                    "kind": fault.kind,
+                    "message": getattr(fault, "message", str(fault)),
+                    "location": str(fault.location)
+                    if fault.location is not None else None,
+                    "inputs": im.values(),
+                    "kinds": [slot.kind for slot in im],
+                }
+            children = expand_worklist_children(
+                hooks.finished_stack(), hooks.record.constraints, im,
+                payload["bound"], self.solver, flags, stats,
+                options.solver_escalation, cache=self.cache,
+                slicing=options.constraint_slicing,
+            )
+            out["children"] = [
+                {"stack": persist._encode_stack(child_stack),
+                 "im": persist._encode_im(child_im),
+                 "bound": child_bound}
+                for child_stack, child_im, child_bound in children
+            ]
+        out["covered"] = list(machine.covered_branches)
+        out["flags"] = flags.snapshot()
+        out["counters"] = {
+            name: getattr(stats, name)
+            for name in _WORKER_COUNTERS if getattr(stats, name)
+        }
+        return out
+
+    @staticmethod
+    def _quarantine(classification, im, exc):
+        detail = "{}: {}".format(type(exc).__name__, exc)
+        tb = traceback.extract_tb(exc.__traceback__)
+        if tb:
+            frame = tb[-1]
+            detail += " [{}:{} in {}]".format(
+                frame.filename.rsplit("/", 1)[-1], frame.lineno, frame.name
+            )
+        return {
+            "classification": classification,
+            "inputs": im.values(),
+            "kinds": [slot.kind for slot in im],
+            "detail": detail,
+        }
+
+
+def _worker_init(source, toplevel, options, filename):
+    global _CONTEXT
+    _CONTEXT = _WorkerContext(source, toplevel, options, filename)
+
+
+def _worker_run(payload):
+    try:
+        return _CONTEXT.run_item(payload)
+    except Exception as exc:  # pragma: no cover — second-layer boundary
+        return {"status": "quarantined", "children": (), "error": None,
+                "path": None, "covered": (), "flags": (True, True, True),
+                "counters": {},
+                "quarantine": {
+                    "classification": INTERNAL_ERROR,
+                    "inputs": [], "kinds": [],
+                    "detail": "worker: {}: {}".format(
+                        type(exc).__name__, exc),
+                }}
+
+
+# -- parent side --------------------------------------------------------------
+
+class _ParallelEngine:
+    """Drives a _Session through generation-synchronous parallel rounds."""
+
+    def __init__(self, session):
+        self.session = session
+        self.options = session.options
+        self.dart = session.dart
+        self._executor = None
+
+    # Imported lazily to avoid a module cycle (runner imports this module
+    # inside run()).
+    def _pending_type(self):
+        from repro.dart.runner import _Pending
+        return _Pending
+
+    def _new_executor(self):
+        return ProcessPoolExecutor(
+            max_workers=self.options.jobs,
+            initializer=_worker_init,
+            initargs=(self.dart.source, self.dart.toplevel, self.options,
+                      self.dart.filename),
+        )
+
+    def run(self):
+        from repro.dart.runner import _BudgetReached
+        session = self.session
+        checkpoint = session._resume()
+        frontier = None
+        if checkpoint is not None and checkpoint.worklist is not None:
+            frontier = list(checkpoint.worklist)  # (stack, im, bound)
+        self._executor = self._new_executor()
+        try:
+            while True:  # random restarts, as in Fig. 2
+                if frontier is None:
+                    frontier = [([], InputVector(), 0)]
+                    session._clean_drain = True
+                while frontier:
+                    self._note_worklist(frontier)
+                    session._autosave()
+                    session._check_budget()
+                    remaining = (self.options.max_iterations
+                                 - session.stats.iterations)
+                    batch = frontier[:remaining]
+                    rest = frontier[remaining:]
+                    done, children = self._run_generation(batch, rest)
+                    if done:
+                        session._clear_checkpoint()
+                        return session._result()
+                    frontier = rest + children
+                    if self.options.strategy == "random":
+                        session.rng.shuffle(frontier)
+                if session._clean_drain and session._finished_complete():
+                    session._clear_checkpoint()
+                    return session._result()
+                session.stats.random_restarts += 1
+                frontier = None
+        except _BudgetReached:
+            session._save_checkpoint()
+            return session._result()
+        finally:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def _note_worklist(self, frontier):
+        """Expose the live frontier to the checkpoint machinery."""
+        pending = self._pending_type()
+        self.session._worklist = [
+            pending(stack, im, bound) for stack, im, bound in frontier
+        ]
+
+    def _run_generation(self, batch, rest):
+        """Dispatch one generation; returns (stop, merged children)."""
+        session = self.session
+        payloads = []
+        for stack, im, bound in batch:
+            session.stats.iterations += 1
+            payloads.append({
+                "stack": persist._encode_stack(stack),
+                "im": persist._encode_im(im),
+                "bound": bound,
+                "seed": _item_seed(self.options.seed,
+                                   session.stats.iterations),
+            })
+        try:
+            results = list(self._executor.map(_worker_run, payloads))
+        except BrokenProcessPool:
+            # A worker process died outright (beyond the in-process fault
+            # boundary).  Quarantine the generation, rebuild the pool, and
+            # keep the session alive — the paper's crash-loses-one-run
+            # containment, at generation granularity.
+            session.flags.clear_linear()
+            session._clean_drain = False
+            for index, (stack, im, bound) in enumerate(batch):
+                session.stats.quarantined.append(QuarantineRecord(
+                    INTERNAL_ERROR, im.values(),
+                    [slot.kind for slot in im],
+                    session.stats.iterations - len(batch) + 1 + index,
+                    "worker process died (BrokenProcessPool)",
+                ))
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._new_executor()
+            return False, []
+        children = []
+        first_iteration = session.stats.iterations - len(batch) + 1
+        for index, result in enumerate(results):
+            stop = self._merge(result, first_iteration + index, children)
+            if stop:
+                return True, children
+        return False, children
+
+    def _merge(self, result, iteration, children):
+        """Fold one worker result into the session (dispatch order)."""
+        session = self.session
+        all_linear, all_locs, _forcing = result["flags"]
+        if not all_linear:
+            session.flags.clear_linear()
+        if not all_locs:
+            session.flags.clear_locs()
+        for name, value in result["counters"].items():
+            setattr(session.stats, name,
+                    getattr(session.stats, name) + value)
+        session.stats.covered_branches.update(
+            (entry[0], entry[1], entry[2]) for entry in result["covered"]
+        )
+        status = result["status"]
+        if status == "mismatch":
+            # The worker's hooks cleared forcing_ok and raised; the serial
+            # engine restores the flag and drops the stale item, and so do
+            # we — the mismatch only taints this drain's completeness.
+            session.stats.forcing_failures += 1
+            session._clean_drain = False
+            return False
+        if status == "quarantined":
+            record = result["quarantine"]
+            session.flags.clear_linear()
+            session.stats.quarantined.append(QuarantineRecord(
+                record["classification"], record["inputs"],
+                record["kinds"], iteration, record["detail"],
+            ))
+            session._clean_drain = False
+            return False
+        session.stats.note_path(tuple(result["path"]))
+        children.extend(
+            (persist._decode_stack(child["stack"]),
+             persist._decode_im(child["im"]),
+             child["bound"])
+            for child in result["children"]
+        )
+        error = result["error"]
+        if error is not None:
+            fault = RestoredFault(error["kind"], error["message"],
+                                  error["location"])
+            session.status = BUG_FOUND
+            key = (fault.kind, str(fault.location))
+            if key not in session._seen_error_keys:
+                session._seen_error_keys.add(key)
+                session.errors.append(ErrorReport(
+                    fault, error["inputs"], iteration,
+                    tuple(result["path"]), kinds=error["kinds"],
+                ))
+            return self.options.stop_on_first_error
+        return False
+
+
+def run_parallel_generational(session):
+    """Entry point used by :meth:`repro.dart.runner.Dart.run`."""
+    return _ParallelEngine(session).run()

@@ -117,6 +117,15 @@ class RunStats:
         "solver_unsat", "solver_unknown", "solver_retries",
         "solver_escalations", "forcing_failures", "random_restarts",
         "branches_executed", "machine_steps",
+        # Solver-throughput subsystem (slicing + result cache):
+        # ``solver_constraints`` totals the conjuncts of *actual* solver
+        # calls (avg query size = solver_constraints / solver_calls);
+        # ``sliced_conjuncts_dropped`` counts prefix conjuncts slicing
+        # kept away from the solver; the ``cache_*`` counters record how
+        # each query was answered (hit tiers) or not (miss → real call).
+        "solver_constraints", "sliced_conjuncts_dropped",
+        "cache_hits", "cache_unsat_shortcuts", "cache_model_reuses",
+        "cache_misses",
     )
 
     def __init__(self):
@@ -136,6 +145,25 @@ class RunStats:
         self.paths_explored += 1
         self.distinct_paths.add(path_key)
 
+    @property
+    def cache_answered(self):
+        """Queries answered by the cache (all three tiers)."""
+        return (self.cache_hits + self.cache_unsat_shortcuts
+                + self.cache_model_reuses)
+
+    @property
+    def cache_hit_rate(self):
+        """Fraction of cached-solver queries answered without a solve."""
+        queries = self.cache_answered + self.cache_misses
+        return self.cache_answered / queries if queries else 0.0
+
+    @property
+    def avg_constraints_per_call(self):
+        """Mean conjunct count of the queries that reached the solver."""
+        if not self.solver_calls:
+            return 0.0
+        return self.solver_constraints / self.solver_calls
+
     def summary(self):
         return {
             "iterations": self.iterations,
@@ -147,6 +175,14 @@ class RunStats:
             "solver_unknown": self.solver_unknown,
             "solver_retries": self.solver_retries,
             "solver_escalations": self.solver_escalations,
+            "avg_constraints_per_call":
+                round(self.avg_constraints_per_call, 2),
+            "sliced_conjuncts_dropped": self.sliced_conjuncts_dropped,
+            "cache_hits": self.cache_hits,
+            "cache_unsat_shortcuts": self.cache_unsat_shortcuts,
+            "cache_model_reuses": self.cache_model_reuses,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
             "forcing_failures": self.forcing_failures,
             "random_restarts": self.random_restarts,
             "branches": self.branches_executed,

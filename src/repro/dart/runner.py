@@ -49,10 +49,13 @@ from repro.dart.report import (
     QuarantineRecord,
     RunStats,
 )
-from repro.dart.solve import solve_path_constraint, solve_with_retry
+from repro.dart.solve import (
+    expand_worklist_children,
+    solve_path_constraint,
+)
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
-from repro.solver import Solver
+from repro.solver import Solver, SolverResultCache
 from repro.symbolic.flags import CompletenessFlags
 
 
@@ -62,6 +65,9 @@ class Dart:
     def __init__(self, source, toplevel, options=None, filename="<program>"):
         self.options = options or DartOptions()
         self.toplevel = toplevel
+        #: Kept so the parallel engine can rebuild the module per worker.
+        self.source = source
+        self.filename = filename
         self.module = build_test_program(
             source, toplevel, depth=self.options.depth, filename=filename,
             max_init_depth=self.options.max_init_depth,
@@ -70,6 +76,9 @@ class Dart:
             seed=self.options.seed,
             node_budget=self.options.solver_node_budget,
         )
+        #: Session-lifetime solver result cache (None when disabled).
+        self.solver_cache = SolverResultCache() \
+            if self.options.solver_cache else None
         #: Identifies (program, toplevel, search configuration) so a
         #: checkpoint written by a different session is rejected.
         self.fingerprint = {
@@ -96,7 +105,16 @@ class Dart:
         try:
             with session.signal_guard():
                 if self.options.strategy == "dfs":
+                    # dfs is inherently sequential (each plan depends on
+                    # the previous run's path): jobs is ignored.
                     return session.run_figure5()
+                if self.options.jobs > 1:
+                    # Imported lazily: multiprocessing machinery is only
+                    # paid for by sessions that ask for it.
+                    from repro.dart.parallel import (
+                        run_parallel_generational,
+                    )
+                    return run_parallel_generational(session)
                 return session.run_generational()
         finally:
             session.stats.finish()
@@ -196,6 +214,7 @@ class _Session:
     def __init__(self, dart):
         self.dart = dart
         self.options = dart.options
+        self.cache = dart.solver_cache
         self.flags = CompletenessFlags()
         self.stats = RunStats()
         self.errors = []
@@ -522,6 +541,8 @@ class _Session:
                         outcome.hooks.record, outcome.hooks.finished_stack(),
                         im, self.dart.solver, "dfs", self.rng, self.flags,
                         self.stats, escalation=self.options.solver_escalation,
+                        cache=self.cache,
+                        slicing=self.options.constraint_slicing,
                     )
                     if plan is None:
                         search_finished = True
@@ -583,28 +604,17 @@ class _Session:
                     ):
                         self._clear_checkpoint()
                         return self._result()
-                    stack = outcome.hooks.finished_stack()
-                    constraints = outcome.hooks.record.constraints
-                    domains = item.im.domains()
-                    for j in range(item.bound, len(stack)):
-                        conjunct = constraints[j]
-                        if conjunct is None:
-                            continue
-                        prefix = [
-                            c for c in constraints[:j] if c is not None
-                        ]
-                        prefix.append(conjunct.negate())
-                        result = solve_with_retry(
-                            solver, prefix, domains, self.stats, escalation
-                        )
-                        if result.is_sat:
-                            child = [e.copy() for e in stack[: j + 1]]
-                            child[j] = child[j].flipped()
-                            pending.append(_Pending(
-                                child, item.im.updated(result.model), j + 1
-                            ))
-                        elif result.status == "unknown":
-                            self.flags.clear_linear()
+                    children = expand_worklist_children(
+                        outcome.hooks.finished_stack(),
+                        outcome.hooks.record.constraints,
+                        item.im, item.bound, solver, self.flags,
+                        self.stats, escalation, cache=self.cache,
+                        slicing=self.options.constraint_slicing,
+                    )
+                    pending.extend(
+                        _Pending(stack, im, bound)
+                        for stack, im, bound in children
+                    )
                 if self._clean_drain and self._finished_complete():
                     self._clear_checkpoint()
                     return self._result()

@@ -1,0 +1,110 @@
+"""Constraint independence slicing (variable-sharing groups, union-find).
+
+``solve_path_constraint`` (Fig. 5) hands the solver the *entire*
+path-constraint prefix for every candidate branch flip, but most conjuncts
+share no variables with the negated one: a path through k independent
+conditionals yields solver queries that are k times larger than necessary.
+This module partitions a prefix into variable-sharing groups with a
+union-find and extracts only the group touching the negated conjunct.
+
+**Soundness.** The run's current input vector ``IM`` satisfies the whole
+prefix — the program just executed that path under it.  The sliced query
+mentions exactly the variables of the negated conjunct's group, so the
+solver's model reassigns only those; the ``IM + IM'`` merge (Fig. 5)
+preserves every other slot, which keeps every untouched group satisfied by
+the very values that already satisfied it.  The concatenation (untouched
+groups under ``IM``) ∧ (sliced group under ``IM'``) therefore satisfies the
+full predicted path constraint.  Slicing can change *which* model the
+solver picks (it no longer re-solves independent groups), so it is part of
+the options digest — but never whether a branch is feasible: a group is
+satisfiable in isolation iff it is satisfiable conjoined with other
+satisfiable groups over disjoint variables.
+
+Completeness is likewise unaffected: UNSAT of the sliced group implies
+UNSAT of any superset, so ``done`` marking stays correct.
+"""
+
+
+class UnionFind:
+    """Plain union-find with path halving (no ranks; unions are few)."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self):
+        self.parent = {}
+
+    def find(self, item):
+        parent = self.parent
+        root = parent.setdefault(item, item)
+        while root != parent[root]:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        if item != root:
+            parent[item] = root
+        return root
+
+    def union(self, a, b):
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a != root_b:
+            self.parent[root_b] = root_a
+
+
+class ConstraintSlicer:
+    """Slices prefixes of one run's constraint list into variable groups.
+
+    Built once per completed run from the aligned constraint list
+    (``None`` entries are concrete-fallback branches and never join any
+    group).  ``slice(j, negated)`` returns the conjuncts of
+    ``constraints[:j]`` in the variable-sharing group of ``negated``, plus
+    ``negated`` itself, in prefix order.
+
+    The union-find is grown incrementally while candidate indices ascend
+    (the generational engines); a descending candidate (dfs) rebuilds it,
+    which is still O(prefix) per candidate — the cost the unsliced query
+    construction paid anyway, and noise next to a solver call.
+    """
+
+    def __init__(self, constraints):
+        self._constraints = constraints
+        # Variable tuples, computed once per run (satellite of the same
+        # hoisting that moved im.domains() out of the candidate loop).
+        self._vars = [
+            tuple(c.variables()) if c is not None else ()
+            for c in constraints
+        ]
+        self._uf = UnionFind()
+        self._processed = 0
+
+    def _advance(self, j):
+        """Ensure all constraints[:j] have been unioned (monotone)."""
+        if j < self._processed:
+            self._uf = UnionFind()
+            self._processed = 0
+        uf = self._uf
+        for i in range(self._processed, j):
+            variables = self._vars[i]
+            if variables:
+                first = variables[0]
+                uf.find(first)
+                for var in variables[1:]:
+                    uf.union(first, var)
+        self._processed = j
+
+    def slice(self, j, negated):
+        """The sliced solver query for flipping conditional ``j``."""
+        self._advance(j)
+        uf = self._uf
+        # The negated conjunct may span several prefix groups; flipping it
+        # links them, so every one of its variables' roots is in scope.
+        roots = {uf.find(var) for var in negated.variables()}
+        query = []
+        if roots:
+            vars_by_index = self._vars
+            constraints = self._constraints
+            for i in range(j):
+                variables = vars_by_index[i]
+                if variables and uf.find(variables[0]) in roots:
+                    query.append(constraints[i])
+        query.append(negated)
+        return query

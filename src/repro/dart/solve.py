@@ -12,20 +12,52 @@ termination guarantee exactly like a non-linear expression does.
 Footnote 4 of the paper notes the flipped branch "could be selected using a
 different strategy, e.g., randomly or in a breadth-first manner"; the
 ``strategy`` parameter implements all three.
+
+Two throughput layers plug in here (see DESIGN.md, "Performance"):
+
+* **Constraint slicing** (:mod:`repro.dart.slicing`): the solver receives
+  only the variable-sharing group of the negated conjunct instead of the
+  whole prefix; untouched groups keep their current ``IM`` values, which
+  already satisfy them.
+* **Result caching** (:mod:`repro.solver.cache`): canonically equal
+  queries — frequent once slicing shrinks them — are answered without a
+  solver call, as are supersets of known-UNSAT sets and queries satisfied
+  by a previously found model.
 """
+
+from repro.dart.slicing import ConstraintSlicer
 
 
 def solve_with_retry(solver, constraints, domains, stats=None,
-                     escalation=1):
-    """One *logical* solver call with budget-exhaustion resilience.
+                     escalation=1, cache=None):
+    """One *logical* solver call with caching and budget resilience.
 
-    When the first attempt returns ``unknown`` (node budget exhausted,
-    not a proof either way) and ``escalation`` > 1, the call is retried
-    once with the node budget multiplied by ``escalation`` before the
-    caller degrades to the random-testing fallback.  Statistics count the
-    logical call once (so ``solver_calls == sat + unsat + unknown``
-    stays an invariant) plus the retry/escalation counters.
+    When ``cache`` is set, the query is first answered from it (exact hit,
+    UNSAT-superset shortcut, or model reuse); a cache answer costs no
+    solver call and leaves ``solver_calls`` untouched — the cache counters
+    record it instead.  On a miss, when the first attempt returns
+    ``unknown`` (node budget exhausted, not a proof either way) and
+    ``escalation`` > 1, the call is retried once with the node budget
+    multiplied by ``escalation`` before the caller degrades to the
+    random-testing fallback.  Statistics count the logical call once (so
+    ``solver_calls == sat + unsat + unknown`` stays an invariant) plus the
+    retry/escalation counters; decided results are stored back into the
+    cache.
     """
+    if cache is not None:
+        hit = cache.lookup(constraints, domains)
+        if hit is not None:
+            result, tier = hit
+            if stats is not None:
+                if tier == "exact":
+                    stats.cache_hits += 1
+                elif tier == "unsat-superset":
+                    stats.cache_unsat_shortcuts += 1
+                else:
+                    stats.cache_model_reuses += 1
+            return result
+        if stats is not None:
+            stats.cache_misses += 1
     result = solver.solve(constraints, domains)
     if result.status == "unknown" and escalation and escalation > 1:
         if stats is not None:
@@ -38,12 +70,15 @@ def solve_with_retry(solver, constraints, domains, stats=None,
             stats.solver_escalations += 1
     if stats is not None:
         stats.solver_calls += 1
+        stats.solver_constraints += len(constraints)
         if result.status == "sat":
             stats.solver_sat += 1
         elif result.status == "unsat":
             stats.solver_unsat += 1
         else:
             stats.solver_unknown += 1
+    if cache is not None:
+        cache.store(constraints, domains, result)
     return result
 
 
@@ -71,8 +106,41 @@ def candidate_indices(stack, strategy, rng):
     return pending
 
 
+def _prefix_index(constraints):
+    """Per-call invariants of the candidate loop, computed once.
+
+    Returns ``(non_none, count_before)`` where ``non_none`` is the
+    filtered conjunct list in order and ``count_before[i]`` is how many of
+    them lie strictly before index ``i`` — so the unsliced prefix for
+    candidate ``j`` is ``non_none[:count_before[j]]`` with no per-candidate
+    rebuild of the whole list.
+    """
+    non_none = []
+    count_before = [0] * (len(constraints) + 1)
+    for index, constraint in enumerate(constraints):
+        count_before[index] = len(non_none)
+        if constraint is not None:
+            non_none.append(constraint)
+    count_before[len(constraints)] = len(non_none)
+    return non_none, count_before
+
+
+def _query_for(j, negated, slicer, non_none, count_before, stats):
+    """The solver query for flipping conditional ``j`` (sliced or full)."""
+    if slicer is not None:
+        query = slicer.slice(j, negated)
+        if stats is not None:
+            stats.sliced_conjuncts_dropped += \
+                count_before[j] + 1 - len(query)
+        return query
+    query = non_none[: count_before[j]]
+    query.append(negated)
+    return query
+
+
 def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
-                          stats=None, escalation=1):
+                          stats=None, escalation=1, cache=None,
+                          slicing=True):
     """Pick a branch to flip and solve for inputs reaching it.
 
     ``record`` is the completed run's :class:`PathRecord` (constraints),
@@ -82,6 +150,8 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
     """
     constraints = record.constraints
     domains = im.domains()
+    non_none, count_before = _prefix_index(constraints)
+    slicer = ConstraintSlicer(constraints) if slicing else None
     for j in candidate_indices(stack, strategy, rng):
         conjunct = constraints[j]
         if conjunct is None:
@@ -91,10 +161,10 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
             # re-examined on every later solve with the same prefix.
             stack[j].done = True
             continue
-        prefix = [c for c in constraints[:j] if c is not None]
-        prefix.append(conjunct.negate())
-        result = solve_with_retry(solver, prefix, domains, stats,
-                                  escalation)
+        query = _query_for(j, conjunct.negate(), slicer, non_none,
+                           count_before, stats)
+        result = solve_with_retry(solver, query, domains, stats,
+                                  escalation, cache)
         if result.is_sat:
             next_stack = [entry.copy() for entry in stack[: j + 1]]
             next_stack[j] = next_stack[j].flipped()
@@ -110,3 +180,35 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
             # memoization.)
             stack[j].done = True
     return None
+
+
+def expand_worklist_children(stack, constraints, im, bound, solver, flags,
+                             stats=None, escalation=1, cache=None,
+                             slicing=True):
+    """Generational expansion: children for indices ``bound..len(stack)``.
+
+    The worklist engines (serial and parallel) spawn one pending input
+    vector per newly discovered flippable branch; this helper owns that
+    loop so both engines share the slicing/caching fast path.  Returns a
+    list of ``(child_stack, child_im, child_bound)`` triples in branch
+    order.
+    """
+    domains = im.domains()
+    non_none, count_before = _prefix_index(constraints)
+    slicer = ConstraintSlicer(constraints) if slicing else None
+    children = []
+    for j in range(bound, len(stack)):
+        conjunct = constraints[j]
+        if conjunct is None:
+            continue
+        query = _query_for(j, conjunct.negate(), slicer, non_none,
+                           count_before, stats)
+        result = solve_with_retry(solver, query, domains, stats,
+                                  escalation, cache)
+        if result.is_sat:
+            child = [entry.copy() for entry in stack[: j + 1]]
+            child[j] = child[j].flipped()
+            children.append((child, im.updated(result.model), j + 1))
+        elif result.status == "unknown":
+            flags.clear_linear()
+    return children

@@ -144,6 +144,9 @@ class Machine:
         self._frames = []
         self._global_addrs = {}
         self._string_addrs = []
+        #: Set by _step_ret just before _execute unwinds (re-entrant calls
+        #: are safe: the value is read immediately after the setting step).
+        self._return_value = (0, None)
         #: Step count at which the wall-clock watchdog next fires.
         self._next_watchdog = self.options.watchdog_interval
         self._load_module()
@@ -247,6 +250,7 @@ class Machine:
 
     def _execute(self, function, frame):
         instrs = function.instrs
+        dispatch = self._STEP_DISPATCH
         pc = 0
         limit = self.options.max_steps
         deadline = self.options.deadline
@@ -266,40 +270,54 @@ class Machine:
                     now = time.perf_counter()
                     if now > deadline:
                         raise RunTimeout(now - deadline, instr.location)
+            step = dispatch.get(type(instr))
+            if step is None:
+                raise InterpreterError(
+                    "unknown instruction {!r}".format(instr)
+                )
             try:
-                if isinstance(instr, ir.Eval):
-                    self._eval(instr.expr)
-                    pc += 1
-                elif isinstance(instr, ir.Branch):
-                    value, sym = self._eval(instr.cond)
-                    taken = value != 0
-                    constraint = constraint_from_branch(sym, taken)
-                    self.branches_executed += 1
-                    self.covered_branches.add((function.name, pc, taken))
-                    self.hooks.on_branch(taken, constraint, instr.location)
-                    pc = instr.target if taken else pc + 1
-                elif isinstance(instr, ir.Jump):
-                    pc = instr.target
-                elif isinstance(instr, ir.Ret):
-                    if instr.value is None:
-                        return 0, None
-                    return self._eval(instr.value)
-                elif isinstance(instr, ir.AbortInstr):
-                    if instr.reason == "assertion violation":
-                        raise AssertionViolation(
-                            "assertion violated", instr.location
-                        )
-                    raise ProgramAbort("abort() reached", instr.location)
-                else:
-                    raise InterpreterError(
-                        "unknown instruction {!r}".format(instr)
-                    )
+                pc = step(self, instr, pc, function)
             except ExecutionFault as fault:
                 # Attach the faulting statement's location so reports and
                 # crash-site deduplication have a precise anchor.
                 if fault.location is None:
                     fault.location = instr.location
                 raise
+            if pc < 0:
+                return self._return_value
+
+    # -- step handlers (one per instruction type; see _STEP_DISPATCH) --------
+
+    #: Sentinel pc returned by _step_ret: unwind with self._return_value.
+    _PC_RETURN = -1
+
+    def _step_eval(self, instr, pc, function):
+        self._eval(instr.expr)
+        return pc + 1
+
+    def _step_branch(self, instr, pc, function):
+        value, sym = self._eval(instr.cond)
+        taken = value != 0
+        constraint = constraint_from_branch(sym, taken)
+        self.branches_executed += 1
+        self.covered_branches.add((function.name, pc, taken))
+        self.hooks.on_branch(taken, constraint, instr.location)
+        return instr.target if taken else pc + 1
+
+    def _step_jump(self, instr, pc, function):
+        return instr.target
+
+    def _step_ret(self, instr, pc, function):
+        if instr.value is None:
+            self._return_value = (0, None)
+        else:
+            self._return_value = self._eval(instr.value)
+        return self._PC_RETURN
+
+    def _step_abort(self, instr, pc, function):
+        if instr.reason == "assertion violation":
+            raise AssertionViolation("assertion violated", instr.location)
+        raise ProgramAbort("abort() reached", instr.location)
 
     # -- expression evaluation ----------------------------------------------
 
@@ -662,8 +680,9 @@ class Machine:
             return value, None
         return value, LinExpr.variable(var.ordinal)
 
-    # Dispatch table, built once.
+    # Dispatch tables, built once.
     _DISPATCH = {}
+    _STEP_DISPATCH = {}
 
 
 Machine._DISPATCH = {
@@ -678,4 +697,12 @@ Machine._DISPATCH = {
     ast.Index: Machine._eval_index,
     ast.Member: Machine._eval_member,
     ast.Call: Machine._eval_call,
+}
+
+Machine._STEP_DISPATCH = {
+    ir.Eval: Machine._step_eval,
+    ir.Branch: Machine._step_branch,
+    ir.Jump: Machine._step_jump,
+    ir.Ret: Machine._step_ret,
+    ir.AbortInstr: Machine._step_abort,
 }

@@ -20,6 +20,8 @@ treats theorem-prover failure (Section 2.5): fall back to the concrete
 world and keep searching.
 """
 
+from repro.solver.cache import SolverResultCache
 from repro.solver.core import Solver, SolverResult, SAT, UNSAT, UNKNOWN
 
-__all__ = ["SAT", "Solver", "SolverResult", "UNKNOWN", "UNSAT"]
+__all__ = ["SAT", "Solver", "SolverResult", "SolverResultCache",
+           "UNKNOWN", "UNSAT"]

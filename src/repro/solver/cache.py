@@ -1,0 +1,160 @@
+"""Solver result caching keyed on canonical constraint sets.
+
+DART's directed search re-issues many near-identical queries: consecutive
+candidate flips share almost all conjuncts, sliced queries for different
+branch indices often normalize to the *same* constraint set, and restarts
+revisit prefixes already decided.  This cache answers a query without a
+solver call through three tiers, cheapest first:
+
+1. **Exact hit** — the canonical key (the set of ``CmpExpr.key()``s plus
+   the domains of their variables) was decided before; the stored result
+   is returned verbatim.
+2. **UNSAT-superset shortcut** — a previously proved-UNSAT constraint set
+   that is a subset of the query (under domains at least as wide) refutes
+   the query too: adding conjuncts or tightening domains never makes an
+   unsatisfiable set satisfiable.
+3. **Model reuse** — a model cached from an earlier SAT answer that
+   assigns every variable of the query, within its domains, and satisfies
+   every conjunct answers SAT without a search (the counterexample-cache
+   idea of KLEE and Green).
+
+Only decided results (sat/unsat) are stored; ``unknown`` is a node-budget
+artifact that an escalated retry may overturn, so caching it would make
+incompleteness sticky.  All stores are bounded LRU so a long session's
+memory stays flat.
+"""
+
+from collections import OrderedDict
+
+from repro.solver.core import SAT, UNSAT, SolverResult
+
+#: Default domain for variables the query does not bound: signed int32
+#: (mirrors repro.solver.problem.DEFAULT_DOMAIN without importing it, to
+#: keep this module dependency-free for the parallel workers).
+_DEFAULT_DOMAIN = (-(1 << 31), (1 << 31) - 1)
+
+#: Lookup-tier tags (also the RunStats counter the caller bumps).
+EXACT = "exact"
+UNSAT_SUPERSET = "unsat-superset"
+MODEL_REUSE = "model-reuse"
+
+
+class SolverResultCache:
+    """Bounded cache of solver verdicts for normalized constraint sets."""
+
+    def __init__(self, max_results=4096, max_models=64, max_unsat_sets=256):
+        #: query key -> SolverResult (exact tier).
+        self._results = OrderedDict()
+        #: frozenset(model.items()) -> model dict (model-reuse tier).
+        self._models = OrderedDict()
+        #: unsat key -> (constraint key set, {var: (lo, hi)}).
+        self._unsat = OrderedDict()
+        self._max_results = max_results
+        self._max_models = max_models
+        self._max_unsat_sets = max_unsat_sets
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def query_key(constraints, domains):
+        """Canonical identity of (constraint set, relevant domains)."""
+        cons = frozenset(c.key() for c in constraints)
+        variables = set()
+        for c in constraints:
+            variables |= c.variables()
+        doms = frozenset(
+            (var,) + tuple(domains.get(var, _DEFAULT_DOMAIN))
+            for var in variables
+        )
+        return (cons, doms)
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, constraints, domains):
+        """Answer a query from the cache, or None.
+
+        Returns ``(SolverResult, tier)`` with ``tier`` one of
+        :data:`EXACT`, :data:`UNSAT_SUPERSET`, :data:`MODEL_REUSE`.
+        """
+        key = self.query_key(constraints, domains)
+        result = self._results.get(key)
+        if result is not None:
+            self._results.move_to_end(key)
+            return result, EXACT
+        shortcut = self._unsat_superset(key[0], constraints, domains)
+        if shortcut is not None:
+            return shortcut, UNSAT_SUPERSET
+        reused = self._reuse_model(constraints, domains)
+        if reused is not None:
+            return reused, MODEL_REUSE
+        return None
+
+    def _unsat_superset(self, cons_keys, constraints, domains):
+        for unsat_key, (cached_cons, cached_domains) in self._unsat.items():
+            if not cached_cons <= cons_keys:
+                continue
+            # The cached refutation holds under domains at least as wide
+            # as the query's for every variable it constrains.
+            for var, (lo, hi) in cached_domains.items():
+                qlo, qhi = domains.get(var, _DEFAULT_DOMAIN)
+                if qlo < lo or qhi > hi:
+                    break
+            else:
+                self._unsat.move_to_end(unsat_key)
+                return SolverResult(UNSAT)
+        return None
+
+    def _reuse_model(self, constraints, domains):
+        variables = set()
+        for c in constraints:
+            variables |= c.variables()
+        for model_key, model in reversed(self._models.items()):
+            if any(var not in model for var in variables):
+                continue
+            in_domain = True
+            for var in variables:
+                lo, hi = domains.get(var, _DEFAULT_DOMAIN)
+                if not lo <= model[var] <= hi:
+                    in_domain = False
+                    break
+            if not in_domain:
+                continue
+            if all(c.evaluate(model) for c in constraints):
+                self._models.move_to_end(model_key)
+                # Restrict to the query's variables: a fuller model would
+                # leak assignments into IM slots this query says nothing
+                # about when the caller merges it (the IM + IM' update).
+                return SolverResult(
+                    SAT, {var: model[var] for var in variables}
+                )
+        return None
+
+    # -- store --------------------------------------------------------------
+
+    def store(self, constraints, domains, result):
+        """Record a decided result; ``unknown`` is never cached."""
+        if result.status not in ("sat", "unsat"):
+            return
+        key = self.query_key(constraints, domains)
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > self._max_results:
+            self._results.popitem(last=False)
+        if result.status == "sat" and result.model:
+            model_key = frozenset(result.model.items())
+            self._models[model_key] = result.model
+            self._models.move_to_end(model_key)
+            while len(self._models) > self._max_models:
+                self._models.popitem(last=False)
+        elif result.status == "unsat":
+            cached_domains = {
+                var: tuple(domains.get(var, _DEFAULT_DOMAIN))
+                for c in constraints for var in c.variables()
+            }
+            self._unsat[key] = (key[0], cached_domains)
+            self._unsat.move_to_end(key)
+            while len(self._unsat) > self._max_unsat_sets:
+                self._unsat.popitem(last=False)
+
+    def __len__(self):
+        return len(self._results)

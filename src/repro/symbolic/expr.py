@@ -56,11 +56,27 @@ class InputVar:
 class LinExpr:
     """An integer-linear expression ``sum(coeff_i * x_i) + const``."""
 
-    __slots__ = ("coeffs", "const")
+    __slots__ = ("coeffs", "const", "_key", "_hash")
 
     def __init__(self, coeffs=None, const=0):
         self.coeffs = {v: c for v, c in (coeffs or {}).items() if c != 0}
         self.const = const
+        self._key = None
+        self._hash = None
+
+    def key(self):
+        """A stable canonical identity: sorted (var, coeff) pairs + const.
+
+        Computed once and cached (expressions are immutable after
+        construction), so solver-cache lookups and slicing group maps are
+        O(1) dict operations instead of re-sorting coefficients on every
+        hash.
+        """
+        key = self._key
+        if key is None:
+            key = (tuple(sorted(self.coeffs.items())), self.const)
+            self._key = key
+        return key
 
     @classmethod
     def constant(cls, value):
@@ -112,12 +128,16 @@ class LinExpr:
     def __eq__(self, other):
         return (
             isinstance(other, LinExpr)
-            and other.coeffs == self.coeffs
             and other.const == self.const
+            and other.coeffs == self.coeffs
         )
 
     def __hash__(self):
-        return hash((frozenset(self.coeffs.items()), self.const))
+        value = self._hash
+        if value is None:
+            value = hash(self.key())
+            self._hash = value
+        return value
 
     def __repr__(self):
         parts = []
@@ -138,13 +158,23 @@ class LinExpr:
 class CmpExpr:
     """A relational term ``lin OP 0`` — both a 0/1 value and a constraint."""
 
-    __slots__ = ("op", "lin")
+    __slots__ = ("op", "lin", "_key", "_hash")
 
     def __init__(self, op, lin):
         if op not in _NEGATIONS:
             raise ValueError("bad relational operator {!r}".format(op))
         self.op = op
         self.lin = lin
+        self._key = None
+        self._hash = None
+
+    def key(self):
+        """Stable canonical identity: the operator plus the LinExpr key."""
+        key = self._key
+        if key is None:
+            key = (self.op, self.lin.key())
+            self._key = key
+        return key
 
     def negate(self):
         return CmpExpr(_NEGATIONS[self.op], self.lin)
@@ -172,7 +202,11 @@ class CmpExpr:
         )
 
     def __hash__(self):
-        return hash((self.op, self.lin))
+        value = self._hash
+        if value is None:
+            value = hash(self.key())
+            self._hash = value
+        return value
 
     def __repr__(self):
         return "({} {} 0)".format(self.lin, self.op)

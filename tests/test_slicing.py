@@ -1,0 +1,203 @@
+"""Constraint independence slicing: units and differential soundness."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import DartOptions, dart_check
+from repro.dart.slicing import ConstraintSlicer, UnionFind
+from repro.programs import samples
+from repro.symbolic.expr import CmpExpr, EQ, GT, LinExpr
+
+
+def cmp(op, coeffs, const=0):
+    return CmpExpr(op, LinExpr(coeffs, const))
+
+
+class TestUnionFind:
+    def test_singletons_are_their_own_roots(self):
+        uf = UnionFind()
+        assert uf.find(1) == 1
+        assert uf.find(2) == 2
+
+    def test_union_merges_roots(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.find(1) == uf.find(3)
+        assert uf.find(1) != uf.find(4)
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(1, 2)
+        uf.union(2, 1)
+        assert uf.find(1) == uf.find(2)
+
+    def test_transitive_closure_over_chains(self):
+        uf = UnionFind()
+        for i in range(10):
+            uf.union(i, i + 1)
+        roots = {uf.find(i) for i in range(11)}
+        assert len(roots) == 1
+
+
+class TestConstraintSlicer:
+    def test_independent_conjuncts_are_dropped(self):
+        # x0 > 0 and x1 > 0 are independent; flipping a conjunct on x1
+        # must not drag x0's group into the query.
+        constraints = [cmp(GT, {0: 1}), cmp(GT, {1: 1})]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {1: 1}, -5)
+        assert slicer.slice(2, negated) == [constraints[1], negated]
+
+    def test_shared_variable_keeps_the_conjunct(self):
+        constraints = [cmp(GT, {0: 1}), cmp(GT, {0: 1, 1: 1})]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {1: 1})
+        # x1 links to x0 through the second conjunct, so both stay.
+        assert slicer.slice(2, negated) == constraints + [negated]
+
+    def test_transitive_sharing_chains_groups(self):
+        # (x0,x1) (x1,x2) (x3): negating on x0 pulls the whole x0-x1-x2
+        # chain but not x3.
+        constraints = [
+            cmp(GT, {0: 1, 1: 1}),
+            cmp(GT, {1: 1, 2: 1}),
+            cmp(GT, {3: 1}),
+        ]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {0: 1})
+        assert slicer.slice(3, negated) == constraints[:2] + [negated]
+
+    def test_prefix_bound_respected(self):
+        constraints = [cmp(GT, {0: 1}), cmp(GT, {0: 1}, -10)]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {0: 1})
+        # Only constraints[:1] may enter the query for j=1.
+        assert slicer.slice(1, negated) == [constraints[0], negated]
+
+    def test_none_entries_never_join_groups(self):
+        # A concrete-fallback branch (None) separates nothing.
+        constraints = [cmp(GT, {0: 1}), None, cmp(GT, {0: 1}, -3)]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {0: 1})
+        query = slicer.slice(3, negated)
+        assert query == [constraints[0], constraints[2], negated]
+
+    def test_negated_conjunct_can_bridge_groups(self):
+        # The negated conjunct mentions x0 AND x1: both groups in scope.
+        constraints = [cmp(GT, {0: 1}), cmp(GT, {1: 1})]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {0: 1, 1: 1})
+        assert slicer.slice(2, negated) == constraints + [negated]
+
+    def test_descending_candidates_rebuild_correctly(self):
+        # dfs walks candidate indices deepest-first; the slicer must give
+        # the same answers as a fresh instance at every prefix length.
+        constraints = [
+            cmp(GT, {0: 1}),
+            cmp(GT, {1: 1}),
+            cmp(GT, {0: 1, 1: 1}),
+        ]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {1: 1})
+        for j in (3, 2, 1, 0):
+            fresh = ConstraintSlicer(constraints)
+            assert slicer.slice(j, negated) == fresh.slice(j, negated), j
+
+    def test_groups_merge_as_the_prefix_grows(self):
+        # At j=2 the groups {x0} and {x1} are separate; the j=3 conjunct
+        # bridges them, so the longer prefix keeps everything.
+        constraints = [
+            cmp(GT, {0: 1}),
+            cmp(GT, {1: 1}),
+            cmp(GT, {0: 1, 1: 1}),
+        ]
+        slicer = ConstraintSlicer(constraints)
+        negated = cmp(EQ, {0: 1})
+        assert slicer.slice(2, negated) == [constraints[0], negated]
+        assert slicer.slice(3, negated) == constraints + [negated]
+
+
+def _verdict(source, toplevel, seed, slicing, cache, **overrides):
+    options = DartOptions(
+        max_iterations=overrides.pop("max_iterations", 200), seed=seed,
+        constraint_slicing=slicing, solver_cache=cache,
+        stop_on_first_error=False, **overrides,
+    )
+    result = dart_check(source, toplevel, options)
+    return (
+        result.status,
+        sorted({(e.kind, str(e.location)) for e in result.errors}),
+    )
+
+
+class TestDifferentialSlicing:
+    """Slicing and caching may change models, never verdicts.
+
+    For programs the directed search covers *completely* (``all_linear``
+    holds) Theorem 1(b) guarantees every feasible path is visited, so the
+    deduplicated error set is model-independent and must be identical
+    with and without the optimisations.  A non-linear program (foobar)
+    falls back to concrete values, so *which* errors an incomplete search
+    stumbles on legitimately depends on the models the solver picks —
+    there only the verdict (bug found / not) is invariant.
+    """
+
+    COMPLETE_PROGRAMS = [
+        (samples.H_SOURCE, "h"),
+        (samples.Z_SOURCE, "f"),
+        (samples.FILTER_SOURCE, "entry"),
+        (samples.STRUCT_CAST_SOURCE, "bar"),
+    ]
+
+    def test_same_verdicts_with_and_without_slicing(self):
+        for source, toplevel in self.COMPLETE_PROGRAMS:
+            baseline = _verdict(source, toplevel, 0, False, False)
+            sliced = _verdict(source, toplevel, 0, True, False)
+            assert baseline == sliced, toplevel
+
+    def test_same_verdicts_with_slicing_and_cache(self):
+        for source, toplevel in self.COMPLETE_PROGRAMS:
+            baseline = _verdict(source, toplevel, 0, False, False)
+            optimised = _verdict(source, toplevel, 0, True, True)
+            assert baseline == optimised, toplevel
+
+    def test_nonlinear_program_keeps_its_verdict(self):
+        baseline = _verdict(samples.FOOBAR_SOURCE, "foobar", 0,
+                            False, False)
+        optimised = _verdict(samples.FOOBAR_SOURCE, "foobar", 0,
+                             True, True)
+        assert baseline[0] == optimised[0] == "bug_found"
+
+    def test_same_verdicts_across_strategies(self):
+        for strategy in ("dfs", "bfs", "random"):
+            baseline = _verdict(samples.FILTER_SOURCE, "entry", 3,
+                                False, False, strategy=strategy,
+                                max_iterations=500)
+            optimised = _verdict(samples.FILTER_SOURCE, "entry", 3,
+                                 True, True, strategy=strategy,
+                                 max_iterations=500)
+            assert baseline == optimised, strategy
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_verdicts_invariant_under_optimisation(self, seed):
+        for source, toplevel in (
+            (samples.H_SOURCE, "h"),
+            (samples.FILTER_SOURCE, "entry"),
+        ):
+            baseline = _verdict(source, toplevel, seed, False, False,
+                                max_iterations=500)
+            optimised = _verdict(source, toplevel, seed, True, True,
+                                 max_iterations=500)
+            assert baseline == optimised, (toplevel, seed)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_nonlinear_verdict_invariant(self, seed):
+        baseline = _verdict(samples.FOOBAR_SOURCE, "foobar", seed,
+                            False, False, max_iterations=300)
+        optimised = _verdict(samples.FOOBAR_SOURCE, "foobar", seed,
+                             True, True, max_iterations=300)
+        assert baseline[0] == optimised[0], seed

@@ -118,6 +118,10 @@ class TestSolvePathConstraint:
         # (x0 > 0) then (x1 == 0): flipping the second must keep x0 > 0.
         gt = CmpExpr(GT, LinExpr({0: 1}))
         record, stack, im = build_run([(1, gt), (1, eq(1))])
+        # A real run's IM satisfies the path it executed (the branch was
+        # taken under it); constraint slicing relies on that invariant to
+        # leave independent groups at their current values.
+        im.record(0, "int", 5)
         plan, _ = solve(record, stack, im)
         assert plan.im[0].value > 0
         assert plan.im[1].value != 0
