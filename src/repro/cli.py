@@ -6,6 +6,11 @@ coverage, and session statistics.  Exit status: 0 = no error found,
 1 = bug(s) found, 2 = the input failed to compile, 130 = interrupted
 (SIGINT/SIGTERM; with ``--state-file`` a checkpoint was saved and the
 same command resumes the search).
+
+``python -m repro fuzz [options]`` instead runs the differential fuzzing
+campaign (:mod:`repro.testgen`): generate random mini-C programs, check
+the pipeline against its own oracles, shrink and serialize any
+divergence.  Exit status: 0 = clean campaign, 1 = divergence(s) found.
 """
 
 import argparse
@@ -75,6 +80,71 @@ def build_parser():
     return parser
 
 
+def build_fuzz_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential fuzzing of the DART pipeline: random "
+                    "program generation, multi-oracle checking, "
+                    "delta-debugged repro files",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0); every program, "
+                             "input vector and constraint system derives "
+                             "from it deterministically")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of programs to generate (default 200)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock cap in seconds; the campaign "
+                             "stops early once exceeded")
+    parser.add_argument("--out", default=None,
+                        help="directory for shrunk repro files (e.g. "
+                             "tests/corpus); omit to only report")
+    parser.add_argument("--max-statements", type=int, default=None,
+                        help="cap generated program size")
+    parser.add_argument("--dart-iterations", type=int, default=None,
+                        help="run budget per DART oracle session")
+    parser.add_argument("--parallel-every", type=int, default=25,
+                        help="sample the jobs-vs-serial comparison every "
+                             "Nth program (0 disables; default 25)")
+    parser.add_argument("--no-solver-fuzz", action="store_true",
+                        help="skip the brute-force constraint fuzzing "
+                             "oracle")
+    parser.add_argument("--stop-on-first", action="store_true",
+                        help="end the campaign at the first divergence")
+    parser.add_argument("--progress-every", type=int, default=20,
+                        help="print a progress line every N programs "
+                             "(0 silences; default 20)")
+    return parser
+
+
+def fuzz_main(argv=None):
+    from repro.testgen import GeneratorOptions, OracleOptions, run_campaign
+
+    args = build_fuzz_parser().parse_args(argv)
+    gen_opts = GeneratorOptions()
+    if args.max_statements is not None:
+        gen_opts.max_statements = args.max_statements
+    oracle_opts = OracleOptions()
+    if args.dart_iterations is not None:
+        oracle_opts.dart_iterations = args.dart_iterations
+
+    def progress(index, report):
+        if args.progress_every and (index + 1) % args.progress_every == 0:
+            print("fuzz: {}/{} program(s), {} divergence(s)".format(
+                index + 1, args.budget, len(report.divergences)),
+                flush=True)
+
+    report = run_campaign(
+        seed=args.seed, budget=args.budget, time_budget=args.time_budget,
+        out_dir=args.out, gen_opts=gen_opts, oracle_opts=oracle_opts,
+        parallel_every=args.parallel_every,
+        solver_fuzz=not args.no_solver_fuzz,
+        stop_on_first=args.stop_on_first, progress=progress,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _exit_code(result):
     if result.status == INTERRUPTED:
         return 130
@@ -82,6 +152,10 @@ def _exit_code(result):
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as handle:

@@ -7,18 +7,32 @@ conditionals yields solver queries that are k times larger than necessary.
 This module partitions a prefix into variable-sharing groups with a
 union-find and extracts only the group touching the negated conjunct.
 
-**Soundness.** The run's current input vector ``IM`` satisfies the whole
-prefix — the program just executed that path under it.  The sliced query
-mentions exactly the variables of the negated conjunct's group, so the
-solver's model reassigns only those; the ``IM + IM'`` merge (Fig. 5)
-preserves every other slot, which keeps every untouched group satisfied by
-the very values that already satisfied it.  The concatenation (untouched
-groups under ``IM``) ∧ (sliced group under ``IM'``) therefore satisfies the
-full predicted path constraint.  Slicing can change *which* model the
-solver picks (it no longer re-solves independent groups), so it is part of
-the options digest — but never whether a branch is feasible: a group is
+**Soundness.** The untouched-group argument: the sliced query mentions
+exactly the variables of the negated conjunct's group, so the solver's
+model reassigns only those; the ``IM + IM'`` merge (Fig. 5) preserves
+every other slot, which keeps every untouched group satisfied by the very
+values that already satisfied it.  The concatenation (untouched groups
+under ``IM``) ∧ (sliced group under ``IM'``) therefore satisfies the full
+predicted path constraint.  Slicing can change *which* model the solver
+picks (it no longer re-solves independent groups), so it is part of the
+options digest — but never whether a branch is feasible: a group is
 satisfiable in isolation iff it is satisfiable conjoined with other
 satisfiable groups over disjoint variables.
+
+That argument leans on a premise that is *almost* always true: the run's
+input vector ``IM`` satisfies every recorded prefix conjunct, because the
+program just executed that path under it.  The premise fails exactly when
+the symbolic world under-approximates the concrete one — the recorded
+LinExpr lives in ideal integers while the machine wraps at 32 bits, so a
+conjunct built from an overflowed value (or an unsigned comparison whose
+signed reading happens to disagree) can be *false of its own run*.
+Differential fuzzing surfaced this (see ``tests/corpus/seed*.json``):
+leaving such a conjunct out of the sliced query produced "next input"
+plans that violated the very prefix they claimed to satisfy.  The fix:
+the slicer is given the run's assignment, finds the unfaithful conjuncts
+up front, and force-includes their variable groups in **every** sliced
+query — the model then re-satisfies them by construction and the
+untouched-group argument applies to the (all faithful) remainder.
 
 Completeness is likewise unaffected: UNSAT of the sliced group implies
 UNSAT of any superset, so ``done`` marking stays correct.
@@ -65,7 +79,7 @@ class ConstraintSlicer:
     construction paid anyway, and noise next to a solver call.
     """
 
-    def __init__(self, constraints):
+    def __init__(self, constraints, assignment=None):
         self._constraints = constraints
         # Variable tuples, computed once per run (satellite of the same
         # hoisting that moved im.domains() out of the candidate loop).
@@ -75,6 +89,20 @@ class ConstraintSlicer:
         ]
         self._uf = UnionFind()
         self._processed = 0
+        #: Prefix positions whose conjunct the run's own inputs do NOT
+        #: satisfy (ideal-integer under-approximation; see the module
+        #: docstring).  Their groups join every sliced query.
+        self._unfaithful = []
+        if assignment is not None:
+            for index, conjunct in enumerate(constraints):
+                if conjunct is None:
+                    continue
+                try:
+                    faithful = conjunct.evaluate(assignment)
+                except KeyError:
+                    faithful = False
+                if not faithful:
+                    self._unfaithful.append(index)
 
     def _advance(self, j):
         """Ensure all constraints[:j] have been unioned (monotone)."""
@@ -98,7 +126,19 @@ class ConstraintSlicer:
         # The negated conjunct may span several prefix groups; flipping it
         # links them, so every one of its variables' roots is in scope.
         roots = {uf.find(var) for var in negated.variables()}
+        # Conjuncts the current inputs fail to satisfy cannot rely on the
+        # untouched-group argument: pull their groups into the query so
+        # the solver re-satisfies them explicitly.  An unfaithful conjunct
+        # with no variables at all is constant-false — no model can mend
+        # it, so adding it (correctly) turns the query UNSAT.
         query = []
+        for index in self._unfaithful:
+            if index < j:
+                if self._vars[index]:
+                    for var in self._vars[index]:
+                        roots.add(uf.find(var))
+                else:
+                    query.append(self._constraints[index])
         if roots:
             vars_by_index = self._vars
             constraints = self._constraints

@@ -125,6 +125,12 @@ def _prefix_index(constraints):
     return non_none, count_before
 
 
+def _assignment_of(im):
+    """The run's inputs as an ordinal -> value map (for the slicer's
+    faithfulness screen)."""
+    return {ordinal: slot.value for ordinal, slot in enumerate(im)}
+
+
 def _query_for(j, negated, slicer, non_none, count_before, stats):
     """The solver query for flipping conditional ``j`` (sliced or full)."""
     if slicer is not None:
@@ -151,7 +157,8 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
     constraints = record.constraints
     domains = im.domains()
     non_none, count_before = _prefix_index(constraints)
-    slicer = ConstraintSlicer(constraints) if slicing else None
+    slicer = ConstraintSlicer(constraints, _assignment_of(im)) \
+        if slicing else None
     for j in candidate_indices(stack, strategy, rng):
         conjunct = constraints[j]
         if conjunct is None:
@@ -195,7 +202,8 @@ def expand_worklist_children(stack, constraints, im, bound, solver, flags,
     """
     domains = im.domains()
     non_none, count_before = _prefix_index(constraints)
-    slicer = ConstraintSlicer(constraints) if slicing else None
+    slicer = ConstraintSlicer(constraints, _assignment_of(im)) \
+        if slicing else None
     children = []
     for j in range(bound, len(stack)):
         conjunct = constraints[j]

@@ -45,6 +45,15 @@ from repro.symbolic.expr import LinExpr
 from repro.symbolic.flags import CompletenessFlags
 from repro.symbolic.symmem import SymbolicMemory
 
+_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
 _INPUT_KIND_TYPES = {
     "int": ts.INT,
     "uint": ts.UINT,
@@ -522,6 +531,11 @@ class Machine:
             sym = self.evaluator.nonlinear(left_sym, right_sym)
         else:
             raise InterpreterError("unknown binary operator {!r}".format(op))
+        # The symbolic half stays in ideal integers even when the concrete
+        # result wraps (the paper's lp_solve has no machine arithmetic
+        # either).  Constraints recorded from wrapped values can therefore
+        # be false of their own run; the constraint slicer accounts for
+        # exactly that case (see repro.dart.slicing).
         return wrap(raw, result_type), sym
 
     def _compare(self, op, left_type, left_value, left_sym,
@@ -532,16 +546,18 @@ class Machine:
             lv, rv = to_unsigned(left_value, 4), to_unsigned(right_value, 4)
         else:
             lv, rv = left_value, right_value
-        result = {
-            "==": lv == rv,
-            "!=": lv != rv,
-            "<": lv < rv,
-            ">": lv > rv,
-            "<=": lv <= rv,
-            ">=": lv >= rv,
-        }[op]
+        result = _COMPARISONS[op](lv, rv)
         sym = self.evaluator.compare(op, left_value, left_sym,
                                      right_value, right_sym)
+        if sym is not None and (lv, rv) != (left_value, right_value):
+            # Unsigned (or pointer) comparison, but the symbolic term
+            # denotes the raw signed values.  Keeping the constraint is
+            # sound only while both interpretations agree on this run's
+            # values (the usual under-approximation, validated later by
+            # the forcing check); when they disagree the constraint
+            # would misstate the executed path — drop it.
+            if _COMPARISONS[op](left_value, right_value) != result:
+                sym = self.evaluator.nonlinear(sym)
         return (1 if result else 0), sym
 
     def _pointer_arith(self, op, left_type, left_value, left_sym,

@@ -1,0 +1,48 @@
+"""Differential fuzzing of the DART pipeline against itself.
+
+The reproduction's throughput layers (constraint slicing, solver result
+caching, the parallel generational search) are all claimed to be
+*verdict-preserving* — but hand-written tests only pin that claim on a
+handful of programs.  This package closes the gap the way industrial
+concolic testers do (Coyote C++'s randomized self-testing, CTGEN's
+independent oracle): it generates random well-typed mini-C programs,
+runs the whole pipeline on them under several independent oracles, and
+delta-debugs any divergence down to a standalone repro file.
+
+* :mod:`repro.testgen.generator` — seeded random program generator
+  (typed construction over ints/arrays/pointers/structs, bounded loops,
+  helper calls, external inputs);
+* :mod:`repro.testgen.oracles` — the differential oracle battery
+  (instrumentation transparency, configuration invariance, solver model
+  substitution + small-domain brute force, forcing replay);
+* :mod:`repro.testgen.reduce` — statement-level delta debugging plus
+  input-vector shrinking;
+* :mod:`repro.testgen.harness` — the fuzz campaign driver behind
+  ``repro fuzz`` and the ``tests/corpus/`` repro file format.
+"""
+
+from repro.testgen.generator import GeneratorOptions, generate_program
+from repro.testgen.harness import (
+    FuzzReport,
+    load_repro,
+    replay_repro,
+    run_campaign,
+    save_repro,
+)
+from repro.testgen.oracles import Divergence, OracleBattery, OracleOptions
+from repro.testgen.reduce import reduce_inputs, reduce_program
+
+__all__ = [
+    "Divergence",
+    "FuzzReport",
+    "GeneratorOptions",
+    "OracleBattery",
+    "OracleOptions",
+    "generate_program",
+    "load_repro",
+    "reduce_inputs",
+    "reduce_program",
+    "replay_repro",
+    "run_campaign",
+    "save_repro",
+]

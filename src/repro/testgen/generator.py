@@ -1,0 +1,574 @@
+"""Seeded random mini-C program generator.
+
+Programs are built as a small statement tree (typed construction: every
+expression site knows which in-scope variables it may read and how reads
+must be guarded), then rendered to source text and compiled through the
+ordinary front end — so the fuzzer exercises the lexer, parser, semantic
+analyzer and lowering exactly like a hand-written program would.
+
+Design constraints that keep the differential oracles meaningful:
+
+* **Deterministic**: the program's behaviour is a function of its DART
+  inputs alone (no unbounded recursion, no uninitialized reads).
+* **Bounded**: every loop has a constant trip count and call graphs are
+  acyclic, so whole-program path exploration terminates.
+* **Mostly safe**: divisions are guarded, array indices are masked into
+  range, pointer dereferences sit under NULL guards — faults still occur
+  (``assert`` statements, and a small quota of deliberately unguarded
+  dereferences) but they are *deterministic* faults both sides of every
+  differential comparison must agree on.
+* **Mostly linear**: conditions are predominantly linear comparisons so
+  the directed search has something to chew on; nonlinear operators are
+  mixed in at low probability to exercise the concrete fallback.
+
+The statement tree is kept (not just the rendered text) so the
+delta-debugging reducer can remove and unwrap nodes structurally; invalid
+candidates (a removed declaration whose uses survive) are filtered by
+recompiling.
+"""
+
+import copy
+
+#: (C type syntax, DART input kind) for scalar parameters and locals.
+_SCALAR_KINDS = (
+    ("int", "int"),
+    ("int", "int"),
+    ("unsigned", "uint"),
+    ("char", "char"),
+    ("short", "short"),
+)
+
+#: Interesting constants, weighted toward small values.
+_BOUNDARY_CONSTANTS = (127, 128, 255, 256, 32767, 1000, 65536, 2147483647)
+
+
+class GeneratorOptions:
+    """Size/feature knobs for one generated program."""
+
+    def __init__(self, max_statements=18, max_block_depth=2,
+                 max_expr_depth=3, max_loop_bound=3, max_conditionals=9,
+                 allow_pointers=True, allow_structs=True,
+                 allow_externals=True, fault_bias=0.2):
+        self.max_statements = max_statements
+        self.max_block_depth = max_block_depth
+        self.max_expr_depth = max_expr_depth
+        self.max_loop_bound = max_loop_bound
+        #: Soft cap on generated branch points (keeps path counts small
+        #: enough for whole-program exploration to finish).
+        self.max_conditionals = max_conditionals
+        self.allow_pointers = allow_pointers
+        self.allow_structs = allow_structs
+        self.allow_externals = allow_externals
+        #: Probability of including an assert (a reachable, deterministic
+        #: fault for the verdict comparisons to agree on).
+        self.fault_bias = fault_bias
+
+
+# ---------------------------------------------------------------------------
+# Statement tree
+# ---------------------------------------------------------------------------
+
+
+class SimpleStmt:
+    """A single-line statement (declaration, assignment, call, ...)."""
+
+    def __init__(self, text):
+        self.text = text
+
+    def blocks(self):
+        return []
+
+    def render(self, indent, out):
+        out.append("    " * indent + self.text)
+
+    def count(self):
+        return 1
+
+
+class IfStmt:
+    def __init__(self, cond, then, els=None):
+        self.cond = cond
+        self.then = then
+        self.els = els  # list of statements or None
+
+    def blocks(self):
+        return [self.then] + ([self.els] if self.els is not None else [])
+
+    def render(self, indent, out):
+        pad = "    " * indent
+        out.append("{}if ({}) {{".format(pad, self.cond))
+        for stmt in self.then:
+            stmt.render(indent + 1, out)
+        if self.els is not None:
+            out.append(pad + "} else {")
+            for stmt in self.els:
+                stmt.render(indent + 1, out)
+        out.append(pad + "}")
+
+    def count(self):
+        total = 1
+        for block in self.blocks():
+            for stmt in block:
+                total += stmt.count()
+        return total
+
+
+class LoopStmt:
+    """``for (int VAR = 0; VAR < BOUND; VAR++) { ... }`` — constant trip
+    count, so generated programs always terminate."""
+
+    def __init__(self, var, bound, body, kind="for"):
+        self.var = var
+        self.bound = bound
+        self.body = body
+        self.kind = kind  # "for" or "while"
+
+    def blocks(self):
+        return [self.body]
+
+    def render(self, indent, out):
+        pad = "    " * indent
+        if self.kind == "while":
+            out.append("{}int {} = 0;".format(pad, self.var))
+            out.append("{}while ({} < {}) {{".format(
+                pad, self.var, self.bound))
+            for stmt in self.body:
+                stmt.render(indent + 1, out)
+            out.append("{}    {} = {} + 1;".format(pad, self.var, self.var))
+            out.append(pad + "}")
+            return
+        out.append("{}for (int {} = 0; {} < {}; {}++) {{".format(
+            pad, self.var, self.var, self.bound, self.var))
+        for stmt in self.body:
+            stmt.render(indent + 1, out)
+        out.append(pad + "}")
+
+    def count(self):
+        return 1 + sum(stmt.count() for stmt in self.body)
+
+
+class FuncDef:
+    def __init__(self, name, params, body, return_expr):
+        #: list of (type syntax, name) — e.g. ("int *", "p0").
+        self.name = name
+        self.params = params
+        self.body = body
+        self.return_expr = return_expr
+
+    def render(self, out):
+        rendered = []
+        for type_text, name in self.params:
+            if type_text.endswith("*"):
+                rendered.append("{}{}".format(type_text, name))
+            else:
+                rendered.append("{} {}".format(type_text, name))
+        out.append("int {}({}) {{".format(
+            self.name, ", ".join(rendered) if rendered else "void"))
+        for stmt in self.body:
+            stmt.render(1, out)
+        out.append("    return {};".format(self.return_expr))
+        out.append("}")
+
+    def count(self):
+        return sum(stmt.count() for stmt in self.body)
+
+
+class FuzzProgram:
+    """A generated program: structure plus rendering and reduction hooks."""
+
+    def __init__(self, seed):
+        self.seed = seed
+        self.structs = []  # rendered struct definition lines
+        self.externs = []  # rendered extern declarations / prototypes
+        self.functions = []  # FuncDef, toplevel last
+        self.toplevel = "f"
+        self.uses_pointers = False
+
+    def render(self):
+        out = []
+        out.extend(self.structs)
+        out.extend(self.externs)
+        for func in self.functions:
+            func.render(out)
+            out.append("")
+        return "\n".join(out)
+
+    def statement_count(self):
+        return sum(func.count() for func in self.functions)
+
+    def clone(self):
+        return copy.deepcopy(self)
+
+    def __repr__(self):
+        return "FuzzProgram(seed={}, {} stmt(s))".format(
+            self.seed, self.statement_count())
+
+
+# ---------------------------------------------------------------------------
+# Scope bookkeeping for typed construction
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """What an expression site may read, and under which guards."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.ints = []        # (name, is_signed)
+        self.arrays = []      # (name, length) — int arrays, always in range
+        self.pointers = []    # int* names (possibly NULL)
+        self.guarded = set()  # int* names proven non-NULL here
+        self.struct_vals = []  # names of struct S0 values
+        self.struct_ptrs = []  # names of struct S0 pointers
+        self.guarded_struct = set()  # struct S0* names proven non-NULL
+        self.mutable_ints = []  # int scalars assignment may target
+
+    def child(self):
+        child = _Scope(self)
+        child.ints = list(self.ints)
+        child.arrays = list(self.arrays)
+        child.pointers = list(self.pointers)
+        child.guarded = set(self.guarded)
+        child.struct_vals = list(self.struct_vals)
+        child.struct_ptrs = list(self.struct_ptrs)
+        child.guarded_struct = set(self.guarded_struct)
+        child.mutable_ints = list(self.mutable_ints)
+        return child
+
+
+class _FunctionBuilder:
+    """Generates one function body with bounded size and branch count."""
+
+    def __init__(self, gen, scope, allow_calls):
+        self.gen = gen
+        self.rng = gen.rng
+        self.opts = gen.opts
+        self.scope = scope
+        self.allow_calls = allow_calls
+        self.decl_counter = 0
+
+    # -- expressions --------------------------------------------------------
+
+    def constant(self):
+        rng = self.rng
+        if rng.random() < 0.15:
+            return str(rng.choice(_BOUNDARY_CONSTANTS))
+        return str(rng.randint(-40, 99))
+
+    def _leaf(self, scope):
+        rng = self.rng
+        choices = ["const"]
+        if scope.ints:
+            choices += ["var"] * 4
+        if scope.arrays:
+            choices.append("array")
+        if scope.guarded:
+            choices.append("deref")
+        if scope.struct_vals:
+            choices.append("member")
+        if scope.guarded_struct:
+            choices.append("arrow")
+        pick = rng.choice(choices)
+        if pick == "var":
+            return rng.choice(scope.ints)[0]
+        if pick == "array":
+            name, length = rng.choice(scope.arrays)
+            index = self.int_expr(scope, 1)
+            return "{}[({}) & {}]".format(name, index, length - 1)
+        if pick == "deref":
+            return "*{}".format(rng.choice(sorted(scope.guarded)))
+        if pick == "member":
+            return "{}.{}".format(
+                rng.choice(scope.struct_vals),
+                rng.choice(self.gen.struct_fields))
+        if pick == "arrow":
+            return "{}->{}".format(
+                rng.choice(sorted(scope.guarded_struct)),
+                rng.choice(self.gen.struct_fields))
+        return self.constant()
+
+    def int_expr(self, scope, depth=None):
+        rng = self.rng
+        if depth is None:
+            depth = self.opts.max_expr_depth
+        if depth <= 0 or rng.random() < 0.35:
+            return self._leaf(scope)
+        form = rng.random()
+        left = self.int_expr(scope, depth - 1)
+        if form < 0.45:  # linear arithmetic dominates
+            op = rng.choice(("+", "-", "+", "-", "*"))
+            if op == "*":
+                return "({} * {})".format(left, rng.randint(-6, 7) or 2)
+            return "({} {} {})".format(left, op,
+                                       self.int_expr(scope, depth - 1))
+        if form < 0.55:  # guarded division / modulo
+            op = rng.choice(("/", "%"))
+            divisor = rng.choice((3, 5, 7, 16, 64))
+            return "({} {} {})".format(left, op, divisor)
+        if form < 0.65:  # bit operations (concrete fallback paths)
+            op = rng.choice(("&", "|", "^", ">>", "<<"))
+            if op in (">>", "<<"):
+                return "({} {} {})".format(left, op, rng.randint(1, 4))
+            return "({} {} {})".format(left, op, rng.randint(0, 255))
+        if form < 0.75 and self.allow_calls and self.gen.callables:
+            return self.gen.call_expr(self, scope)
+        if form < 0.85:  # comparison as 0/1 value
+            return "({} {} {})".format(
+                left, rng.choice(("<", ">", "==", "!=", "<=", ">=")),
+                self.int_expr(scope, depth - 1))
+        if form < 0.93:
+            return "({} ? {} : {})".format(
+                self.condition(scope), left, self.int_expr(scope, depth - 1))
+        return "(-({}))".format(left)
+
+    def condition(self, scope):
+        rng = self.rng
+        pick = rng.random()
+        if pick < 0.6:  # linear comparison — the directed search's food
+            left = self._leaf(scope)
+            right = self.constant() if rng.random() < 0.5 \
+                else self._leaf(scope)
+            return "{} {} {}".format(
+                left, rng.choice(("<", ">", "==", "!=", "<=", ">=")), right)
+        if pick < 0.75:
+            return "{} {} {}".format(
+                self.int_expr(scope, 2),
+                rng.choice(("<", ">", "==", "!=")),
+                self.int_expr(scope, 2))
+        if pick < 0.85:  # parity / mask tests (nonlinear fallback)
+            return "({} & {}) {} 0".format(
+                self._leaf(scope), rng.choice((1, 3, 7)),
+                rng.choice(("==", "!=")))
+        combiner = rng.choice(("&&", "||"))
+        return "{} {} {}".format(
+            self.condition(scope), combiner, self.condition(scope))
+
+    # -- statements ---------------------------------------------------------
+
+    def fresh_local(self):
+        name = "v{}".format(self.gen.next_local())
+        return name
+
+    def block(self, scope, budget, depth):
+        statements = []
+        while budget > 0:
+            stmt, cost = self.statement(scope, budget, depth)
+            if stmt is None:
+                break
+            statements.append(stmt)
+            budget -= max(cost, 1)
+            if self.rng.random() < 0.12:
+                break
+        return statements
+
+    def statement(self, scope, budget, depth):
+        rng = self.rng
+        choices = ["decl", "decl", "assign", "assign"]
+        if depth < self.opts.max_block_depth and budget >= 2 \
+                and self.gen.conditionals < self.opts.max_conditionals:
+            choices += ["if", "if"]
+            if rng.random() < 0.35:
+                choices.append("loop")
+            if scope.pointers and self.opts.allow_pointers:
+                choices.append("guard")
+        if scope.mutable_ints:
+            choices.append("printf")
+        if scope.guarded:
+            choices.append("store")
+        if rng.random() < self.opts.fault_bias \
+                and self.gen.conditionals < self.opts.max_conditionals:
+            choices.append("assert")
+        pick = rng.choice(choices)
+        if pick == "decl":
+            name = self.fresh_local()
+            if rng.random() < 0.15:
+                length = rng.choice((2, 4, 8))
+                fill = "i{}".format(self.gen.next_local())
+                decl = SimpleStmt("int {}[{}];".format(name, length))
+                # Fill every cell before the array is readable, so no
+                # generated expression ever reads an unwritten cell.
+                init = LoopStmt(fill, length, [SimpleStmt(
+                    "{}[{}] = {};".format(name, fill,
+                                          self.int_expr(scope, 1)))])
+                scope.arrays.append((name, length))
+                return _Seq([decl, init]), 2
+            text = "int {} = {};".format(name, self.int_expr(scope))
+            scope.ints.append((name, True))
+            scope.mutable_ints.append(name)
+            return SimpleStmt(text), 1
+        if pick == "assign":
+            if not scope.mutable_ints:
+                return SimpleStmt(";"), 1
+            target = rng.choice(scope.mutable_ints)
+            op = rng.choice(("=", "=", "=", "+=", "-=", "^=", "*="))
+            return SimpleStmt("{} {} {};".format(
+                target, op, self.int_expr(scope))), 1
+        if pick == "store":
+            target = rng.choice(sorted(scope.guarded))
+            return SimpleStmt("*{} = {};".format(
+                target, self.int_expr(scope))), 1
+        if pick == "printf":
+            return SimpleStmt('printf("%d ", {});'.format(
+                self.int_expr(scope, 2))), 1
+        if pick == "assert":
+            self.gen.conditionals += 1
+            return SimpleStmt("assert({});".format(self.condition(scope))), 1
+        if pick == "guard":
+            # NULL guard: dereferences become legal inside the then-branch.
+            candidates = scope.pointers + scope.struct_ptrs
+            pointer = rng.choice(candidates)
+            self.gen.conditionals += 1
+            inner = scope.child()
+            if pointer in scope.struct_ptrs:
+                inner.guarded_struct.add(pointer)
+                fallback = "{}->{} = {};".format(
+                    pointer, rng.choice(self.gen.struct_fields),
+                    self.int_expr(inner, 1))
+            else:
+                inner.guarded.add(pointer)
+                fallback = "*{} = {};".format(
+                    pointer, self.int_expr(inner, 1))
+            then = self.block(inner, max(budget - 1, 1), depth + 1)
+            if not then:
+                then = [SimpleStmt(fallback)]
+            return IfStmt("{} != 0".format(pointer), then), \
+                1 + sum(s.count() for s in then)
+        if pick == "if":
+            self.gen.conditionals += 1
+            cond = self.condition(scope)
+            then = self.block(scope.child(), max(budget // 2, 1), depth + 1)
+            if not then:
+                then = [SimpleStmt(";")]
+            els = None
+            if rng.random() < 0.4:
+                els = self.block(scope.child(), max(budget // 3, 1),
+                                 depth + 1)
+                if not els:
+                    els = None
+            node = IfStmt(cond, then, els)
+            return node, node.count()
+        if pick == "loop":
+            var = "i{}".format(self.gen.next_local())
+            bound = rng.randint(1, self.opts.max_loop_bound)
+            inner = scope.child()
+            inner.ints.append((var, True))
+            body = self.block(inner, max(budget // 2, 1), depth + 1)
+            if not body:
+                body = [SimpleStmt(";")]
+            kind = "while" if rng.random() < 0.25 else "for"
+            node = LoopStmt(var, bound, body, kind)
+            return node, node.count()
+        return SimpleStmt(";"), 1
+
+
+class _Seq:
+    """A statement group that renders flat (array decl + fill loop)."""
+
+    def __init__(self, statements):
+        self.statements = statements
+
+    def blocks(self):
+        return [self.statements]
+
+    def render(self, indent, out):
+        for stmt in self.statements:
+            stmt.render(indent, out)
+
+    def count(self):
+        return sum(stmt.count() for stmt in self.statements)
+
+
+# ---------------------------------------------------------------------------
+# Program generator
+# ---------------------------------------------------------------------------
+
+
+class _ProgramGenerator:
+    struct_fields = ("a", "b")
+
+    def __init__(self, rng, opts):
+        self.rng = rng
+        self.opts = opts
+        self.local_counter = 0
+        self.conditionals = 0
+        self.callables = []  # (name, arity) of helpers + externals
+        self.program = None
+
+    def next_local(self):
+        self.local_counter += 1
+        return self.local_counter
+
+    def call_expr(self, builder, scope):
+        name, arity = self.rng.choice(self.callables)
+        args = ", ".join(builder.int_expr(scope, 1) for _ in range(arity))
+        return "{}({})".format(name, args)
+
+    def generate(self, seed):
+        rng = self.rng
+        opts = self.opts
+        program = FuzzProgram(seed)
+        self.program = program
+        use_struct = opts.allow_structs and rng.random() < 0.35
+        if use_struct:
+            program.structs.append(
+                "struct S0 { int a; short b; };")
+        if opts.allow_externals and rng.random() < 0.3:
+            program.externs.append("int ext0(int x);")
+            self.callables.append(("ext0", 1))
+        if opts.allow_externals and rng.random() < 0.2:
+            program.externs.append("extern int g0;")
+
+        # Helper functions (acyclic: each may call only earlier ones).
+        for index in range(rng.randint(0, 2)):
+            name = "h{}".format(index)
+            arity = rng.randint(1, 3)
+            params = [("int", "a{}".format(i)) for i in range(arity)]
+            scope = _Scope()
+            for _, pname in params:
+                scope.ints.append((pname, True))
+                scope.mutable_ints.append(pname)
+            builder = _FunctionBuilder(self, scope, allow_calls=True)
+            body = builder.block(scope, rng.randint(1, 4), depth=1)
+            ret = builder.int_expr(scope, 2)
+            program.functions.append(FuncDef(name, params, body, ret))
+            self.callables.append((name, arity))
+
+        # Toplevel parameters: the program's external inputs.
+        params = []
+        scope = _Scope()
+        for index in range(rng.randint(1, 4)):
+            roll = rng.random()
+            name = "p{}".format(index)
+            if opts.allow_pointers and roll < 0.2:
+                params.append(("int *", name))
+                scope.pointers.append(name)
+                program.uses_pointers = True
+            elif use_struct and roll < 0.3:
+                params.append(("struct S0", name))
+                scope.struct_vals.append(name)
+            elif use_struct and opts.allow_pointers and roll < 0.38:
+                params.append(("struct S0 *", name))
+                scope.struct_ptrs.append(name)
+                program.uses_pointers = True
+            else:
+                type_text, _ = rng.choice(_SCALAR_KINDS)
+                params.append((type_text, name))
+                scope.ints.append((name, type_text != "unsigned"))
+        if "extern int g0;" in program.externs:
+            scope.ints.append(("g0", True))
+
+        builder = _FunctionBuilder(self, scope, allow_calls=True)
+        body = builder.block(scope, opts.max_statements, depth=0)
+        ret = builder.int_expr(scope, 2)
+        program.functions.append(
+            FuncDef(program.toplevel, params, body, ret))
+        return program
+
+
+def generate_program(rng, opts=None, seed=None):
+    """Generate one random program; ``rng`` drives every choice.
+
+    ``seed`` is recorded on the program for repro bookkeeping only.
+    """
+    opts = opts or GeneratorOptions()
+    return _ProgramGenerator(rng, opts).generate(seed)

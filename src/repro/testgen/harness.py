@@ -1,0 +1,230 @@
+"""The fuzz campaign driver behind ``repro fuzz``.
+
+A campaign generates ``budget`` seeded random programs, runs the oracle
+battery (:mod:`repro.testgen.oracles`) on each, and — on a divergence —
+delta-debugs the triggering program (and, when the oracle carries one,
+its input vector) before serializing a standalone repro file.
+
+Repro files are JSON, self-contained (they embed the reduced source, so
+they replay without the generator), and live under ``tests/corpus/``.
+Once the underlying bug is fixed, the checked-in repro becomes a
+regression test: :func:`replay_repro` re-runs the recorded oracle family
+and must come back clean.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.testgen.generator import GeneratorOptions, generate_program
+from repro.testgen.oracles import OracleBattery
+from repro.testgen.reduce import reduce_inputs, reduce_program
+
+#: Format tag for corpus files; bump on incompatible layout changes.
+CORPUS_FORMAT = "dart-repro-fuzz-corpus-v1"
+
+
+class FoundDivergence:
+    """One shrunk divergence, ready to serialize or inspect."""
+
+    def __init__(self, seed, index, oracle, detail, program,
+                 inputs=None, kinds=None, comment="", reduced=True):
+        self.seed = seed          # generator seed of the original program
+        self.index = index        # campaign iteration that found it
+        self.oracle = oracle
+        self.detail = detail
+        self.program = program    # FuzzProgram (shrunk) or None
+        self.inputs = inputs
+        self.kinds = kinds
+        self.comment = comment
+        self.reduced = reduced
+
+    def to_dict(self):
+        return {
+            "format": CORPUS_FORMAT,
+            "seed": self.seed,
+            "index": self.index,
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "comment": self.comment,
+            "reduced": self.reduced,
+            "toplevel": self.program.toplevel if self.program else None,
+            "statements": (self.program.statement_count()
+                           if self.program else None),
+            "source": self.program.render() if self.program else None,
+            "inputs": self.inputs,
+            "kinds": self.kinds,
+        }
+
+    def describe(self):
+        size = (", {} stmt(s)".format(self.program.statement_count())
+                if self.program else "")
+        return "seed {} [{}] {}{}".format(
+            self.seed, self.oracle, self.detail, size)
+
+
+class FuzzReport:
+    """What a campaign did: throughput counters plus every divergence."""
+
+    def __init__(self, seed, budget):
+        self.seed = seed
+        self.budget = budget
+        self.programs = 0
+        self.divergences = []     # FoundDivergence
+        self.repro_paths = []
+        self.elapsed = 0.0
+        self.counters = {}
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def describe(self):
+        lines = [
+            "fuzz: seed {} -> {} program(s) in {:.1f}s, "
+            "{} divergence(s)".format(
+                self.seed, self.programs, self.elapsed,
+                len(self.divergences)),
+        ]
+        interesting = {key: value for key, value in self.counters.items()
+                       if value}
+        if interesting:
+            lines.append("oracles: " + ", ".join(
+                "{} {}".format(key, value)
+                for key, value in sorted(interesting.items())))
+        for found in self.divergences:
+            lines.append(" - " + found.describe())
+        for path in self.repro_paths:
+            lines.append(" > repro written: " + path)
+        return "\n".join(lines)
+
+
+class _ReproProgram:
+    """Duck-typed stand-in for a FuzzProgram when replaying from source."""
+
+    def __init__(self, source, toplevel, seed=None):
+        self.seed = seed
+        self.toplevel = toplevel
+        self._source = source
+
+    def render(self):
+        return self._source
+
+
+def _shrink(battery, program, divergence, reduce_budget):
+    """Delta-debug one divergence; returns a FoundDivergence."""
+    oracle = divergence.oracle
+
+    def still_diverges(candidate):
+        return bool(battery.check_named(candidate, oracle))
+
+    reduced, comment = program, "unreduced"
+    if still_diverges(program.clone()):
+        reduced, tests = reduce_program(program, still_diverges,
+                                        max_tests=reduce_budget)
+        comment = "reduced from {} to {} statement(s) in {} test(s)".format(
+            program.statement_count(), reduced.statement_count(), tests)
+    inputs, kinds = divergence.inputs, divergence.kinds
+    # Re-find the divergence on the reduced program so the recorded input
+    # vector matches *its* input signature, then shrink the vector too.
+    if oracle in ("determinism", "transparency"):
+        fresh = battery.check_named(reduced, oracle)
+        if fresh and fresh[0].inputs is not None:
+            inputs, kinds = fresh[0].inputs, fresh[0].kinds
+
+            def vector_diverges(candidate_values):
+                return any(
+                    div.oracle == oracle
+                    for div in battery.check_transparency_vector(
+                        reduced, candidate_values, kinds))
+
+            inputs, _ = reduce_inputs(inputs, vector_diverges)
+    return FoundDivergence(
+        program.seed, battery.counters["programs"], oracle,
+        divergence.detail, reduced, inputs, kinds, comment,
+        reduced=(comment != "unreduced"))
+
+
+def _repro_filename(found):
+    return "seed{}_{}.json".format(found.seed, found.oracle)
+
+
+def save_repro(directory, found):
+    """Write one shrunk divergence as a standalone corpus file."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, _repro_filename(found))
+    with open(path, "w") as handle:
+        json.dump(found.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_repro(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CORPUS_FORMAT:
+        raise ValueError("{}: not a {} file".format(path, CORPUS_FORMAT))
+    return payload
+
+
+def replay_repro(payload, oracle_opts=None):
+    """Re-run a corpus entry's oracle family; [] means the bug stays fixed.
+
+    ``payload`` is a dict from :func:`load_repro` or a path to one.
+    """
+    if isinstance(payload, str):
+        payload = load_repro(payload)
+    battery = OracleBattery(oracle_opts)
+    program = _ReproProgram(payload["source"], payload["toplevel"],
+                            payload.get("seed"))
+    divergences = list(battery.check_named(program, payload["oracle"]))
+    if (payload.get("inputs") and payload.get("kinds")
+            and payload["oracle"] in ("determinism", "transparency")):
+        divergences.extend(battery.check_transparency_vector(
+            program, payload["inputs"], payload["kinds"]))
+    return divergences
+
+
+def run_campaign(seed=0, budget=200, time_budget=None, out_dir=None,
+                 gen_opts=None, oracle_opts=None, parallel_every=25,
+                 solver_fuzz=True, reduce_budget=400, progress=None,
+                 stop_on_first=False):
+    """Run one fuzz campaign; returns a :class:`FuzzReport`.
+
+    ``parallel_every`` samples the expensive ``--jobs`` vs. serial
+    comparison every Nth program (0 disables it).  ``progress`` is an
+    optional callback ``(index, report)`` invoked after each program.
+    ``stop_on_first`` ends the campaign at the first divergence (used by
+    the injected-bug acceptance test, which only needs one).
+    """
+    rng = random.Random(seed)
+    battery = OracleBattery(oracle_opts)
+    gen_opts = gen_opts or GeneratorOptions()
+    report = FuzzReport(seed, budget)
+    started = time.monotonic()
+    for index in range(budget):
+        if time_budget is not None \
+                and time.monotonic() - started > time_budget:
+            break
+        program_seed = rng.randrange(1 << 30)
+        program = generate_program(random.Random(program_seed), gen_opts,
+                                   seed=program_seed)
+        parallel = bool(parallel_every) and index % parallel_every == 0 \
+            and index > 0
+        divergences = battery.check(
+            program, parallel=parallel,
+            solver_rng=rng if solver_fuzz else None)
+        report.programs += 1
+        for divergence in divergences:
+            found = _shrink(battery, program, divergence, reduce_budget)
+            report.divergences.append(found)
+            if out_dir is not None:
+                report.repro_paths.append(save_repro(out_dir, found))
+        if progress is not None:
+            progress(index, report)
+        if divergences and stop_on_first:
+            break
+    report.elapsed = time.monotonic() - started
+    report.counters = dict(battery.counters)
+    return report

@@ -1,0 +1,166 @@
+"""Delta debugging for fuzzer-found divergences.
+
+Two reducers, both driven by an *interestingness predicate* (does the
+shrunk candidate still exhibit the same oracle divergence?):
+
+* :func:`reduce_program` — greedy statement-level shrinking of a
+  :class:`~repro.testgen.generator.FuzzProgram`: delete statements
+  (largest subtree first), unwrap ``if``/loop bodies into their parent
+  block, drop ``else`` branches, collapse loop bounds, drop helper
+  functions, parameters and toplevel declarations.  Candidates that no
+  longer compile are rejected by the predicate itself (the oracle battery
+  treats a non-compiling candidate as "not interesting"), so every
+  transformation can be attempted blindly.
+* :func:`reduce_inputs` — shrinks a divergence-triggering input vector
+  pointwise toward zero (ddmin over magnitudes), preserving the kind
+  signature so the replayed trajectory stays well-typed.
+
+Both are deterministic given a deterministic predicate and both cap the
+number of predicate evaluations, since each evaluation can cost several
+full DART sessions.
+"""
+
+from repro.testgen.generator import IfStmt, LoopStmt
+
+
+def _resolve_block(program, func_idx, path):
+    block = program.functions[func_idx].body
+    for stmt_idx, block_idx in path:
+        block = block[stmt_idx].blocks()[block_idx]
+    return block
+
+
+def _apply(program, op):
+    """Apply one reduction op (in place) to a cloned program."""
+    kind = op[0]
+    if kind == "drop_func":
+        del program.functions[op[1]]
+        return
+    if kind == "drop_struct":
+        del program.structs[op[1]]
+        return
+    if kind == "drop_extern":
+        del program.externs[op[1]]
+        return
+    if kind == "drop_param":
+        del program.functions[op[1]].params[op[2]]
+        return
+    if kind == "zero_return":
+        program.functions[op[1]].return_expr = "0"
+        return
+    _, func_idx, path, stmt_idx = op[:4]
+    block = _resolve_block(program, func_idx, path)
+    stmt = block[stmt_idx]
+    if kind == "delete":
+        del block[stmt_idx]
+    elif kind == "unwrap":
+        replacement = []
+        for child in stmt.blocks():
+            replacement.extend(child)
+        block[stmt_idx:stmt_idx + 1] = replacement
+    elif kind == "drop_else":
+        stmt.els = None
+    elif kind == "shrink_bound":
+        stmt.bound = 1
+
+
+def _enumerate_ops(program):
+    """All candidate reductions, heaviest (most statements removed) first."""
+    ops = []
+    toplevel_idx = len(program.functions) - 1
+    for func_idx, func in enumerate(program.functions):
+        if func_idx != toplevel_idx:
+            ops.append((func.count() + 2, ("drop_func", func_idx)))
+        if func.return_expr != "0":
+            ops.append((0, ("zero_return", func_idx)))
+        for param_idx in range(len(func.params)):
+            ops.append((0, ("drop_param", func_idx, param_idx)))
+        stack = [((), func.body)]
+        while stack:
+            path, block = stack.pop()
+            for stmt_idx, stmt in enumerate(block):
+                weight = stmt.count()
+                ops.append((weight, ("delete", func_idx, path, stmt_idx)))
+                children = stmt.blocks()
+                if children:
+                    ops.append(
+                        (1, ("unwrap", func_idx, path, stmt_idx)))
+                if isinstance(stmt, IfStmt) and stmt.els is not None:
+                    els_size = sum(child.count() for child in stmt.els)
+                    ops.append(
+                        (els_size, ("drop_else", func_idx, path, stmt_idx)))
+                if isinstance(stmt, LoopStmt) and stmt.bound > 1:
+                    ops.append(
+                        (0, ("shrink_bound", func_idx, path, stmt_idx)))
+                for block_idx, child in enumerate(children):
+                    stack.append((path + ((stmt_idx, block_idx),), child))
+    for idx in range(len(program.structs)):
+        ops.append((1, ("drop_struct", idx)))
+    for idx in range(len(program.externs)):
+        ops.append((1, ("drop_extern", idx)))
+    ops.sort(key=lambda entry: -entry[0])
+    return [op for _, op in ops]
+
+
+def reduce_program(program, predicate, max_tests=400):
+    """Greedily shrink ``program`` while ``predicate`` stays true.
+
+    ``predicate(candidate)`` must return True when the candidate still
+    shows the original divergence (and False for candidates that fail to
+    compile).  Returns ``(reduced_program, tests_used)``; the input
+    program is never mutated.
+    """
+    current = program
+    tests = 0
+    improved = True
+    while improved and tests < max_tests:
+        improved = False
+        for op in _enumerate_ops(current):
+            if tests >= max_tests:
+                break
+            candidate = current.clone()
+            _apply(candidate, op)
+            tests += 1
+            if predicate(candidate):
+                # Accept and restart the scan: every remaining op's
+                # coordinates went stale the moment the tree changed.
+                current = candidate
+                improved = True
+                break
+    return current, tests
+
+
+def _toward_zero(value):
+    return value // 2 if value > 0 else -((-value) // 2)
+
+
+def reduce_inputs(values, predicate, max_tests=200):
+    """Shrink an input vector pointwise toward zero.
+
+    ``predicate(candidate_values)`` replays the (fixed) program on the
+    candidate vector and reports whether the divergence persists.  The
+    kind signature is the caller's responsibility and never changes.
+    Returns ``(reduced_values, tests_used)``.
+    """
+    current = list(values)
+    tests = 0
+    changed = True
+    while changed and tests < max_tests:
+        changed = False
+        for index, value in enumerate(current):
+            if value == 0 or tests >= max_tests:
+                continue
+            candidates = [0]
+            if abs(value) > 1:
+                candidates.append(_toward_zero(value))
+            for replacement in candidates:
+                candidate = list(current)
+                candidate[index] = replacement
+                tests += 1
+                if predicate(candidate):
+                    current = candidate
+                    changed = True
+                    break
+                if tests >= max_tests:
+                    break
+    return current, tests

@@ -1,0 +1,53 @@
+"""Replay every checked-in fuzz repro as a regression test.
+
+Each ``tests/corpus/*.json`` file is a shrunk program + input vector that
+once made an oracle diverge (the ``comment`` field names the seed and the
+root cause).  Replaying them through the same oracle must now find
+nothing: a repro that diverges again means the bug it pinned has been
+reintroduced.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.testgen import OracleOptions, load_repro, replay_repro
+from repro.testgen.harness import CORPUS_FORMAT
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+#: Generous budgets: corpus programs are tiny (the reducer capped them),
+#: so even the slow oracles finish in well under a second each.
+OPTS = OracleOptions(vectors=2, dart_iterations=120, forcing_iterations=24)
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, "tests/corpus/ lost its repro files"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_repro_file_is_well_formed(path):
+    payload = load_repro(path)
+    assert payload["format"] == CORPUS_FORMAT
+    assert payload["source"].strip()
+    assert payload["oracle"]
+    assert payload["comment"].startswith("fuzz seed ")
+    assert payload["statements"] >= 1
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_repro_replays_clean(path):
+    divergences = replay_repro(path, OPTS)
+    assert divergences == [], "\n".join(d.describe() for d in divergences)
+
+
+def test_repro_files_record_their_seed():
+    for path in CORPUS_FILES:
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert "seed{}".format(payload["seed"]) in os.path.basename(path)

@@ -1,0 +1,184 @@
+"""The differential fuzzing subsystem: generator, oracles, reducer, CLI.
+
+The acceptance-grade checks live here too: a short campaign must come
+back clean, and a deliberately injected slicing bug (monkeypatched
+``ConstraintSlicer.slice`` that drops the prefix conjuncts) must be
+caught by the substitution oracle and shrunk to a small repro.
+"""
+
+import json
+import random
+
+from repro.cli import main as cli_main
+from repro.dart.driver import build_test_program
+from repro.dart.slicing import ConstraintSlicer
+from repro.testgen import (
+    GeneratorOptions,
+    OracleBattery,
+    OracleOptions,
+    generate_program,
+    load_repro,
+    replay_repro,
+    run_campaign,
+    save_repro,
+    reduce_inputs,
+    reduce_program,
+)
+
+#: Small budgets so one battery invocation stays well under a second.
+FAST = dict(vectors=2, dart_iterations=60, forcing_iterations=12)
+
+
+def make_program(seed):
+    return generate_program(random.Random(seed), seed=seed)
+
+
+class TestGenerator:
+    def test_same_seed_same_program(self):
+        assert make_program(42).render() == make_program(42).render()
+
+    def test_different_seeds_differ(self):
+        sources = {make_program(seed).render() for seed in range(8)}
+        assert len(sources) == 8
+
+    def test_generated_programs_compile(self):
+        for seed in range(40):
+            program = make_program(seed)
+            module = build_test_program(program.render(), program.toplevel)
+            assert module is not None
+
+    def test_statement_count_matches_structure(self):
+        program = make_program(3)
+        assert program.statement_count() >= 1
+        assert program.clone().render() == program.render()
+
+    def test_options_bound_size(self):
+        opts = GeneratorOptions(max_statements=6, max_conditionals=2)
+        for seed in range(10):
+            program = generate_program(random.Random(seed), opts, seed=seed)
+            module = build_test_program(program.render(), program.toplevel)
+            assert module is not None
+
+
+class TestOracleBattery:
+    def test_clean_program_has_no_divergences(self):
+        battery = OracleBattery(OracleOptions(**FAST))
+        program = make_program(7)
+        assert battery.check(program) == []
+
+    def test_transparency_vector_accepts_explicit_inputs(self):
+        battery = OracleBattery(OracleOptions(**FAST))
+        program = make_program(11)
+        module = build_test_program(program.render(), program.toplevel)
+        # Probe the program's input signature with one random vector.
+        battery.check_transparency(program, module)
+        assert battery.counters["vectors"] >= 1
+
+    def test_constraint_fuzz_agrees_with_brute_force(self):
+        battery = OracleBattery(OracleOptions(**FAST))
+        assert battery.check_constraint_fuzz(random.Random(0),
+                                             systems=25) == []
+        assert battery.counters["solver_systems"] == 25
+
+
+class TestReducers:
+    def test_reduce_program_shrinks_while_predicate_holds(self):
+        program = make_program(13)
+        original = program.statement_count()
+
+        def interesting(candidate):
+            try:
+                build_test_program(candidate.render(), candidate.toplevel)
+            except Exception:
+                return False
+            return candidate.statement_count() >= 1
+
+        reduced, tests = reduce_program(program, interesting)
+        assert tests >= 1
+        assert reduced.statement_count() <= original
+        assert interesting(reduced)
+        # The input program is never mutated.
+        assert program.statement_count() == original
+
+    def test_reduce_inputs_moves_values_toward_zero(self):
+        reduced, _ = reduce_inputs([8, 5, 3], lambda v: sum(v) >= 8)
+        assert sum(reduced) >= 8
+        assert reduced == [0, 5, 3]
+
+    def test_reduce_inputs_keeps_vector_length(self):
+        reduced, _ = reduce_inputs([4, -6], lambda v: True)
+        assert reduced == [0, 0]
+
+
+class TestCampaign:
+    def test_short_campaign_is_clean(self):
+        report = run_campaign(seed=0, budget=3,
+                              oracle_opts=OracleOptions(**FAST),
+                              parallel_every=0)
+        assert report.ok
+        assert report.programs == 3
+        assert report.counters["programs"] == 3
+        assert "0 divergence(s)" in report.describe()
+
+    def test_repro_files_round_trip(self, tmp_path):
+        from repro.testgen.harness import FoundDivergence
+
+        found = FoundDivergence(
+            seed=9, index=1, oracle="transparency", detail="test detail",
+            program=make_program(9), inputs=[1, 2], kinds=["int", "int"],
+            comment="fuzz seed 9")
+        path = save_repro(str(tmp_path), found)
+        payload = load_repro(path)
+        assert payload["seed"] == 9
+        assert payload["oracle"] == "transparency"
+        assert payload["source"] == make_program(9).render()
+        assert payload["inputs"] == [1, 2]
+
+    def test_cli_fuzz_exit_zero_when_clean(self, capsys):
+        code = cli_main(["fuzz", "--seed", "0", "--budget", "2",
+                         "--dart-iterations", "60", "--parallel-every", "0",
+                         "--progress-every", "0"])
+        assert code == 0
+        assert "0 divergence(s)" in capsys.readouterr().out
+
+
+class TestInjectedSlicingBug:
+    """Acceptance: a broken slicer must be caught and shrunk."""
+
+    def test_caught_by_substitution_oracle_and_shrunk(self, monkeypatch,
+                                                      tmp_path):
+        def broken_slice(self, j, negated):
+            # Drop every prefix conjunct from the sliced query: the solver
+            # then freely violates constraints the planned run must keep.
+            return [negated]
+
+        monkeypatch.setattr(ConstraintSlicer, "slice", broken_slice)
+        report = run_campaign(
+            seed=5, budget=40, oracle_opts=OracleOptions(**FAST),
+            parallel_every=0, solver_fuzz=False, stop_on_first=True,
+            out_dir=str(tmp_path))
+        assert not report.ok
+        found = report.divergences[0]
+        assert found.oracle == "substitution"
+        assert found.program.statement_count() <= 15
+        # The shrunk repro landed on disk and parses.
+        assert report.repro_paths
+        payload = load_repro(report.repro_paths[0])
+        assert payload["oracle"] == "substitution"
+        assert payload["statements"] <= 15
+
+    def test_injected_bug_repro_is_clean_without_the_bug(self, monkeypatch,
+                                                         tmp_path):
+        def broken_slice(self, j, negated):
+            return [negated]
+
+        with monkeypatch.context() as patch:
+            patch.setattr(ConstraintSlicer, "slice", broken_slice)
+            report = run_campaign(
+                seed=5, budget=40, oracle_opts=OracleOptions(**FAST),
+                parallel_every=0, solver_fuzz=False, stop_on_first=True,
+                out_dir=str(tmp_path))
+            assert report.repro_paths
+        # The monkeypatch is gone; the same repro must replay clean.
+        assert replay_repro(report.repro_paths[0],
+                            OracleOptions(**FAST)) == []
