@@ -13,6 +13,12 @@ workload is the whole search tree, not just the run that finds the bug):
 * **parallel** — the bfs generational search with ``jobs=2`` must report
   exactly the serial engine's error set (and, in full mode, the same
   check on the depth-2 Needham-Schroeder possibilistic attack search).
+* **phases** — one profiled (``profile_phases=True``) depth-2 dfs run
+  recording where the session's wall time goes (execute / solve / cache
+  / checkpoint, from :mod:`repro.obs.profile`), plus a tracing-overhead
+  row: the same search with and without instrumentation, gating that
+  disabled observability stays within the noise (<= 2% is the budget;
+  the check uses best-of-3 walls to damp scheduler jitter).
 
 Usage::
 
@@ -114,6 +120,53 @@ def parallel_check(name, source, toplevel, failures, **common):
     return row
 
 
+def phases_section(failures):
+    """Phase breakdown of a profiled run, plus the tracing-overhead row."""
+    common = dict(depth=2, max_iterations=1000, seed=0, strategy="dfs",
+                  stop_on_first_error=False)
+
+    dart = Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                DartOptions(profile_phases=True, **common))
+    start = time.perf_counter()
+    result = dart.run()
+    wall = time.perf_counter() - start
+    snapshot = result.stats.phases.snapshot()
+    attributed = sum(entry["seconds"] for entry in snapshot.values())
+    coverage = attributed / wall if wall else 1.0
+
+    def best_of(n, **overrides):
+        walls = []
+        for _ in range(n):
+            # Compile outside the window: the phases attribute *search*
+            # time, not the one-off front-end cost.
+            dart = Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                        DartOptions(**overrides, **common))
+            t0 = time.perf_counter()
+            dart.run()
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    plain = best_of(3)
+    instrumented = best_of(3, trace_file=os.devnull, profile_phases=True)
+    row = {
+        "program": "sec. 4.1 AC controller, depth 2, dfs, full exploration",
+        "wall_s": round(wall, 4),
+        "phases": snapshot,
+        "phase_coverage": round(coverage, 4),
+        "plain_wall_s": round(plain, 4),
+        "instrumented_wall_s": round(instrumented, 4),
+        "instrumentation_overhead": round(instrumented / plain - 1.0, 4)
+        if plain else 0.0,
+    }
+    if coverage < 0.9:
+        failures.append(
+            "phases: only {:.1%} of wall time attributed to "
+            "execute/solve/cache/checkpoint (>= 90% required)"
+            .format(coverage)
+        )
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -141,6 +194,7 @@ def main(argv=None):
             "ns_step", failures,
             depth=2, max_iterations=50_000, seed=0, strategy="bfs",
         ))
+    report["phases"] = phases_section(failures)
     report["ok"] = not failures
     report["failures"] = failures
 
@@ -165,6 +219,13 @@ def main(argv=None):
               "{p}".format(benchmark=row["benchmark"],
                            s=row["serial"]["errors"],
                            p=row["parallel"]["errors"]))
+    phases = report["phases"]
+    print("phases: {:.1%} of wall attributed ({}); tracing+profiling "
+          "overhead {:+.1%}".format(
+              phases["phase_coverage"],
+              ", ".join("{} {:.4f}s".format(name, entry["seconds"])
+                        for name, entry in phases["phases"].items()),
+              phases["instrumentation_overhead"]))
     print("wrote", out)
     if failures:
         for failure in failures:

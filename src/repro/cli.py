@@ -11,6 +11,11 @@ same command resumes the search).
 campaign (:mod:`repro.testgen`): generate random mini-C programs, check
 the pipeline against its own oracles, shrink and serialize any
 divergence.  Exit status: 0 = clean campaign, 1 = divergence(s) found.
+
+``python -m repro trace-summary TRACE.jsonl`` renders a structured trace
+written with ``--trace``: the per-phase time breakdown (execute / solve /
+cache / checkpoint), the branch-flip funnel (attempted → sat → forced →
+new path), verdict and cache-tier tallies (see docs/OBSERVABILITY.md).
 """
 
 import argparse
@@ -68,6 +73,14 @@ def build_parser():
     parser.add_argument("--checkpoint-every", type=int, default=25,
                         help="runs between checkpoint autosaves "
                              "(with --state-file; default 25)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL structured trace of the "
+                             "session (render it with "
+                             "'python -m repro trace-summary PATH')")
+    parser.add_argument("--profile-phases", action="store_true",
+                        help="attribute session wall time to execute / "
+                             "solve / cache / checkpoint phases "
+                             "(reported in the stats summary)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full result (errors, quarantined "
                              "runs, stats, coverage) as JSON")
@@ -145,6 +158,44 @@ def fuzz_main(argv=None):
     return 0 if report.ok else 1
 
 
+def build_trace_summary_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro trace-summary",
+        description="Summarize a JSONL structured trace written with "
+                    "--trace: phase time breakdown, branch-flip funnel, "
+                    "verdict and cache-tier tallies",
+    )
+    parser.add_argument("trace", help="JSONL trace file (from --trace)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    return parser
+
+
+def trace_summary_main(argv=None):
+    from repro.obs import read_trace, render_summary, summarize_trace
+
+    args = build_trace_summary_parser().parse_args(argv)
+    try:
+        summary = summarize_trace(read_trace(args.trace))
+    except OSError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print("error: not a JSONL trace: {}".format(error), file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary))
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; not an error.
+        # Point stdout at devnull so interpreter shutdown does not
+        # complain about the unflushable stream.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _exit_code(result):
     if result.status == INTERRUPTED:
         return 130
@@ -156,6 +207,8 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "trace-summary":
+        return trace_summary_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as handle:
@@ -201,6 +254,8 @@ def main(argv=None):
         state_file=args.state_file,
         checkpoint_every=args.checkpoint_every,
         handle_signals=True,
+        trace_file=args.trace,
+        profile_phases=args.profile_phases,
     )
     tester_class = RandomTester if args.random else Dart
     try:

@@ -47,6 +47,9 @@ class DartOptions:
         constraint_slicing=True,
         solver_cache=True,
         jobs=1,
+        trace_file=None,
+        trace_ring=32,
+        profile_phases=False,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -125,6 +128,18 @@ class DartOptions:
         #: is inherently sequential (each run's plan depends on the
         #: previous run's path) and always runs single-process.
         self.jobs = jobs
+        #: Write a JSONL structured trace of the session to this path
+        #: (``--trace``); None disables the file sink.  See
+        #: docs/OBSERVABILITY.md for the event schema.
+        self.trace_file = trace_file
+        #: Capacity of the in-memory flight recorder whose tail is
+        #: attached to quarantine records.  0 disables it.  Only active
+        #: when tracing is on (a sink is attached).
+        self.trace_ring = trace_ring
+        #: Attribute session wall time to execute / solve / cache /
+        #: checkpoint phases (repro.obs.profile); adds two clock reads
+        #: per section, so it is opt-in.
+        self.profile_phases = profile_phases
 
     def digest(self):
         """A stable hash of the options that shape the *search*.
@@ -136,6 +151,9 @@ class DartOptions:
         instrumentation semantics must be rejected.  Slicing and caching
         are *included*: both can change which model the solver returns
         (never a verdict), so they shape the concrete search trajectory.
+        Observability knobs (``trace_file``, ``trace_ring``,
+        ``profile_phases``) are excluded: watching a search must never
+        change it, and a traced resume of an untraced session is valid.
         """
         relevant = (
             self.depth, self.strategy, self.seed,

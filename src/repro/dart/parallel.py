@@ -30,9 +30,20 @@ Design constraints, mirroring the serial engines:
   checkpoints (``jobs`` is excluded from the options digest exactly so a
   resumed search may change its parallelism).
 
+**Soundness.** Sharding changes *when* independent items run, never what
+each computes: a worker executes the same instrumented run and the same
+child expansion the serial engine would, under the same per-item seed,
+and the dispatch-order merge leaves the parent's worklist, statistics
+and error set identical to a serial drain of the same frontier (pinned
+differentially by ``tests/test_parallel.py`` and the fuzzer's
+config-invariance oracle).  A lost worker degrades honestly: its batch
+is quarantined and ``all_linear`` cleared, so a session that lost runs
+never claims Theorem 1(b) completeness.
+
 Workers rebuild the compiled module from source once per process
 (initializer), keep their own solver and result cache, and report
-statistics deltas that the parent folds into the session's ``RunStats``.
+metrics-registry snapshots that the parent folds into the session's
+``RunStats`` (a deterministic merge — see `repro.obs.metrics`).
 """
 
 import random
@@ -57,18 +68,15 @@ from repro.dart.report import (
 from repro.dart.solve import expand_worklist_children
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
+from repro.obs import trace as tr
+from repro.obs.profile import CACHE as CACHE_PHASE
+from repro.obs.profile import EXECUTE, SOLVE
+from repro.obs.trace import ListSink, TraceBus
 from repro.solver import Solver, SolverResultCache
 from repro.symbolic.flags import CompletenessFlags
 
-#: Counter names a worker reports as deltas (a strict subset of
-#: RunStats.COUNTERS: the parent owns iterations/restarts/forcing).
-_WORKER_COUNTERS = (
-    "solver_calls", "solver_sat", "solver_unsat", "solver_unknown",
-    "solver_retries", "solver_escalations", "branches_executed",
-    "machine_steps", "solver_constraints", "sliced_conjuncts_dropped",
-    "cache_hits", "cache_unsat_shortcuts", "cache_model_reuses",
-    "cache_misses",
-)
+#: An empty worker metrics snapshot (the second-layer fault fallback).
+_EMPTY_METRICS = {"counters": {}, "gauges": {}, "histograms": {}}
 
 
 def _item_seed(base_seed, iteration):
@@ -95,17 +103,37 @@ class _WorkerContext:
         self.cache = SolverResultCache() if options.solver_cache else None
 
     def run_item(self, payload):
-        """Execute one pending item and expand its children."""
+        """Execute one pending item and expand its children.
+
+        With tracing requested the worker runs a private bus with an
+        in-memory sink and ships the raw events back; the parent
+        re-emits them in dispatch order (re-stamping sequence numbers
+        and the global iteration), so the merged stream is identical
+        run-for-run to a serial session's ordering.  Metrics and phase
+        timings are shipped as registry/timer snapshots and folded in
+        with the deterministic (commutative, associative) merges.
+        """
         options = self.options
         stack = persist._decode_stack(payload["stack"])
         im = persist._decode_im(payload["im"])
         flags = CompletenessFlags()
         stats = RunStats()
+        stats.phases.enabled = bool(payload.get("profile"))
+        bus = None
+        sink = None
+        if payload.get("trace"):
+            bus = TraceBus()
+            sink = bus.attach(ListSink())
+            flags.trace = bus
+        if self.cache is not None:
+            self.cache.trace = bus
         rng = random.Random(payload["seed"])
         hooks = DirectedHooks(im, stack, flags, rng, options)
         deadline = None
         if options.run_time_limit is not None:
             deadline = time.perf_counter() + options.run_time_limit
+        planned = bool(stack)
+        started = time.perf_counter()
         machine = Machine(
             self.module,
             MachineOptions(
@@ -114,11 +142,14 @@ class _WorkerContext:
                 memory=options.memory_options(),
                 deadline=deadline,
                 watchdog_interval=options.watchdog_interval,
+                trace=bus,
             ),
             hooks, flags,
         )
+        if bus is not None:
+            bus.emit(tr.RUN_STARTED, iteration=0, planned=planned)
         out = {"status": "ok", "children": (), "error": None,
-               "quarantine": None, "path": None}
+               "quarantine": None, "path": None, "planned": planned}
         fault = None
         try:
             machine.run(DRIVER_ENTRY)
@@ -136,10 +167,27 @@ class _WorkerContext:
         except Exception as caught:  # noqa: BLE001 — the fault boundary
             out["status"] = "quarantined"
             out["quarantine"] = self._quarantine(INTERNAL_ERROR, im, caught)
+        wall = time.perf_counter() - started
+        if stats.phases.enabled:
+            stats.phases.add(EXECUTE, wall)
         stats.branches_executed = machine.branches_executed
         stats.machine_steps = machine.steps
+        if bus is not None:
+            if out["status"] == "ok":
+                event_status = "fault" if fault is not None else "ok"
+            else:
+                event_status = out["status"]
+            bus.emit(
+                tr.RUN_FINISHED, iteration=0, status=event_status,
+                planned=planned, new_path=False, wall_s=round(wall, 6),
+                steps=machine.steps, branches=machine.branches_executed,
+            )
+            if out["quarantine"] is not None and options.trace_ring:
+                out["quarantine"]["trace_tail"] = \
+                    sink.events[-options.trace_ring:]
         if out["status"] == "ok":
             out["path"] = list(hooks.record.path_key())
+            stats.path_length.observe(machine.branches_executed)
             if fault is not None:
                 out["error"] = {
                     "kind": fault.kind,
@@ -149,12 +197,7 @@ class _WorkerContext:
                     "inputs": im.values(),
                     "kinds": [slot.kind for slot in im],
                 }
-            children = expand_worklist_children(
-                hooks.finished_stack(), hooks.record.constraints, im,
-                payload["bound"], self.solver, flags, stats,
-                options.solver_escalation, cache=self.cache,
-                slicing=options.constraint_slicing,
-            )
+            children = self._expand(payload, hooks, im, flags, stats, bus)
             out["children"] = [
                 {"stack": persist._encode_stack(child_stack),
                  "im": persist._encode_im(child_im),
@@ -163,11 +206,35 @@ class _WorkerContext:
             ]
         out["covered"] = list(machine.covered_branches)
         out["flags"] = flags.snapshot()
-        out["counters"] = {
-            name: getattr(stats, name)
-            for name in _WORKER_COUNTERS if getattr(stats, name)
-        }
+        out["metrics"] = stats.registry.to_dict()
+        out["phases"] = stats.phases.snapshot()
+        out["events"] = sink.events if sink is not None else ()
         return out
+
+    def _expand(self, payload, hooks, im, flags, stats, bus):
+        """The child-expanding planning call, with phase attribution
+        mirroring the serial engine's ``_Session._plan``."""
+        options = self.options
+        phases = stats.phases
+        timed = phases.enabled or bus is not None
+        if timed:
+            cache_before = phases.seconds.get(CACHE_PHASE, 0.0)
+            started = time.perf_counter()
+        children = expand_worklist_children(
+            hooks.finished_stack(), hooks.record.constraints, im,
+            payload["bound"], self.solver, flags, stats,
+            options.solver_escalation, cache=self.cache,
+            slicing=options.constraint_slicing, trace=bus,
+        )
+        if timed:
+            wall = time.perf_counter() - started
+            if phases.enabled:
+                cache_delta = \
+                    phases.seconds.get(CACHE_PHASE, 0.0) - cache_before
+                phases.add(SOLVE, max(wall - cache_delta, 0.0))
+            if bus is not None:
+                bus.emit(tr.PLAN, iteration=0, wall_s=round(wall, 6))
+        return children
 
     @staticmethod
     def _quarantine(classification, im, exc):
@@ -197,7 +264,8 @@ def _worker_run(payload):
     except Exception as exc:  # pragma: no cover — second-layer boundary
         return {"status": "quarantined", "children": (), "error": None,
                 "path": None, "covered": (), "flags": (True, True, True),
-                "counters": {},
+                "metrics": _EMPTY_METRICS, "phases": {}, "events": (),
+                "planned": False,
                 "quarantine": {
                     "classification": INTERNAL_ERROR,
                     "inputs": [], "kinds": [],
@@ -276,10 +344,14 @@ class _ParallelEngine:
         self.session._worklist = [
             pending(stack, im, bound) for stack, im, bound in frontier
         ]
+        self.session.stats.worklist_depth.set(len(frontier))
 
     def _run_generation(self, batch, rest):
         """Dispatch one generation; returns (stop, merged children)."""
         session = self.session
+        trace_on = session.trace.enabled
+        if trace_on:
+            session.trace.emit(tr.GENERATION, size=len(batch))
         payloads = []
         for stack, im, bound in batch:
             session.stats.iterations += 1
@@ -289,6 +361,8 @@ class _ParallelEngine:
                 "bound": bound,
                 "seed": _item_seed(self.options.seed,
                                    session.stats.iterations),
+                "trace": trace_on,
+                "profile": session.stats.phases.enabled,
             })
         try:
             results = list(self._executor.map(_worker_run, payloads))
@@ -317,6 +391,21 @@ class _ParallelEngine:
                 return True, children
         return False, children
 
+    def _ship_events(self, result, iteration, new_path):
+        """Re-emit one worker's events on the parent bus, in dispatch
+        order, patching in what only the parent knows: the global
+        iteration number and whether the run's path was globally new."""
+        trace = self.session.trace
+        if not trace.enabled:
+            return
+        for event in result.get("events") or ():
+            event = dict(event)
+            if "iteration" in event:
+                event["iteration"] = iteration
+            if event.get("type") == tr.RUN_FINISHED:
+                event["new_path"] = new_path
+            trace.forward(event)
+
     def _merge(self, result, iteration, children):
         """Fold one worker result into the session (dispatch order)."""
         session = self.session
@@ -325,9 +414,12 @@ class _ParallelEngine:
             session.flags.clear_linear()
         if not all_locs:
             session.flags.clear_locs()
-        for name, value in result["counters"].items():
-            setattr(session.stats, name,
-                    getattr(session.stats, name) + value)
+        # Deterministic instrument merge: counters add, gauges max,
+        # histograms add elementwise; dispatch order makes it stable,
+        # commutativity makes it independent of worker scheduling.
+        session.stats.registry.merge(result["metrics"])
+        if result.get("phases"):
+            session.stats.phases.merge(result["phases"])
         session.stats.covered_branches.update(
             (entry[0], entry[1], entry[2]) for entry in result["covered"]
         )
@@ -338,6 +430,7 @@ class _ParallelEngine:
             # we — the mismatch only taints this drain's completeness.
             session.stats.forcing_failures += 1
             session._clean_drain = False
+            self._ship_events(result, iteration, False)
             return False
         if status == "quarantined":
             record = result["quarantine"]
@@ -345,10 +438,21 @@ class _ParallelEngine:
             session.stats.quarantined.append(QuarantineRecord(
                 record["classification"], record["inputs"],
                 record["kinds"], iteration, record["detail"],
+                trace_tail=record.get("trace_tail"),
             ))
             session._clean_drain = False
+            self._ship_events(result, iteration, False)
+            if session.trace.enabled:
+                session.trace.emit(
+                    tr.QUARANTINE,
+                    classification=record["classification"],
+                    iteration=iteration, detail=record["detail"],
+                )
             return False
-        session.stats.note_path(tuple(result["path"]))
+        new_path = session.stats.note_path(tuple(result["path"]))
+        if result.get("planned"):
+            session.stats.runs_forced += 1
+        self._ship_events(result, iteration, new_path)
         children.extend(
             (persist._decode_stack(child["stack"]),
              persist._decode_im(child["im"]),

@@ -1,6 +1,22 @@
-"""Result and report types for DART and random-testing sessions."""
+"""Result and report types for DART and random-testing sessions.
+
+Session statistics are no longer an ad-hoc bag of ints: every counter of
+:class:`RunStats` is an instrument in a
+:class:`repro.obs.metrics.MetricsRegistry` (attribute access is a thin
+facade), which gives all of them deterministic cross-worker merging,
+JSON round-trips, and sits histograms (solver latency, path length) and
+the opt-in :class:`repro.obs.profile.PhaseTimer` next to them in one
+catalog — see ``docs/OBSERVABILITY.md``.
+"""
 
 import time
+
+from repro.obs.metrics import (
+    PATH_LENGTH_BUCKETS,
+    SOLVER_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.profile import PhaseTimer
 
 #: Session outcome statuses (Theorem 1's three cases, plus budget cutoffs).
 BUG_FOUND = "bug_found"  # case (a): a sound error was found
@@ -71,7 +87,8 @@ class QuarantineRecord:
     of the session.
     """
 
-    def __init__(self, classification, inputs, kinds, iteration, detail):
+    def __init__(self, classification, inputs, kinds, iteration, detail,
+                 trace_tail=None):
         #: One of INTERNAL_ERROR, RUN_TIMEOUT, RESOURCE_EXHAUSTED.
         self.classification = classification
         #: The input vector values at the moment the run died.
@@ -82,6 +99,9 @@ class QuarantineRecord:
         self.iteration = iteration
         #: Exception type, message and innermost harness frame.
         self.detail = detail
+        #: With tracing enabled: the last trace events before the fault
+        #: (the ring-buffer flight recorder), or None.
+        self.trace_tail = trace_tail
 
     def describe(self):
         return "{} (run {}, inputs {}): {}".format(
@@ -89,19 +109,23 @@ class QuarantineRecord:
         )
 
     def to_dict(self):
-        return {
+        payload = {
             "classification": self.classification,
             "inputs": list(self.inputs),
             "kinds": list(self.kinds),
             "iteration": self.iteration,
             "detail": self.detail,
         }
+        if self.trace_tail is not None:
+            payload["trace_tail"] = list(self.trace_tail)
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
         return cls(
             payload["classification"], payload["inputs"], payload["kinds"],
             payload["iteration"], payload["detail"],
+            trace_tail=payload.get("trace_tail"),
         )
 
     def __repr__(self):
@@ -109,9 +133,9 @@ class QuarantineRecord:
 
 
 class RunStats:
-    """Counters accumulated over a session."""
+    """Counters accumulated over a session, backed by a metrics registry."""
 
-    #: Plain integer counters (checkpointed verbatim, in this order).
+    #: Integer counters (checkpointed verbatim, in this order).
     COUNTERS = (
         "iterations", "paths_explored", "solver_calls", "solver_sat",
         "solver_unsat", "solver_unknown", "solver_retries",
@@ -126,11 +150,30 @@ class RunStats:
         "solver_constraints", "sliced_conjuncts_dropped",
         "cache_hits", "cache_unsat_shortcuts", "cache_model_reuses",
         "cache_misses",
+        # The branch-flip funnel (attempted -> sat -> forced -> new path):
+        # ``flips_attempted`` counts conjuncts negated and queried (solver
+        # or cache), ``flips_sat`` the feasible ones, ``runs_forced`` the
+        # planned runs that reached their predicted path, and
+        # ``runs_new_path`` the runs that discovered an unseen path.
+        "flips_attempted", "flips_sat", "runs_forced", "runs_new_path",
     )
 
     def __init__(self):
+        registry = MetricsRegistry()
+        self.registry = registry
         for name in self.COUNTERS:
-            setattr(self, name, 0)
+            registry.counter(name)
+        #: Wall-clock latency of actual solver calls (histogram).
+        self.solver_latency = registry.histogram(
+            "solver_latency_s", SOLVER_LATENCY_BUCKETS_S)
+        #: Conditionals executed per completed run (histogram).
+        self.path_length = registry.histogram(
+            "path_length", PATH_LENGTH_BUCKETS)
+        #: Pending-item frontier size (generational engines; gauge).
+        self.worklist_depth = registry.gauge("worklist_depth")
+        #: Opt-in per-phase wall-time attribution (execute / solve /
+        #: cache / checkpoint); enabled by ``profile_phases``.
+        self.phases = PhaseTimer()
         self.distinct_paths = set()
         self.covered_branches = set()
         #: QuarantineRecord list — runs contained at the fault boundary.
@@ -142,8 +185,13 @@ class RunStats:
         self.elapsed = time.perf_counter() - self.started_at
 
     def note_path(self, path_key):
+        """Record one completed path; returns True when it is new."""
         self.paths_explored += 1
+        if path_key in self.distinct_paths:
+            return False
         self.distinct_paths.add(path_key)
+        self.runs_new_path += 1
+        return True
 
     @property
     def cache_answered(self):
@@ -165,7 +213,7 @@ class RunStats:
         return self.solver_constraints / self.solver_calls
 
     def summary(self):
-        return {
+        summary = {
             "iterations": self.iterations,
             "paths": self.paths_explored,
             "distinct_paths": len(self.distinct_paths),
@@ -189,7 +237,36 @@ class RunStats:
             "steps": self.machine_steps,
             "quarantined": len(self.quarantined),
             "elapsed_s": round(self.elapsed, 4),
+            "flips_attempted": self.flips_attempted,
+            "flips_sat": self.flips_sat,
+            "runs_forced": self.runs_forced,
+            "runs_new_path": self.runs_new_path,
+            "histograms": {
+                "solver_latency_s": self.solver_latency.to_dict(),
+                "path_length": self.path_length.to_dict(),
+            },
         }
+        if self.phases.enabled or self.phases.seconds:
+            summary["phases"] = self.phases.snapshot()
+        return summary
+
+
+def _counter_property(name):
+    """Attribute facade over the registry: ``stats.solver_calls += 1``
+    reads and writes the :class:`Counter` named ``solver_calls``."""
+
+    def _get(self):
+        return self.registry.counter(name).value
+
+    def _set(self, value):
+        self.registry.counter(name).value = value
+
+    return property(_get, _set)
+
+
+for _name in RunStats.COUNTERS:
+    setattr(RunStats, _name, _counter_property(_name))
+del _name
 
 
 class DartResult:

@@ -55,6 +55,10 @@ from repro.dart.solve import (
 )
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
+from repro.obs import trace as tr
+from repro.obs.profile import CACHE as CACHE_PHASE
+from repro.obs.profile import CHECKPOINT, EXECUTE, SOLVE
+from repro.obs.trace import JsonlTraceSink, RingBufferSink, TraceBus
 from repro.solver import Solver, SolverResultCache
 from repro.symbolic.flags import CompletenessFlags
 
@@ -79,6 +83,12 @@ class Dart:
         #: Session-lifetime solver result cache (None when disabled).
         self.solver_cache = SolverResultCache() \
             if self.options.solver_cache else None
+        #: The structured trace bus (repro.obs.trace).  Disabled — and
+        #: free — until run() attaches a sink (``trace_file``), or a
+        #: caller attaches one programmatically before run().
+        self.trace = TraceBus()
+        if self.solver_cache is not None:
+            self.solver_cache.trace = self.trace
         #: Identifies (program, toplevel, search configuration) so a
         #: checkpoint written by a different session is rejected.
         self.fingerprint = {
@@ -101,23 +111,47 @@ class Dart:
         branches whenever a shallow one is flipped; the worklist keeps the
         alternative orders sound and complete.)
         """
+        jsonl = None
+        if self.options.trace_file is not None:
+            jsonl = self.trace.attach(JsonlTraceSink(self.options.trace_file))
         session = _Session(self)
+        if self.trace.enabled:
+            self.trace.emit(
+                tr.SESSION_STARTED, toplevel=self.toplevel,
+                strategy=self.options.strategy, seed=self.options.seed,
+                depth=self.options.depth, jobs=self.options.jobs,
+            )
+        result = None
         try:
             with session.signal_guard():
                 if self.options.strategy == "dfs":
                     # dfs is inherently sequential (each plan depends on
                     # the previous run's path): jobs is ignored.
-                    return session.run_figure5()
-                if self.options.jobs > 1:
+                    result = session.run_figure5()
+                elif self.options.jobs > 1:
                     # Imported lazily: multiprocessing machinery is only
                     # paid for by sessions that ask for it.
                     from repro.dart.parallel import (
                         run_parallel_generational,
                     )
-                    return run_parallel_generational(session)
-                return session.run_generational()
+                    result = run_parallel_generational(session)
+                else:
+                    result = session.run_generational()
+            return result
         finally:
             session.stats.finish()
+            if self.trace.enabled:
+                self.trace.emit(
+                    tr.SESSION_FINISHED,
+                    status=result.status if result is not None else "error",
+                    iterations=session.stats.iterations,
+                    wall_s=round(session.stats.elapsed, 6),
+                )
+                self.trace.flush()
+            session.detach_sinks()
+            if jsonl is not None:
+                self.trace.detach(jsonl)
+                jsonl.close()
 
     def _machine(self, hooks, flags, deadline=None, interrupt_check=None):
         machine_options = MachineOptions(
@@ -127,6 +161,7 @@ class Dart:
             deadline=deadline,
             watchdog_interval=self.options.watchdog_interval,
             interrupt_check=interrupt_check,
+            trace=self.trace,
         )
         return Machine(self.module, machine_options, hooks, flags)
 
@@ -215,8 +250,19 @@ class _Session:
         self.dart = dart
         self.options = dart.options
         self.cache = dart.solver_cache
+        self.trace = dart.trace
+        #: Flight recorder: with tracing active, the last ``trace_ring``
+        #: events, snapshotted into quarantine records.  Attached only
+        #: when another sink already enabled the bus, so the ring alone
+        #: never turns tracing on.
+        self.ring = None
+        if self.trace.enabled and self.options.trace_ring:
+            self.ring = self.trace.attach(
+                RingBufferSink(self.options.trace_ring))
         self.flags = CompletenessFlags()
+        self.flags.trace = self.trace
         self.stats = RunStats()
+        self.stats.phases.enabled = self.options.profile_phases
         self.errors = []
         self._seen_error_keys = set()
         self.rng = random.Random(self.options.seed)
@@ -271,6 +317,12 @@ class _Session:
         if self._interrupted:
             raise _RunInterrupted()
 
+    def detach_sinks(self):
+        """Drop the session's ring sink from the shared bus (run() end)."""
+        if self.ring is not None:
+            self.trace.detach(self.ring)
+            self.ring = None
+
     # -- shared plumbing ----------------------------------------------------
 
     def _check_budget(self):
@@ -309,6 +361,10 @@ class _Session:
         propagate.
         """
         self.stats.iterations += 1
+        planned = bool(predicted_stack)
+        # The execute window covers per-run setup (hooks, machine) as
+        # well as the run itself: both are per-execution costs.
+        started = time.perf_counter()
         hooks = DirectedHooks(
             im, predicted_stack, self.flags, self.rng, self.options
         )
@@ -317,12 +373,19 @@ class _Session:
             interrupt_check=self._interrupt_probe
             if self.options.handle_signals else None,
         )
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(tr.RUN_STARTED, iteration=self.stats.iterations,
+                       planned=planned)
         outcome = _RunOutcome(hooks)
         try:
             machine.run(DRIVER_ENTRY)
         except ForcingMismatch:
             outcome.mismatch = True
             self.stats.forcing_failures += 1
+            if trace.enabled:
+                trace.emit(tr.FORCING_MISMATCH,
+                           iteration=self.stats.iterations)
         except ExecutionFault as caught:
             outcome.fault = caught
         except _RunInterrupted:
@@ -341,8 +404,32 @@ class _Session:
         self.stats.branches_executed += machine.branches_executed
         self.stats.machine_steps += machine.steps
         self.stats.covered_branches |= machine.covered_branches
+        new_path = False
         if not outcome.mismatch and not outcome.quarantined:
-            self.stats.note_path(hooks.record.path_key())
+            new_path = self.stats.note_path(hooks.record.path_key())
+            self.stats.path_length.observe(machine.branches_executed)
+            if planned:
+                # The predicted prefix was reached and the run finished:
+                # the flip was successfully forced (funnel stage 3).
+                self.stats.runs_forced += 1
+        wall = time.perf_counter() - started
+        if self.stats.phases.enabled:
+            self.stats.phases.add(EXECUTE, wall)
+        if trace.enabled:
+            if outcome.mismatch:
+                status = "mismatch"
+            elif outcome.quarantined:
+                status = "quarantined"
+            elif outcome.fault is not None:
+                status = "fault"
+            else:
+                status = "ok"
+            trace.emit(
+                tr.RUN_FINISHED, iteration=self.stats.iterations,
+                status=status, planned=planned, new_path=new_path,
+                wall_s=round(wall, 6), steps=machine.steps,
+                branches=machine.branches_executed,
+            )
         return outcome
 
     def _quarantine(self, classification, im, exc):
@@ -361,10 +448,39 @@ class _Session:
             detail += " [{}:{} in {}]".format(
                 frame.filename.rsplit("/", 1)[-1], frame.lineno, frame.name
             )
+        trace_tail = self.ring.tail() if self.ring is not None else None
         self.stats.quarantined.append(QuarantineRecord(
             classification, im.values(), [slot.kind for slot in im],
-            self.stats.iterations, detail,
+            self.stats.iterations, detail, trace_tail=trace_tail,
         ))
+        if self.trace.enabled:
+            self.trace.emit(tr.QUARANTINE, classification=classification,
+                            iteration=self.stats.iterations, detail=detail)
+
+    def _plan(self, func, *args, **kwargs):
+        """Run one planning call (candidate loop) with phase attribution.
+
+        The whole call — slicing, query building, cache, solver — is one
+        ``plan`` trace event; for the phase timer its wall minus the
+        cache sections recorded inside goes to ``solve``, keeping the
+        phases disjoint.
+        """
+        phases = self.stats.phases
+        trace = self.trace
+        timed = phases.enabled or trace.enabled
+        if not timed:
+            return func(*args, **kwargs)
+        cache_before = phases.seconds.get(CACHE_PHASE, 0.0)
+        started = time.perf_counter()
+        result = func(*args, **kwargs)
+        wall = time.perf_counter() - started
+        if phases.enabled:
+            cache_delta = phases.seconds.get(CACHE_PHASE, 0.0) - cache_before
+            phases.add(SOLVE, max(wall - cache_delta, 0.0))
+        if trace.enabled:
+            trace.emit(tr.PLAN, iteration=self.stats.iterations,
+                       wall_s=round(wall, 6))
+        return result
 
     def _record_error(self, fault, im, hooks):
         """Record a found bug; returns True when the session should stop."""
@@ -422,9 +538,18 @@ class _Session:
         return checkpoint
 
     def _save_checkpoint(self):
-        if self.options.state_file is not None:
-            persist.save_checkpoint(self.options.state_file,
-                                    self._make_checkpoint())
+        if self.options.state_file is None:
+            return
+        started = time.perf_counter()
+        persist.save_checkpoint(self.options.state_file,
+                                self._make_checkpoint())
+        wall = time.perf_counter() - started
+        if self.stats.phases.enabled:
+            self.stats.phases.add(CHECKPOINT, wall)
+        if self.trace.enabled:
+            self.trace.emit(tr.CHECKPOINT,
+                            iteration=self.stats.iterations,
+                            wall_s=round(wall, 6))
 
     def _autosave(self):
         """Periodic checkpoint at the between-runs boundary.
@@ -537,12 +662,14 @@ class _Session:
                     ):
                         self._clear_checkpoint()
                         return self._result()
-                    plan = solve_path_constraint(
+                    plan = self._plan(
+                        solve_path_constraint,
                         outcome.hooks.record, outcome.hooks.finished_stack(),
                         im, self.dart.solver, "dfs", self.rng, self.flags,
                         self.stats, escalation=self.options.solver_escalation,
                         cache=self.cache,
                         slicing=self.options.constraint_slicing,
+                        trace=self.trace,
                     )
                     if plan is None:
                         search_finished = True
@@ -584,6 +711,7 @@ class _Session:
                     self._clean_drain = True
                 self._worklist = pending
                 while pending:
+                    self.stats.worklist_depth.set(len(pending))
                     self._autosave()
                     self._check_budget()
                     item = self._pop(pending)
@@ -604,12 +732,14 @@ class _Session:
                     ):
                         self._clear_checkpoint()
                         return self._result()
-                    children = expand_worklist_children(
+                    children = self._plan(
+                        expand_worklist_children,
                         outcome.hooks.finished_stack(),
                         outcome.hooks.record.constraints,
                         item.im, item.bound, solver, self.flags,
                         self.stats, escalation, cache=self.cache,
                         slicing=self.options.constraint_slicing,
+                        trace=self.trace,
                     )
                     pending.extend(
                         _Pending(stack, im, bound)

@@ -25,11 +25,18 @@ Two throughput layers plug in here (see DESIGN.md, "Performance"):
   by a previously found model.
 """
 
+import time
+
 from repro.dart.slicing import ConstraintSlicer
+from repro.obs import trace as tr
+from repro.obs.profile import CACHE, PhaseTimer
+
+#: Shared disabled timer so the hot path below never branches on None.
+_NO_PHASES = PhaseTimer()
 
 
 def solve_with_retry(solver, constraints, domains, stats=None,
-                     escalation=1, cache=None):
+                     escalation=1, cache=None, trace=None):
     """One *logical* solver call with caching and budget resilience.
 
     When ``cache`` is set, the query is first answered from it (exact hit,
@@ -43,9 +50,20 @@ def solve_with_retry(solver, constraints, domains, stats=None,
     ``solver_calls == sat + unsat + unknown`` stays an invariant) plus the
     retry/escalation counters; decided results are stored back into the
     cache.
+
+    Observability: actual solver calls are timed into the
+    ``solver_latency_s`` histogram, cache lookups/stores into the
+    ``cache`` phase, and — when ``trace`` is an enabled bus — a
+    ``solver_answered`` event carries verdict, wall time and (sliced)
+    query size.  The cache emits its own lookup/store events (see
+    :mod:`repro.solver.cache`); the ``solve`` phase is attributed by the
+    *caller* around the whole planning call, minus the cache sections,
+    so the phases stay disjoint.
     """
+    phases = stats.phases if stats is not None else _NO_PHASES
     if cache is not None:
-        hit = cache.lookup(constraints, domains)
+        with phases.section(CACHE):
+            hit = cache.lookup(constraints, domains)
         if hit is not None:
             result, tier = hit
             if stats is not None:
@@ -58,6 +76,8 @@ def solve_with_retry(solver, constraints, domains, stats=None,
             return result
         if stats is not None:
             stats.cache_misses += 1
+    escalated = False
+    started = time.perf_counter()
     result = solver.solve(constraints, domains)
     if result.status == "unknown" and escalation and escalation > 1:
         if stats is not None:
@@ -66,19 +86,27 @@ def solve_with_retry(solver, constraints, domains, stats=None,
             constraints, domains,
             node_budget=solver.node_budget * escalation,
         )
+        escalated = True
         if stats is not None and result.status != "unknown":
             stats.solver_escalations += 1
+    wall = time.perf_counter() - started
     if stats is not None:
         stats.solver_calls += 1
         stats.solver_constraints += len(constraints)
+        stats.solver_latency.observe(wall)
         if result.status == "sat":
             stats.solver_sat += 1
         elif result.status == "unsat":
             stats.solver_unsat += 1
         else:
             stats.solver_unknown += 1
+    if trace is not None and trace.enabled:
+        trace.emit(tr.SOLVER_ANSWERED, verdict=result.status,
+                   wall_s=round(wall, 6), constraints=len(constraints),
+                   escalated=escalated)
     if cache is not None:
-        cache.store(constraints, domains, result)
+        with phases.section(CACHE):
+            cache.store(constraints, domains, result)
     return result
 
 
@@ -146,7 +174,7 @@ def _query_for(j, negated, slicer, non_none, count_before, stats):
 
 def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
                           stats=None, escalation=1, cache=None,
-                          slicing=True):
+                          slicing=True, trace=None):
     """Pick a branch to flip and solve for inputs reaching it.
 
     ``record`` is the completed run's :class:`PathRecord` (constraints),
@@ -170,9 +198,16 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
             continue
         query = _query_for(j, conjunct.negate(), slicer, non_none,
                            count_before, stats)
+        if stats is not None:
+            stats.flips_attempted += 1
+        if trace is not None and trace.enabled:
+            trace.emit(tr.CONJUNCT_NEGATED, index=j,
+                       prefix=count_before[j], query=len(query))
         result = solve_with_retry(solver, query, domains, stats,
-                                  escalation, cache)
+                                  escalation, cache, trace)
         if result.is_sat:
+            if stats is not None:
+                stats.flips_sat += 1
             next_stack = [entry.copy() for entry in stack[: j + 1]]
             next_stack[j] = next_stack[j].flipped()
             return NextRunPlan(next_stack, im.updated(result.model))
@@ -191,7 +226,7 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
 
 def expand_worklist_children(stack, constraints, im, bound, solver, flags,
                              stats=None, escalation=1, cache=None,
-                             slicing=True):
+                             slicing=True, trace=None):
     """Generational expansion: children for indices ``bound..len(stack)``.
 
     The worklist engines (serial and parallel) spawn one pending input
@@ -211,9 +246,16 @@ def expand_worklist_children(stack, constraints, im, bound, solver, flags,
             continue
         query = _query_for(j, conjunct.negate(), slicer, non_none,
                            count_before, stats)
+        if stats is not None:
+            stats.flips_attempted += 1
+        if trace is not None and trace.enabled:
+            trace.emit(tr.CONJUNCT_NEGATED, index=j,
+                       prefix=count_before[j], query=len(query))
         result = solve_with_retry(solver, query, domains, stats,
-                                  escalation, cache)
+                                  escalation, cache, trace)
         if result.is_sat:
+            if stats is not None:
+                stats.flips_sat += 1
             child = [entry.copy() for entry in stack[: j + 1]]
             child[j] = child[j].flipped()
             children.append((child, im.updated(result.model), j + 1))

@@ -70,7 +70,7 @@ class MachineOptions:
 
     def __init__(self, max_steps=1_000_000, transparent_memory=False,
                  memory=None, deadline=None, watchdog_interval=1024,
-                 interrupt_check=None):
+                 interrupt_check=None, trace=None):
         #: RAM-machine step budget; exceeding it reports NonTermination,
         #: the paper's timer-based non-termination detection (§4.3).
         self.max_steps = max_steps
@@ -90,6 +90,11 @@ class MachineOptions:
         #: to abort the run (the DART session uses it to observe SIGINT/
         #: SIGTERM mid-run instead of only between runs).
         self.interrupt_check = interrupt_check
+        #: Optional repro.obs.trace.TraceBus; when attached and enabled,
+        #: every executed conditional emits a ``branch`` event.  The
+        #: guard is a plain attribute check, so a machine without a bus
+        #: pays nothing.
+        self.trace = trace
 
 
 class ExecutionHooks:
@@ -310,6 +315,10 @@ class Machine:
         constraint = constraint_from_branch(sym, taken)
         self.branches_executed += 1
         self.covered_branches.add((function.name, pc, taken))
+        trace = self.options.trace
+        if trace is not None and trace.enabled:
+            trace.emit("branch", function=function.name, pc=pc,
+                       taken=taken, symbolic=constraint is not None)
         self.hooks.on_branch(taken, constraint, instr.location)
         return instr.target if taken else pc + 1
 

@@ -1,0 +1,53 @@
+"""Observability: structured tracing, metrics, and phase profiling.
+
+Three orthogonal instruments, all zero-overhead when unused:
+
+* :mod:`repro.obs.trace` — the typed event bus (``TraceBus``) with JSONL,
+  ring-buffer and in-memory sinks; the window into *why* a directed
+  search behaved the way it did (per-query verdicts and latencies, cache
+  tiers, forcing outcomes, flag degradations).
+* :mod:`repro.obs.metrics` — the ``MetricsRegistry`` of counters, gauges
+  and fixed-bucket histograms backing ``RunStats``, with deterministic
+  cross-worker merging.
+* :mod:`repro.obs.profile` — the ``PhaseTimer`` attributing session wall
+  time to execute / solve / cache / checkpoint phases.
+
+``python -m repro trace-summary TRACE.jsonl`` renders a trace file
+(:mod:`repro.obs.summary`).  The full event schema and metrics catalog
+live in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    PATH_LENGTH_BUCKETS,
+    SOLVER_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import PhaseTimer
+from repro.obs.summary import render_summary, summarize_trace
+from repro.obs.trace import (
+    JsonlTraceSink,
+    ListSink,
+    RingBufferSink,
+    TraceBus,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "ListSink",
+    "MetricsRegistry",
+    "PATH_LENGTH_BUCKETS",
+    "PhaseTimer",
+    "RingBufferSink",
+    "SOLVER_LATENCY_BUCKETS_S",
+    "TraceBus",
+    "read_trace",
+    "render_summary",
+    "summarize_trace",
+]

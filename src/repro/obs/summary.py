@@ -1,0 +1,157 @@
+"""``python -m repro trace-summary``: render a trace file as a report.
+
+Reads a JSONL trace (written with ``--trace PATH``) and computes:
+
+* a **per-phase time breakdown** — execute / solve / cache / checkpoint
+  wall time summed from the durations the events carry, plus the
+  unattributed remainder ("other") against the session's total wall
+  time;
+* the **branch-flip funnel** — attempted (conjuncts negated and handed
+  to the solver or cache) → sat (feasible flips) → forced (planned runs
+  that reached their predicted path) → new path (runs that discovered a
+  previously unseen path), the end-to-end conversion rate of the
+  directed search;
+* per-event-type counts and solver/cache verdict tallies.
+
+The funnel equals the session's reported statistics by construction:
+``attempted == solver_calls + cache hits``, ``forced == runs_forced``,
+``new path == runs_new_path`` (pinned by ``tests/test_trace_summary.py``).
+"""
+
+from repro.obs import trace as tr
+
+
+def summarize_trace(events):
+    """Aggregate an event stream into a JSON-ready summary dict."""
+    counts = {}
+    phases = {"execute": 0.0, "solve": 0.0, "cache": 0.0, "checkpoint": 0.0}
+    funnel = {"attempted": 0, "sat": 0, "forced": 0, "new_path": 0}
+    verdicts = {"sat": 0, "unsat": 0, "unknown": 0}
+    cache_tiers = {}
+    runs = {"total": 0, "ok": 0, "fault": 0, "mismatch": 0,
+            "quarantined": 0}
+    plan_wall = 0.0
+    solver_wall = 0.0
+    total_wall = None
+    status = None
+    iterations = 0
+    for event in events:
+        etype = event.get("type")
+        counts[etype] = counts.get(etype, 0) + 1
+        if etype == tr.RUN_FINISHED:
+            phases["execute"] += event.get("wall_s", 0.0)
+            runs["total"] += 1
+            run_status = event.get("status")
+            if run_status in runs:
+                runs[run_status] += 1
+            if event.get("planned") and run_status in ("ok", "fault"):
+                funnel["forced"] += 1
+            if event.get("new_path"):
+                funnel["new_path"] += 1
+        elif etype == tr.SOLVER_ANSWERED:
+            solver_wall += event.get("wall_s", 0.0)
+            verdict = event.get("verdict")
+            if verdict in verdicts:
+                verdicts[verdict] += 1
+            if verdict == "sat":
+                funnel["sat"] += 1
+        elif etype in (tr.CACHE_LOOKUP, tr.CACHE_STORE):
+            phases["cache"] += event.get("wall_s", 0.0)
+            if etype == tr.CACHE_LOOKUP:
+                tier = event.get("tier") or "miss"
+                cache_tiers[tier] = cache_tiers.get(tier, 0) + 1
+                verdict = event.get("verdict")
+                if verdict in verdicts:
+                    verdicts[verdict] += 1
+                if verdict == "sat":
+                    funnel["sat"] += 1
+        elif etype == tr.CONJUNCT_NEGATED:
+            funnel["attempted"] += 1
+        elif etype == tr.PLAN:
+            plan_wall += event.get("wall_s", 0.0)
+        elif etype == tr.CHECKPOINT:
+            phases["checkpoint"] += event.get("wall_s", 0.0)
+        elif etype == tr.SESSION_FINISHED:
+            total_wall = event.get("wall_s")
+            status = event.get("status")
+            iterations = event.get("iterations", 0)
+    # "solve" covers the whole planning call (slicing, query building,
+    # solver) minus the cache time recorded separately inside it; traces
+    # without plan events (e.g. a bare worker stream) fall back to the
+    # actual solver-call walls.
+    if plan_wall:
+        phases["solve"] = max(plan_wall - phases["cache"], solver_wall)
+    else:
+        phases["solve"] = solver_wall
+    attributed = sum(phases.values())
+    if total_wall is None:
+        total_wall = attributed
+    summary = {
+        "events": sum(counts.values()),
+        "event_counts": {k: counts[k] for k in sorted(counts)},
+        "status": status,
+        "iterations": iterations,
+        "wall_s": round(total_wall, 6),
+        "phases": {name: round(seconds, 6)
+                   for name, seconds in phases.items()},
+        "phase_other_s": round(max(total_wall - attributed, 0.0), 6),
+        "phase_coverage": round(attributed / total_wall, 4)
+        if total_wall else 1.0,
+        "funnel": funnel,
+        "verdicts": verdicts,
+        "cache_tiers": {k: cache_tiers[k] for k in sorted(cache_tiers)},
+        "runs": runs,
+    }
+    return summary
+
+
+def _bar(fraction, width=24):
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_summary(summary):
+    """Human-readable report (the non-``--json`` output)."""
+    lines = []
+    lines.append("trace summary: {} event(s), session status {}, "
+                 "{} run(s), {:.4f}s wall".format(
+                     summary["events"], summary["status"] or "?",
+                     summary["runs"]["total"], summary["wall_s"]))
+    lines.append("")
+    lines.append("phase breakdown (attributed {:.1%} of wall time):".format(
+        summary["phase_coverage"]))
+    total = summary["wall_s"] or 1.0
+    for name in ("execute", "solve", "cache", "checkpoint"):
+        seconds = summary["phases"][name]
+        frac = seconds / total
+        lines.append("  {:<10} {:>9.4f}s  {:>6.1%}  {}".format(
+            name, seconds, frac, _bar(frac)))
+    other = summary["phase_other_s"]
+    lines.append("  {:<10} {:>9.4f}s  {:>6.1%}  {}".format(
+        "other", other, other / total, _bar(other / total)))
+    lines.append("")
+    funnel = summary["funnel"]
+    lines.append("branch-flip funnel:")
+    lines.append("  attempted {attempted} -> sat {sat} -> forced {forced} "
+                 "-> new path {new_path}".format(**funnel))
+    if funnel["attempted"]:
+        lines.append("  conversion: {:.1%} of negated conjuncts ended in a "
+                     "new path".format(
+                         funnel["new_path"] / funnel["attempted"]))
+    verdicts = summary["verdicts"]
+    lines.append("")
+    lines.append("verdicts: sat {sat} / unsat {unsat} / unknown {unknown}"
+                 .format(**verdicts))
+    if summary["cache_tiers"]:
+        lines.append("cache tiers: " + ", ".join(
+            "{} {}".format(tier, count)
+            for tier, count in summary["cache_tiers"].items()))
+    runs = summary["runs"]
+    lines.append("runs: {total} total, {ok} ok, {fault} fault, "
+                 "{mismatch} mismatch, {quarantined} quarantined"
+                 .format(**runs))
+    lines.append("")
+    lines.append("event counts:")
+    for etype, count in summary["event_counts"].items():
+        lines.append("  {:<18} {}".format(etype, count))
+    return "\n".join(lines)

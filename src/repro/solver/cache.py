@@ -22,10 +22,24 @@ Only decided results (sat/unsat) are stored; ``unknown`` is a node-budget
 artifact that an escalated retry may overturn, so caching it would make
 incompleteness sticky.  All stores are bounded LRU so a long session's
 memory stays flat.
+
+Soundness: every tier returns a verdict that the solver itself would
+have produced — exact hits replay a prior verdict for a canonically
+equal query, the UNSAT-superset tier relies on monotonicity (a superset
+of an unsatisfiable set under no-wider domains is unsatisfiable), and
+reused models are re-checked against every conjunct of the *current*
+query before being answered SAT.  The cache can therefore never steer
+the search somewhere the solver would not have.
+
+With a :class:`repro.obs.trace.TraceBus` attached (the ``trace``
+attribute, set by the runner), each lookup/store emits an event carrying
+the tier (or miss) and its wall time.
 """
 
+import time
 from collections import OrderedDict
 
+from repro.obs import trace as tr
 from repro.solver.core import SAT, UNSAT, SolverResult
 
 #: Default domain for variables the query does not bound: signed int32
@@ -43,6 +57,9 @@ class SolverResultCache:
     """Bounded cache of solver verdicts for normalized constraint sets."""
 
     def __init__(self, max_results=4096, max_models=64, max_unsat_sets=256):
+        #: Optional TraceBus; when attached and enabled, lookups and
+        #: stores emit cache_lookup / cache_store events.
+        self.trace = None
         #: query key -> SolverResult (exact tier).
         self._results = OrderedDict()
         #: frozenset(model.items()) -> model dict (model-reuse tier).
@@ -76,6 +93,22 @@ class SolverResultCache:
         Returns ``(SolverResult, tier)`` with ``tier`` one of
         :data:`EXACT`, :data:`UNSAT_SUPERSET`, :data:`MODEL_REUSE`.
         """
+        trace = self.trace
+        if trace is None or not trace.enabled:
+            return self._lookup(constraints, domains)
+        started = time.perf_counter()
+        hit = self._lookup(constraints, domains)
+        wall = time.perf_counter() - started
+        trace.emit(
+            tr.CACHE_LOOKUP,
+            tier=hit[1] if hit is not None else None,
+            verdict=hit[0].status if hit is not None else None,
+            constraints=len(constraints),
+            wall_s=round(wall, 6),
+        )
+        return hit
+
+    def _lookup(self, constraints, domains):
         key = self.query_key(constraints, domains)
         result = self._results.get(key)
         if result is not None:
@@ -135,6 +168,19 @@ class SolverResultCache:
         """Record a decided result; ``unknown`` is never cached."""
         if result.status not in ("sat", "unsat"):
             return
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            started = time.perf_counter()
+            self._store(constraints, domains, result)
+            trace.emit(
+                tr.CACHE_STORE, verdict=result.status,
+                constraints=len(constraints),
+                wall_s=round(time.perf_counter() - started, 6),
+            )
+            return
+        self._store(constraints, domains, result)
+
+    def _store(self, constraints, domains, result):
         key = self.query_key(constraints, domains)
         self._results[key] = result
         self._results.move_to_end(key)

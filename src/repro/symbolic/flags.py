@@ -12,11 +12,18 @@ test suite.
 
 
 class CompletenessFlags:
-    """Mutable flag triple shared by the evaluator, machine and runner."""
+    """Mutable flag triple shared by the evaluator, machine and runner.
 
-    __slots__ = ("all_linear", "all_locs_definite", "forcing_ok")
+    With a :class:`repro.obs.trace.TraceBus` attached (the ``trace``
+    attribute), each True→False transition emits a ``flag_degraded``
+    event — the moment the session lost a completeness guarantee, not
+    just the end-of-session snapshot.
+    """
+
+    __slots__ = ("all_linear", "all_locs_definite", "forcing_ok", "trace")
 
     def __init__(self):
+        self.trace = None
         self.reset()
 
     def reset(self):
@@ -29,13 +36,24 @@ class CompletenessFlags:
         """True while the directed search is provably exhaustive."""
         return self.all_linear and self.all_locs_definite
 
+    def _degraded(self, flag):
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.emit("flag_degraded", flag=flag)
+
     def clear_linear(self):
+        if self.all_linear:
+            self._degraded("all_linear")
         self.all_linear = False
 
     def clear_locs(self):
+        if self.all_locs_definite:
+            self._degraded("all_locs_definite")
         self.all_locs_definite = False
 
     def clear_forcing(self):
+        if self.forcing_ok:
+            self._degraded("forcing_ok")
         self.forcing_ok = False
 
     def snapshot(self):

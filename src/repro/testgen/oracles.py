@@ -30,6 +30,13 @@ every generated program:
    an expected consequence of the documented under-approximations (value
    casts, wrap-around), not divergences; an input vector that violates
    the very constraints the solver claimed to satisfy *is* one.
+
+**Soundness.** Every oracle compares two independent derivations of the
+same fact (two executions, two configurations, a model vs. its
+constraints), so a report is a genuine contradiction in the pipeline,
+never a property of the generator — and the shrinker re-checks the same
+oracle after every reduction step, so a minimized repro still witnesses
+the original divergence.
 """
 
 import itertools

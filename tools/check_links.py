@@ -1,0 +1,133 @@
+"""Markdown link checker for the repo's docs.
+
+Scans ``*.md`` at the repo root and under ``docs/`` for inline links
+(``[text](target)``) and verifies every *relative* target resolves:
+
+* a path target must exist on disk (relative to the file containing the
+  link);
+* a ``#fragment`` on a markdown target (or a bare ``#fragment``) must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation dropped, ``-N`` suffixes for
+  duplicates).
+
+External targets (``http(s)://``, ``mailto:``) are not fetched — CI must
+stay offline — and links inside fenced code blocks are ignored.
+
+Usage::
+
+    python tools/check_links.py [ROOT]
+
+Exits 0 when every link resolves, 1 with a ``file:line: message`` report
+per broken link otherwise.
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug for a heading text (with -N dedup)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = unicodedata.normalize("NFKD", text).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    slug = text.strip().replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        slug = "{}-{}".format(slug, seen[slug] - 1)
+    else:
+        seen[slug] = 1
+    return slug
+
+
+def iter_markdown_files(root):
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            yield os.path.join(root, name)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def collect_anchors(path, cache):
+    anchors = cache.get(path)
+    if anchors is None:
+        anchors, seen, in_fence = set(), {}, False
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if match:
+                    anchors.add(github_slug(match.group(2), seen))
+        cache[path] = anchors
+    return anchors
+
+
+def iter_links(path):
+    """Yield (line_number, target) for inline links outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    base = os.path.dirname(path)
+    for number, target in iter_links(path):
+        if target.startswith(EXTERNAL):
+            continue
+        target, _, fragment = target.partition("#")
+        resolved = path if not target else \
+            os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append("{}:{}: broken link: {}".format(
+                path, number, target))
+            continue
+        if fragment:
+            if not resolved.endswith(".md"):
+                continue  # anchors into non-markdown are not checkable
+            if fragment not in collect_anchors(resolved, anchor_cache):
+                errors.append("{}:{}: missing anchor: {}#{}".format(
+                    path, number, target or os.path.basename(path),
+                    fragment))
+    return errors
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else "."
+    anchor_cache = {}
+    errors = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        errors.extend(check_file(path, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print("checked {} markdown file(s): {} broken link(s)".format(
+        checked, len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
