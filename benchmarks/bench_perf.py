@@ -74,6 +74,9 @@ def _run(source, toplevel, **overrides):
         "cache_unsat_shortcuts": stats.cache_unsat_shortcuts,
         "cache_model_reuses": stats.cache_model_reuses,
         "cache_misses": stats.cache_misses,
+        "conjuncts_widened": stats.conjuncts_widened,
+        "conjuncts_dropped_unfaithful":
+            stats.conjuncts_dropped_unfaithful,
     }
 
 
@@ -167,6 +170,45 @@ def phases_section(failures):
     return row
 
 
+#: Overflow-sensitive workload for the widening funnel: every branch
+#: needs the bit-precise machine-integer encoding to flip (unsigned
+#: compare against a negative constant, a sum that wraps at 2**31, and
+#: an unsigned sum that wraps at 2**32).
+WRAP_BENCH_SOURCE = """
+int wrap_bench(int x, unsigned u) {
+    int hits;
+    hits = 0;
+    if (u >= -28) { hits = hits + 1; }
+    if (x + 2000000000 > 0) { hits = hits + 1; }
+    if (u + 20 < 19) { hits = hits + 1; }
+    return hits;
+}
+"""
+
+
+def widening_section(failures):
+    """The widened/dropped funnel on a wrap-heavy search.
+
+    Gates the PR's headline invariant: the widening layer encodes every
+    wrap-affected conjunct faithfully (``conjuncts_dropped_unfaithful``
+    stays 0) and the session still finishes complete — directed search
+    through machine-integer semantics, not random luck.
+    """
+    row = _run(WRAP_BENCH_SOURCE, "wrap_bench", max_iterations=120,
+               seed=0, stop_on_first_error=False)
+    if row["conjuncts_widened"] == 0:
+        failures.append("widening: no conjunct was widened on the "
+                        "wrap-heavy benchmark")
+    if row["conjuncts_dropped_unfaithful"] != 0:
+        failures.append(
+            "widening: {} conjunct(s) dropped as unfaithful (0 required)"
+            .format(row["conjuncts_dropped_unfaithful"]))
+    if row["status"] != "complete":
+        failures.append("widening: wrap-heavy search ended {!r}, not "
+                        "complete".format(row["status"]))
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -194,6 +236,7 @@ def main(argv=None):
             "ns_step", failures,
             depth=2, max_iterations=50_000, seed=0, strategy="bfs",
         ))
+    report["widening"] = widening_section(failures)
     report["phases"] = phases_section(failures)
     report["ok"] = not failures
     report["failures"] = failures
@@ -219,6 +262,11 @@ def main(argv=None):
               "{p}".format(benchmark=row["benchmark"],
                            s=row["serial"]["errors"],
                            p=row["parallel"]["errors"]))
+    widening = report["widening"]
+    print("widening: {} conjunct(s) widened, {} dropped, status {}"
+          .format(widening["conjuncts_widened"],
+                  widening["conjuncts_dropped_unfaithful"],
+                  widening["status"]))
     phases = report["phases"]
     print("phases: {:.1%} of wall attributed ({}); tracing+profiling "
           "overhead {:+.1%}".format(

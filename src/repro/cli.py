@@ -122,6 +122,14 @@ def build_fuzz_parser():
     parser.add_argument("--no-solver-fuzz", action="store_true",
                         help="skip the brute-force constraint fuzzing "
                              "oracle")
+    parser.add_argument("--unsigned-heavy", action="store_true",
+                        help="bias generation toward unsigned parameters "
+                             "and wrap-prone comparisons (exercises the "
+                             "machine-integer widening layer)")
+    parser.add_argument("--fail-on-dropped-unfaithful", action="store_true",
+                        help="exit nonzero if any conjunct was dropped "
+                             "for lack of a bit-precise encoding "
+                             "(conjuncts_dropped_unfaithful != 0)")
     parser.add_argument("--stop-on-first", action="store_true",
                         help="end the campaign at the first divergence")
     parser.add_argument("--progress-every", type=int, default=20,
@@ -137,6 +145,8 @@ def fuzz_main(argv=None):
     gen_opts = GeneratorOptions()
     if args.max_statements is not None:
         gen_opts.max_statements = args.max_statements
+    if args.unsigned_heavy:
+        gen_opts.unsigned_bias = 0.5
     oracle_opts = OracleOptions()
     if args.dart_iterations is not None:
         oracle_opts.dart_iterations = args.dart_iterations
@@ -155,6 +165,12 @@ def fuzz_main(argv=None):
         stop_on_first=args.stop_on_first, progress=progress,
     )
     print(report.describe())
+    if args.fail_on_dropped_unfaithful:
+        dropped = report.counters.get("conjuncts_dropped_unfaithful", 0)
+        if dropped:
+            print("fuzz: {} conjunct(s) dropped as unfaithful — the "
+                  "widening layer should leave zero".format(dropped))
+            return 1
     return 0 if report.ok else 1
 
 

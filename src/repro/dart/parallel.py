@@ -172,6 +172,8 @@ class _WorkerContext:
             stats.phases.add(EXECUTE, wall)
         stats.branches_executed = machine.branches_executed
         stats.machine_steps = machine.steps
+        stats.conjuncts_widened = machine.widener.widened
+        stats.conjuncts_dropped_unfaithful = machine.widener.dropped
         if bus is not None:
             if out["status"] == "ok":
                 event_status = "fault" if fault is not None else "ok"
@@ -263,7 +265,8 @@ def _worker_run(payload):
         return _CONTEXT.run_item(payload)
     except Exception as exc:  # pragma: no cover — second-layer boundary
         return {"status": "quarantined", "children": (), "error": None,
-                "path": None, "covered": (), "flags": (True, True, True),
+                "path": None, "covered": (),
+                "flags": (True, True, True, True),
                 "metrics": _EMPTY_METRICS, "phases": {}, "events": (),
                 "planned": False,
                 "quarantine": {
@@ -409,11 +412,13 @@ class _ParallelEngine:
     def _merge(self, result, iteration, children):
         """Fold one worker result into the session (dispatch order)."""
         session = self.session
-        all_linear, all_locs, _forcing = result["flags"]
+        all_linear, all_locs, _forcing, all_faithful = result["flags"]
         if not all_linear:
             session.flags.clear_linear()
         if not all_locs:
             session.flags.clear_locs()
+        if not all_faithful:
+            session.flags.clear_faithful()
         # Deterministic instrument merge: counters add, gauges max,
         # histograms add elementwise; dispatch order makes it stable,
         # commutativity makes it independent of worker scheduling.

@@ -5,9 +5,17 @@ which branch was taken (1 = then, 0 = else) and whether both branches have
 already been explored with this history (Fig. 4's bookkeeping).
 
 ``path_constraint[i]`` is the symbolic conjunct asserted by that conditional
-— a :class:`repro.symbolic.expr.CmpExpr` — or None when the predicate had no
-symbolic content (a concrete-fallback branch, which cannot be flipped by
-solving).  The two lists are always index-aligned, as in Fig. 5.
+— a :class:`repro.symbolic.expr.CmpExpr`, possibly the bit-precise
+:class:`repro.symbolic.widen.WidenedCmp` subclass when the comparison was
+rewritten through run-anchored wrap quotients — or None when the predicate
+had no symbolic content (a concrete-fallback branch, which cannot be
+flipped by solving, including the last-resort case where no faithful
+encoding existed and the widener dropped the conjunct).  The two lists are
+always index-aligned, as in Fig. 5.
+
+Every non-None conjunct is **faithful**: true of the very run that
+recorded it.  The widening layer enforces this at record time; the slicer
+re-checks it as a fallback-only barrier (see :mod:`repro.dart.slicing`).
 """
 
 

@@ -156,6 +156,13 @@ class RunStats:
         # planned runs that reached their predicted path, and
         # ``runs_new_path`` the runs that discovered an unseen path.
         "flips_attempted", "flips_sat", "runs_forced", "runs_new_path",
+        # The faithfulness funnel (machine-integer widening):
+        # ``conjuncts_widened`` counts comparisons whose ideal-integer
+        # reading misstated their own run and were rewritten through
+        # run-anchored wrap quotients (repro.symbolic.widen);
+        # ``conjuncts_dropped_unfaithful`` counts the last-resort drops
+        # where no faithful encoding existed (clears ``all_faithful``).
+        "conjuncts_widened", "conjuncts_dropped_unfaithful",
     )
 
     def __init__(self):
@@ -241,6 +248,9 @@ class RunStats:
             "flips_sat": self.flips_sat,
             "runs_forced": self.runs_forced,
             "runs_new_path": self.runs_new_path,
+            "conjuncts_widened": self.conjuncts_widened,
+            "conjuncts_dropped_unfaithful":
+                self.conjuncts_dropped_unfaithful,
             "histograms": {
                 "solver_latency_s": self.solver_latency.to_dict(),
                 "path_length": self.path_length.to_dict(),
@@ -277,7 +287,8 @@ class DartResult:
         self.status = status
         self.errors = errors
         self.stats = stats
-        #: (all_linear, all_locs_definite, forcing_ok) at session end.
+        #: (all_linear, all_locs_definite, forcing_ok, all_faithful) at
+        #: session end.
         self.flags = flags_snapshot
         #: Branch-direction coverage of the program under test
         #: (:class:`repro.dart.coverage.BranchCoverage`), or None.
@@ -315,6 +326,7 @@ class DartResult:
                 "all_linear": self.flags[0],
                 "all_locs_definite": self.flags[1],
                 "forcing_ok": self.flags[2],
+                "all_faithful": self.flags[3],
             },
             "errors": [error.to_dict() for error in self.errors],
             "quarantined": [

@@ -60,6 +60,7 @@ from repro.obs.profile import CACHE as CACHE_PHASE
 from repro.obs.profile import CHECKPOINT, EXECUTE, SOLVE
 from repro.obs.trace import JsonlTraceSink, RingBufferSink, TraceBus
 from repro.solver import Solver, SolverResultCache
+from repro.solver.cache import ENCODING_VERSION
 from repro.symbolic.flags import CompletenessFlags
 
 
@@ -89,12 +90,16 @@ class Dart:
         self.trace = TraceBus()
         if self.solver_cache is not None:
             self.solver_cache.trace = self.trace
-        #: Identifies (program, toplevel, search configuration) so a
-        #: checkpoint written by a different session is rejected.
+        #: Identifies (program, toplevel, search configuration, constraint
+        #: encoding) so a checkpoint written by a different session — or
+        #: by the same session under an older constraint encoding, whose
+        #: recorded ``done`` verdicts and models may be stale — is
+        #: rejected and its branches re-solved.
         self.fingerprint = {
             "source": hashlib.sha256(source.encode()).hexdigest(),
             "toplevel": toplevel,
             "options": self.options.digest(),
+            "encoding": ENCODING_VERSION,
         }
 
     # -- the paper's Fig. 2 -------------------------------------------------
@@ -403,6 +408,8 @@ class _Session:
             self._quarantine(INTERNAL_ERROR, im, caught)
         self.stats.branches_executed += machine.branches_executed
         self.stats.machine_steps += machine.steps
+        self.stats.conjuncts_widened += machine.widener.widened
+        self.stats.conjuncts_dropped_unfaithful += machine.widener.dropped
         self.stats.covered_branches |= machine.covered_branches
         new_path = False
         if not outcome.mismatch and not outcome.quarantined:
@@ -568,7 +575,13 @@ class _Session:
         """Adopt a validated checkpoint's state; returns the work to do."""
         self.rng.setstate(checkpoint.rng_state)
         (self.flags.all_linear, self.flags.all_locs_definite,
-         self.flags.forcing_ok) = checkpoint.flags
+         self.flags.forcing_ok) = checkpoint.flags[:3]
+        # Checkpoints written before the widening layer carry the flag
+        # triple; all_faithful then stays at its True reset value (their
+        # fingerprint predates the "encoding" field, so in practice they
+        # are rejected upstream anyway).
+        if len(checkpoint.flags) > 3:
+            self.flags.all_faithful = checkpoint.flags[3]
         for name in RunStats.COUNTERS:
             setattr(self.stats, name, checkpoint.counters.get(name, 0))
         self.stats.distinct_paths = {

@@ -19,20 +19,23 @@ options digest — but never whether a branch is feasible: a group is
 satisfiable in isolation iff it is satisfiable conjoined with other
 satisfiable groups over disjoint variables.
 
-That argument leans on a premise that is *almost* always true: the run's
-input vector ``IM`` satisfies every recorded prefix conjunct, because the
-program just executed that path under it.  The premise fails exactly when
-the symbolic world under-approximates the concrete one — the recorded
-LinExpr lives in ideal integers while the machine wraps at 32 bits, so a
-conjunct built from an overflowed value (or an unsigned comparison whose
-signed reading happens to disagree) can be *false of its own run*.
-Differential fuzzing surfaced this (see ``tests/corpus/seed*.json``):
-leaving such a conjunct out of the sliced query produced "next input"
-plans that violated the very prefix they claimed to satisfy.  The fix:
-the slicer is given the run's assignment, finds the unfaithful conjuncts
-up front, and force-includes their variable groups in **every** sliced
-query — the model then re-satisfies them by construction and the
-untouched-group argument applies to the (all faithful) remainder.
+That argument leans on a premise the recording layer now enforces: the
+run's input vector ``IM`` satisfies every recorded prefix conjunct.  It
+holds trivially for ideal-integer conjuncts the run executed under, and
+the machine-integer widening layer (:mod:`repro.symbolic.widen`) keeps it
+for wrap-/unsigned-affected comparisons by rewriting them through
+run-anchored wrap quotients instead of recording a conjunct that is
+*false of its own run* (the hole differential fuzzing surfaced — see
+``tests/corpus/seed*.json``: leaving such a conjunct out of the sliced
+query produced "next input" plans that violated the very prefix they
+claimed to satisfy).  The faithfulness barrier below is therefore a
+**fallback-only** safety net: it re-checks every prefix conjunct against
+the run's assignment and force-includes the groups of any that still
+fail — which, with widening in place, is the empty set unless the
+widener itself had to drop a conjunct (``all_faithful`` cleared) or an
+invariant was violated.  The net stays because its cost is one evaluate
+per conjunct and it converts a potential unsound plan into an explicit,
+solvable obligation.
 
 Completeness is likewise unaffected: UNSAT of the sliced group implies
 UNSAT of any superset, so ``done`` marking stays correct.
@@ -90,8 +93,10 @@ class ConstraintSlicer:
         self._uf = UnionFind()
         self._processed = 0
         #: Prefix positions whose conjunct the run's own inputs do NOT
-        #: satisfy (ideal-integer under-approximation; see the module
-        #: docstring).  Their groups join every sliced query.
+        #: satisfy.  Widening keeps this empty in practice (see the
+        #: module docstring); any stragglers — a dropped conjunct's
+        #: neighbors after an invariant violation — still join every
+        #: sliced query as the last line of defense.
         self._unfaithful = []
         if assignment is not None:
             for index, conjunct in enumerate(constraints):

@@ -30,6 +30,11 @@ import time
 from repro.dart.slicing import ConstraintSlicer
 from repro.obs import trace as tr
 from repro.obs.profile import CACHE, PhaseTimer
+from repro.symbolic.widen import (
+    WidenedCmp,
+    flatten_constraints,
+    negation_candidates,
+)
 
 #: Shared disabled timer so the hot path below never branches on None.
 _NO_PHASES = PhaseTimer()
@@ -166,10 +171,28 @@ def _query_for(j, negated, slicer, non_none, count_before, stats):
         if stats is not None:
             stats.sliced_conjuncts_dropped += \
                 count_before[j] + 1 - len(query)
-        return query
-    query = non_none[: count_before[j]]
-    query.append(negated)
-    return query
+    else:
+        query = non_none[: count_before[j]]
+        query.append(negated)
+    # Widened conjuncts carry window guards that the solver's
+    # normalization (which reads only op/lin) would silently ignore;
+    # expand them into plain conjuncts here — after slicing has grouped
+    # and the accounting above has counted whole conjuncts.
+    return flatten_constraints(query)
+
+
+def _negations_of(conjunct, domains):
+    """Ordered negation candidates for flipping ``conjunct``.
+
+    A plain conjunct has exactly one.  A widened conjunct's anchored
+    negation only covers this run's wrap window, so the feasible windows
+    are enumerated (see :func:`repro.symbolic.widen.negation_candidates`);
+    the second element is False when the enumeration was truncated and an
+    all-UNSAT answer must not count as an infeasibility proof.
+    """
+    if isinstance(conjunct, WidenedCmp):
+        return negation_candidates(conjunct, domains)
+    return [conjunct.negate()], True
 
 
 def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
@@ -196,31 +219,49 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
             # re-examined on every later solve with the same prefix.
             stack[j].done = True
             continue
-        query = _query_for(j, conjunct.negate(), slicer, non_none,
-                           count_before, stats)
+        negations, exhaustive = _negations_of(conjunct, domains)
         if stats is not None:
             stats.flips_attempted += 1
-        if trace is not None and trace.enabled:
-            trace.emit(tr.CONJUNCT_NEGATED, index=j,
-                       prefix=count_before[j], query=len(query))
-        result = solve_with_retry(solver, query, domains, stats,
-                                  escalation, cache, trace)
-        if result.is_sat:
-            if stats is not None:
-                stats.flips_sat += 1
-            next_stack = [entry.copy() for entry in stack[: j + 1]]
-            next_stack[j] = next_stack[j].flipped()
-            return NextRunPlan(next_stack, im.updated(result.model))
-        if result.status == "unknown":
-            # Prover incompleteness: same effect as a non-linear predicate.
-            flags.clear_linear()
-        else:
-            # Proved UNSAT: the other branch is infeasible under this
-            # prefix, which is permanent for this branch history — mark it
-            # done so later solves with the same prefix skip it.  (Fig. 5
-            # re-derives the UNSAT on every call; this is a pure
-            # memoization.)
-            stack[j].done = True
+        all_unsat = True
+        plan = None
+        for windex, negated in enumerate(negations):
+            query = _query_for(j, negated, slicer, non_none,
+                               count_before, stats)
+            if windex == 0 and trace is not None and trace.enabled:
+                trace.emit(tr.CONJUNCT_NEGATED, index=j,
+                           prefix=count_before[j], query=len(query),
+                           windows=len(negations))
+            result = solve_with_retry(solver, query, domains, stats,
+                                      escalation, cache, trace)
+            if result.is_sat:
+                if stats is not None:
+                    stats.flips_sat += 1
+                next_stack = [entry.copy() for entry in stack[: j + 1]]
+                next_stack[j] = next_stack[j].flipped()
+                plan = NextRunPlan(next_stack, im.updated(result.model))
+                break
+            if result.status == "unknown":
+                # Prover incompleteness: same effect as a non-linear
+                # predicate.
+                all_unsat = False
+                flags.clear_linear()
+        if plan is not None:
+            return plan
+        if all_unsat:
+            if exhaustive:
+                # Proved UNSAT (across every wrap window, for widened
+                # conjuncts): the other branch is infeasible under this
+                # prefix, which is permanent for this branch history —
+                # mark it done so later solves with the same prefix skip
+                # it.  (Fig. 5 re-derives the UNSAT on every call; this
+                # is a pure memoization.)
+                stack[j].done = True
+            else:
+                # Window enumeration truncated: UNSAT here is not a
+                # proof.  Give up on this branch but record the lost
+                # guarantee like any other prover incompleteness.
+                stack[j].done = True
+                flags.clear_linear()
     return None
 
 
@@ -244,21 +285,27 @@ def expand_worklist_children(stack, constraints, im, bound, solver, flags,
         conjunct = constraints[j]
         if conjunct is None:
             continue
-        query = _query_for(j, conjunct.negate(), slicer, non_none,
-                           count_before, stats)
+        negations, exhaustive = _negations_of(conjunct, domains)
         if stats is not None:
             stats.flips_attempted += 1
-        if trace is not None and trace.enabled:
-            trace.emit(tr.CONJUNCT_NEGATED, index=j,
-                       prefix=count_before[j], query=len(query))
-        result = solve_with_retry(solver, query, domains, stats,
-                                  escalation, cache, trace)
-        if result.is_sat:
-            if stats is not None:
-                stats.flips_sat += 1
-            child = [entry.copy() for entry in stack[: j + 1]]
-            child[j] = child[j].flipped()
-            children.append((child, im.updated(result.model), j + 1))
-        elif result.status == "unknown":
+        if not exhaustive:
             flags.clear_linear()
+        for windex, negated in enumerate(negations):
+            query = _query_for(j, negated, slicer, non_none,
+                               count_before, stats)
+            if windex == 0 and trace is not None and trace.enabled:
+                trace.emit(tr.CONJUNCT_NEGATED, index=j,
+                           prefix=count_before[j], query=len(query),
+                           windows=len(negations))
+            result = solve_with_retry(solver, query, domains, stats,
+                                      escalation, cache, trace)
+            if result.is_sat:
+                if stats is not None:
+                    stats.flips_sat += 1
+                child = [entry.copy() for entry in stack[: j + 1]]
+                child[j] = child[j].flipped()
+                children.append((child, im.updated(result.model), j + 1))
+                break
+            if result.status == "unknown":
+                flags.clear_linear()
     return children

@@ -41,9 +41,10 @@ from repro.minic import ir
 from repro.minic import typesys as ts
 from repro.minic.symbols import BUILTIN, ENUM_CONST, GLOBAL
 from repro.symbolic.evaluate import SymbolicEvaluator, constraint_from_branch
-from repro.symbolic.expr import LinExpr
+from repro.symbolic.expr import EQ, LinExpr
 from repro.symbolic.flags import CompletenessFlags
 from repro.symbolic.symmem import SymbolicMemory
+from repro.symbolic.widen import Widener
 
 _COMPARISONS = {
     "==": lambda a, b: a == b,
@@ -149,6 +150,11 @@ class Machine:
         self.flags = flags or CompletenessFlags()
         self.symbolic = SymbolicMemory()
         self.evaluator = SymbolicEvaluator(self.flags)
+        #: Machine-integer widening: keeps recorded conjuncts faithful to
+        #: this run under 32-bit wrap and unsigned compares (see
+        #: repro.symbolic.widen); also the funnel counters
+        #: conjuncts_widened / conjuncts_dropped_unfaithful.
+        self.widener = Widener(self.flags, trace=self.options.trace)
         self.memory = Memory(self.options.memory)
         self.output = []
         self.steps = 0
@@ -312,7 +318,10 @@ class Machine:
     def _step_branch(self, instr, pc, function):
         value, sym = self._eval(instr.cond)
         taken = value != 0
-        constraint = constraint_from_branch(sym, taken)
+        constraint = constraint_from_branch(
+            sym, taken, widener=self.widener, value=value,
+            unsigned=self._unsigned_ctype(instr.cond.ctype),
+        )
         self.branches_executed += 1
         self.covered_branches.add((function.name, pc, taken))
         trace = self.options.trace
@@ -447,7 +456,21 @@ class Machine:
             return result, self.evaluator.nonlinear(sym)
         if op == "!":
             result = 0 if value != 0 else 1
-            return result, self.evaluator.logical_not(value, sym)
+            if isinstance(sym, LinExpr):
+                # ``!e`` of a linear term is a truth test: encode it
+                # here, where the operand lane is still known — a later
+                # branch on the stored CmpExpr could only drop it.
+                # Domain-precise lanes come back as the plain ``e == 0``.
+                notsym = self.widener.widen_truth_test(
+                    EQ, value, sym,
+                    self._unsigned_ctype(expr.operand.ctype), result,
+                )
+            else:
+                notsym = self.evaluator.logical_not(value, sym)
+                if notsym is not None and \
+                        not self.widener.faithful(notsym, result):
+                    notsym = self.widener.drop_unfaithful()
+            return result, notsym
         raise InterpreterError("unknown unary operator {!r}".format(op))
 
     def _eval_postfix(self, expr):
@@ -542,31 +565,58 @@ class Machine:
             raise InterpreterError("unknown binary operator {!r}".format(op))
         # The symbolic half stays in ideal integers even when the concrete
         # result wraps (the paper's lp_solve has no machine arithmetic
-        # either).  Constraints recorded from wrapped values can therefore
-        # be false of their own run; the constraint slicer accounts for
-        # exactly that case (see repro.dart.slicing).
+        # either).  A comparison recorded from a wrapped value would be
+        # false of its own run; _compare detects that and rewrites the
+        # conjunct through run-anchored wrap quotients so the recorded
+        # fact stays bit-precise (see repro.symbolic.widen).
         return wrap(raw, result_type), sym
+
+    @staticmethod
+    def _unsigned_ctype(ctype):
+        """Whether a truth test of ``ctype`` lives in the unsigned window."""
+        if ctype is None:
+            return False
+        ctype = ctype.decay()
+        if ctype.is_pointer():
+            return True
+        return ctype.is_integer() and not ctype.signed
 
     def _compare(self, op, left_type, left_value, left_sym,
                  right_type, right_value, right_sym):
-        if left_type.is_pointer() or right_type.is_pointer():
-            lv, rv = to_unsigned(left_value, 4), to_unsigned(right_value, 4)
-        elif not left_type.signed or not right_type.signed:
+        unsigned = (
+            left_type.is_pointer() or right_type.is_pointer()
+            or not left_type.signed or not right_type.signed
+        )
+        if unsigned:
             lv, rv = to_unsigned(left_value, 4), to_unsigned(right_value, 4)
         else:
             lv, rv = left_value, right_value
         result = _COMPARISONS[op](lv, rv)
-        sym = self.evaluator.compare(op, left_value, left_sym,
-                                     right_value, right_sym)
-        if sym is not None and (lv, rv) != (left_value, right_value):
-            # Unsigned (or pointer) comparison, but the symbolic term
-            # denotes the raw signed values.  Keeping the constraint is
-            # sound only while both interpretations agree on this run's
-            # values (the usual under-approximation, validated later by
-            # the forcing check); when they disagree the constraint
-            # would misstate the executed path — drop it.
-            if _COMPARISONS[op](left_value, right_value) != result:
-                sym = self.evaluator.nonlinear(sym)
+        if left_sym is None and right_sym is None:
+            return (1 if result else 0), None
+        if self.widener.lanes_linear(left_sym, right_sym):
+            # Every comparison in the linear fragment is encoded by the
+            # widener against the *machine* operands (folded into the
+            # signed/unsigned window) and the input domains: a
+            # domain-precise compare comes back as a plain ideal-integer
+            # conjunct, anything that can wrap as a bit-precise
+            # WidenedCmp (repro.symbolic.widen).  The ideal-integer
+            # reading is never recorded directly — faithful-by-luck
+            # conjuncts are exactly the ones whose negations misreport
+            # the flipped branch as infeasible.
+            sym = self.widener.widen_compare(
+                op, lv, left_sym, rv, right_sym, unsigned, result,
+                left_value, right_value,
+            )
+        else:
+            # Pointer lanes (the NULL test) and anything outside the
+            # linear theory keep the Fig. 1 combinator; the faithfulness
+            # screen stays as a last defense, with the drop (which
+            # clears ``all_faithful``) as the only remedy.
+            sym = self.evaluator.compare(op, left_value, left_sym,
+                                         right_value, right_sym)
+            if sym is not None and not self.widener.faithful(sym, result):
+                sym = self.widener.drop_unfaithful()
         return (1 if result else 0), sym
 
     def _pointer_arith(self, op, left_type, left_value, left_sym,
@@ -703,6 +753,11 @@ class Machine:
         value = wrap(value, ctype)
         if var is None:
             return value, None
+        # The widener anchors wrap quotients to this run's assignment; the
+        # wrapped value recorded here is exactly what the ideal term
+        # x_ordinal evaluates to, so every input lane starts faithful.
+        # The kind's machine domain drives its domain-precision check.
+        self.widener.note_input(var.ordinal, value, var.lo, var.hi)
         return value, LinExpr.variable(var.ordinal)
 
     # Dispatch tables, built once.

@@ -48,6 +48,8 @@ CACHE_LOOKUP = "cache_lookup"
 CACHE_STORE = "cache_store"
 FORCING_MISMATCH = "forcing_mismatch"
 FLAG_DEGRADED = "flag_degraded"
+CONJUNCT_WIDENED = "conjunct_widened"
+CONJUNCT_DROPPED = "conjunct_dropped"
 QUARANTINE = "quarantine"
 CHECKPOINT = "checkpoint"
 GENERATION = "generation"
@@ -57,8 +59,8 @@ PLAN = "plan"
 EVENT_TYPES = (
     SESSION_STARTED, SESSION_FINISHED, RUN_STARTED, RUN_FINISHED,
     BRANCH, CONJUNCT_NEGATED, SOLVER_ANSWERED, CACHE_LOOKUP, CACHE_STORE,
-    FORCING_MISMATCH, FLAG_DEGRADED, QUARANTINE, CHECKPOINT, GENERATION,
-    PLAN,
+    FORCING_MISMATCH, FLAG_DEGRADED, CONJUNCT_WIDENED, CONJUNCT_DROPPED,
+    QUARANTINE, CHECKPOINT, GENERATION, PLAN,
 )
 
 

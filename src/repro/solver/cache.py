@@ -6,9 +6,10 @@ branch indices often normalize to the *same* constraint set, and restarts
 revisit prefixes already decided.  This cache answers a query without a
 solver call through three tiers, cheapest first:
 
-1. **Exact hit** — the canonical key (the set of ``CmpExpr.key()``s plus
-   the domains of their variables) was decided before; the stored result
-   is returned verbatim.
+1. **Exact hit** — the canonical key (the encoding generation, the set
+   of conjunct keys with strict inequalities normalized to non-strict
+   form, and the domains of their variables) was decided before; the
+   stored result is returned verbatim.
 2. **UNSAT-superset shortcut** — a previously proved-UNSAT constraint set
    that is a subset of the query (under domains at least as wide) refutes
    the query too: adding conjuncts or tightening domains never makes an
@@ -41,11 +42,22 @@ from collections import OrderedDict
 
 from repro.obs import trace as tr
 from repro.solver.core import SAT, UNSAT, SolverResult
+from repro.symbolic.expr import GE, GT, LE, LT
 
 #: Default domain for variables the query does not bound: signed int32
 #: (mirrors repro.solver.problem.DEFAULT_DOMAIN without importing it, to
 #: keep this module dependency-free for the parallel workers).
 _DEFAULT_DOMAIN = (-(1 << 31), (1 << 31) - 1)
+
+#: Generation of the constraint *encoding* the engine records.  Bumped
+#: whenever the meaning of a canonically-equal constraint set changes —
+#: v1: ideal-integer conjuncts with the faithfulness drop screen;
+#: v2: machine-integer widening (wrap-anchored conjuncts + window
+#: guards).  The version is part of every query key, so entries from a
+#: different generation can never answer a query, and it is stamped into
+#: the session fingerprint (`Dart.fingerprint`), so a checkpoint written
+#: under another encoding is rejected and its branches re-solved.
+ENCODING_VERSION = 2
 
 #: Lookup-tier tags (also the RunStats counter the caller bumps).
 EXACT = "exact"
@@ -73,9 +85,39 @@ class SolverResultCache:
     # -- keys ---------------------------------------------------------------
 
     @staticmethod
+    def canonical_cmp_key(constraint):
+        """Canonical cache identity of one conjunct.
+
+        Over the integers ``lin < 0`` iff ``lin + 1 <= 0`` and ``lin > 0``
+        iff ``lin - 1 >= 0``, so strict inequalities are normalized to
+        their non-strict form during key construction — the two spellings
+        of the same half-space then share exact-tier entries.  (The
+        normalization lives here, not in ``CmpExpr.key()``, so expression
+        equality/hashing and slicing identities are untouched.)  Tagged
+        keys of widened conjuncts are kept verbatim: their guards are part
+        of their meaning, and they are flattened to plain conjuncts before
+        any query reaches the cache anyway.
+        """
+        key = constraint.key()
+        if len(key) != 2:
+            return key
+        op = constraint.op
+        if op == LT:
+            return (LE, constraint.lin.add_const(1).key())
+        if op == GT:
+            return (GE, constraint.lin.add_const(-1).key())
+        return key
+
+    @staticmethod
     def query_key(constraints, domains):
-        """Canonical identity of (constraint set, relevant domains)."""
-        cons = frozenset(c.key() for c in constraints)
+        """Canonical identity of (encoding, constraint set, domains).
+
+        The leading :data:`ENCODING_VERSION` makes keys from different
+        constraint-encoding generations disjoint by construction.
+        """
+        cons = frozenset(
+            SolverResultCache.canonical_cmp_key(c) for c in constraints
+        )
         variables = set()
         for c in constraints:
             variables |= c.variables()
@@ -83,7 +125,7 @@ class SolverResultCache:
             (var,) + tuple(domains.get(var, _DEFAULT_DOMAIN))
             for var in variables
         )
-        return (cons, doms)
+        return (ENCODING_VERSION, cons, doms)
 
     # -- lookup -------------------------------------------------------------
 
@@ -114,7 +156,7 @@ class SolverResultCache:
         if result is not None:
             self._results.move_to_end(key)
             return result, EXACT
-        shortcut = self._unsat_superset(key[0], constraints, domains)
+        shortcut = self._unsat_superset(key[1], constraints, domains)
         if shortcut is not None:
             return shortcut, UNSAT_SUPERSET
         reused = self._reuse_model(constraints, domains)
@@ -197,7 +239,7 @@ class SolverResultCache:
                 var: tuple(domains.get(var, _DEFAULT_DOMAIN))
                 for c in constraints for var in c.variables()
             }
-            self._unsat[key] = (key[0], cached_domains)
+            self._unsat[key] = (key[1], cached_domains)
             self._unsat.move_to_end(key)
             while len(self._unsat) > self._max_unsat_sets:
                 self._unsat.popitem(last=False)

@@ -176,19 +176,43 @@ class SymbolicEvaluator:
         return None
 
 
-def constraint_from_branch(sym, taken, evaluator=None):
+def constraint_from_branch(sym, taken, widener=None, value=None,
+                           unsigned=False):
     """The path-constraint conjunct for a conditional ``if (e)``.
 
     Returns a :class:`CmpExpr` (or None when the predicate has no symbolic
     content, in which case the branch cannot be flipped by solving and the
     caller relies on random restarts — the paper's graceful degradation).
+
+    With a :class:`repro.symbolic.widen.Widener` attached (the machine
+    passes its own, plus the condition's concrete ``value`` and
+    signedness), a bare truth test ``if (e)`` is encoded by the widener
+    against the machine operand and the input domains: domain-precise
+    terms come back as the plain ideal-integer conjunct, terms that can
+    wrap as a bit-precise :class:`~repro.symbolic.widen.WidenedCmp`, and
+    a term with no faithful encoding is dropped, clearing
+    ``all_faithful`` — the last-resort fallback.
     """
     if sym is None:
         return None
     if isinstance(sym, CmpExpr):
-        return sym if taken else sym.negate()
-    if isinstance(sym, LinExpr):
+        conjunct = sym if taken else sym.negate()
+    elif isinstance(sym, LinExpr):
+        if widener is not None:
+            return widener.widen_truth_test(
+                NE if taken else EQ, value, sym, unsigned, True
+            )
         return CmpExpr(NE if taken else EQ, sym)
-    if isinstance(sym, PtrExpr):
+    elif isinstance(sym, PtrExpr):
         return sym.null_test(not taken)
-    return None
+    else:
+        return None
+    # A comparison value reaching a branch was made faithful where it was
+    # built (Machine._compare / logical_not widening); re-checking here
+    # catches anything that slipped through — there is no lane
+    # information left to widen with, so the only remedy is the drop.
+    if widener is not None and not widener.faithful(conjunct, True):
+        widener.dropped += 1
+        widener.flags.clear_faithful()
+        return None
+    return conjunct

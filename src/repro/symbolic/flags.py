@@ -8,6 +8,14 @@ from the branch outcomes predicted by the previous run's solved constraint
 (Fig. 4).  The invariant proved by the paper —
 ``all_linear and all_locs_definite implies forcing_ok`` — is checked by the
 test suite.
+
+``all_faithful`` extends the triple (this reproduction's addition): it is
+cleared when a recorded comparison disagreed with its own run's machine
+verdict (32-bit wrap / unsigned compare) **and** the machine-integer
+widening layer (:mod:`repro.symbolic.widen`) could not encode it
+faithfully, so the conjunct was dropped as a last resort.  While it is
+set, every conjunct in every path constraint is true of the run that
+recorded it — the premise of the slicing argument and of Theorem 1(b).
 """
 
 
@@ -20,7 +28,8 @@ class CompletenessFlags:
     just the end-of-session snapshot.
     """
 
-    __slots__ = ("all_linear", "all_locs_definite", "forcing_ok", "trace")
+    __slots__ = ("all_linear", "all_locs_definite", "forcing_ok",
+                 "all_faithful", "trace")
 
     def __init__(self):
         self.trace = None
@@ -30,11 +39,13 @@ class CompletenessFlags:
         self.all_linear = True
         self.all_locs_definite = True
         self.forcing_ok = True
+        self.all_faithful = True
 
     @property
     def complete(self):
         """True while the directed search is provably exhaustive."""
-        return self.all_linear and self.all_locs_definite
+        return (self.all_linear and self.all_locs_definite
+                and self.all_faithful)
 
     def _degraded(self, flag):
         trace = self.trace
@@ -56,11 +67,18 @@ class CompletenessFlags:
             self._degraded("forcing_ok")
         self.forcing_ok = False
 
+    def clear_faithful(self):
+        if self.all_faithful:
+            self._degraded("all_faithful")
+        self.all_faithful = False
+
     def snapshot(self):
-        return (self.all_linear, self.all_locs_definite, self.forcing_ok)
+        return (self.all_linear, self.all_locs_definite, self.forcing_ok,
+                self.all_faithful)
 
     def __repr__(self):
         return (
             "CompletenessFlags(all_linear={}, all_locs_definite={}, "
-            "forcing_ok={})"
-        ).format(self.all_linear, self.all_locs_definite, self.forcing_ok)
+            "forcing_ok={}, all_faithful={})"
+        ).format(self.all_linear, self.all_locs_definite, self.forcing_ok,
+                 self.all_faithful)

@@ -41,6 +41,12 @@ _SCALAR_KINDS = (
 #: Interesting constants, weighted toward small values.
 _BOUNDARY_CONSTANTS = (127, 128, 255, 256, 32767, 1000, 65536, 2147483647)
 
+#: Constants that exercise the widening layer: negatives (an unsigned
+#: compare reads them as huge values) and INT_MAX-scale offsets (sums
+#: wrap at 2³¹).
+_WRAP_CONSTANTS = (-1, -28, -100, -32768, 1000000000, 2000000000,
+                   2147483647)
+
 
 class GeneratorOptions:
     """Size/feature knobs for one generated program."""
@@ -48,7 +54,8 @@ class GeneratorOptions:
     def __init__(self, max_statements=18, max_block_depth=2,
                  max_expr_depth=3, max_loop_bound=3, max_conditionals=9,
                  allow_pointers=True, allow_structs=True,
-                 allow_externals=True, fault_bias=0.2):
+                 allow_externals=True, fault_bias=0.2,
+                 unsigned_bias=0.0):
         self.max_statements = max_statements
         self.max_block_depth = max_block_depth
         self.max_expr_depth = max_expr_depth
@@ -62,6 +69,12 @@ class GeneratorOptions:
         #: Probability of including an assert (a reachable, deterministic
         #: fault for the verdict comparisons to agree on).
         self.fault_bias = fault_bias
+        #: Probability weight steering generation toward the machine-
+        #: integer widening layer: unsigned parameters, wrap-prone
+        #: constants (negative values read through unsigned compares,
+        #: INT_MAX-scale offsets) and overflow-shaped conditions.  0
+        #: keeps the historical distribution.
+        self.unsigned_bias = unsigned_bias
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +264,10 @@ class _FunctionBuilder:
 
     def constant(self):
         rng = self.rng
+        if self.opts.unsigned_bias and \
+                rng.random() < self.opts.unsigned_bias:
+            value = rng.choice(_WRAP_CONSTANTS)
+            return "({})".format(value) if value < 0 else str(value)
         if rng.random() < 0.15:
             return str(rng.choice(_BOUNDARY_CONSTANTS))
         return str(rng.randint(-40, 99))
@@ -323,6 +340,18 @@ class _FunctionBuilder:
 
     def condition(self, scope):
         rng = self.rng
+        if self.opts.unsigned_bias and scope.ints and \
+                rng.random() < self.opts.unsigned_bias:
+            # Overflow-shaped: a variable pushed toward a wrap boundary,
+            # compared against a wrap-prone constant.  These conditions
+            # are exactly the ones the ideal-integer reading misstates,
+            # so a biased campaign measures the widening funnel.
+            name = rng.choice(scope.ints)[0]
+            offset = rng.choice((20, 1000, 1000000000, 2000000000,
+                                 2147483647))
+            return "{} + {} {} {}".format(
+                name, offset, rng.choice(("<", ">", "<=", ">=")),
+                self.constant())
         pick = rng.random()
         if pick < 0.6:  # linear comparison — the directed search's food
             left = self._leaf(scope)
@@ -551,7 +580,10 @@ class _ProgramGenerator:
                 scope.struct_ptrs.append(name)
                 program.uses_pointers = True
             else:
-                type_text, _ = rng.choice(_SCALAR_KINDS)
+                if opts.unsigned_bias and rng.random() < opts.unsigned_bias:
+                    type_text = "unsigned"
+                else:
+                    type_text, _ = rng.choice(_SCALAR_KINDS)
                 params.append((type_text, name))
                 scope.ints.append((name, type_text != "unsigned"))
         if "extern int g0;" in program.externs:

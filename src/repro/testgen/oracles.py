@@ -55,6 +55,7 @@ from repro.minic.errors import MiniCError
 from repro.solver import Solver, SolverResultCache
 from repro.symbolic.expr import CmpExpr, EQ, GE, GT, LE, LT, LinExpr, NE
 from repro.symbolic.flags import CompletenessFlags
+from repro.symbolic.widen import WidenedCmp
 
 
 class Divergence:
@@ -211,6 +212,7 @@ class OracleBattery:
             "forcing_mismatches": 0, "plans_checked": 0,
             "solver_systems": 0, "solver_unknown": 0,
             "parallel_sessions": 0,
+            "conjuncts_widened": 0, "conjuncts_dropped_unfaithful": 0,
         }
 
     # -- shared plumbing ----------------------------------------------------
@@ -302,6 +304,10 @@ class OracleBattery:
             dart.solver = _CheckingSolver(dart.solver, violations)
         result = dart.run()
         self.counters["dart_sessions"] += 1
+        self.counters["conjuncts_widened"] += \
+            result.stats.conjuncts_widened
+        self.counters["conjuncts_dropped_unfaithful"] += \
+            result.stats.conjuncts_dropped_unfaithful
         return result, violations
 
     def _definitive(self, result):
@@ -515,10 +521,44 @@ class OracleBattery:
             if conjunct is not None and not conjunct.evaluate(assignment):
                 return ("planned inputs violate prefix conjunct {} "
                         "({!r})").format(index, conjunct)
-        negated = constraints[flip].negate()
+            problem = self._wrapped_semantics_error(index, conjunct,
+                                                    assignment)
+            if problem is not None:
+                return problem
+        flip_target = constraints[flip]
+        if isinstance(flip_target, WidenedCmp):
+            # The flip may have been solved in any wrap window (see
+            # repro.symbolic.widen.negation_candidates), so the anchored
+            # negation need not hold over the ideal integers.  The
+            # encoding-independent requirement is that the planned inputs
+            # falsify the original conjunct under wrapped machine
+            # semantics — then the machine takes the other branch.
+            if flip_target.machine_verdict(assignment):
+                return ("planned inputs do not flip widened conjunct {} "
+                        "({!r}) under wrapped machine semantics"
+                        ).format(flip, flip_target)
+            return None
+        negated = flip_target.negate()
         if not negated.evaluate(assignment):
             return ("planned inputs do not satisfy the negated conjunct "
                     "{} ({!r})").format(flip, negated)
+        return None
+
+    @staticmethod
+    def _wrapped_semantics_error(index, conjunct, assignment):
+        """Widened conjuncts claim bit-precision: whenever the rewritten
+        comparison and its window guards hold ideally, re-evaluating the
+        original lanes under mod-2^32 wrap-around must reach the same
+        verdict.  A disagreement means the widening produced an input the
+        machine will read differently than the solver did."""
+        if not isinstance(conjunct, WidenedCmp):
+            return None
+        if not conjunct.evaluate(assignment):
+            return None
+        if not conjunct.machine_verdict(assignment):
+            return ("widened conjunct {} ({!r}) holds over the ideal "
+                    "integers but fails under wrapped machine semantics"
+                    ).format(index, conjunct)
         return None
 
     # -- the full battery ---------------------------------------------------

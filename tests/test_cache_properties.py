@@ -75,6 +75,46 @@ def test_lin_key_invariant_under_term_insertion_order(op, items, const):
         SolverResultCache.query_key([backward], {})
 
 
+@settings(deadline=None, max_examples=200)
+@given(lin_exprs, domain_maps)
+def test_strict_inequalities_normalize_to_nonstrict_keys(lin, domains):
+    """Over the integers ``lin < 0`` iff ``lin + 1 <= 0`` (and ``lin > 0``
+    iff ``lin - 1 >= 0``): the two spellings of one half-space must build
+    the same query key, so they share exact-tier cache entries."""
+    assert SolverResultCache.query_key([CmpExpr(LT, lin)], domains) == \
+        SolverResultCache.query_key([CmpExpr(LE, lin.add_const(1))], domains)
+    assert SolverResultCache.query_key([CmpExpr(GT, lin)], domains) == \
+        SolverResultCache.query_key([CmpExpr(GE, lin.add_const(-1))], domains)
+    # ...and the normalization never conflates the half-space with its
+    # complement or its boundary.
+    assert SolverResultCache.query_key([CmpExpr(LT, lin)], domains) != \
+        SolverResultCache.query_key([CmpExpr(GE, lin)], domains)
+    assert SolverResultCache.query_key([CmpExpr(LT, lin)], domains) != \
+        SolverResultCache.query_key([CmpExpr(LE, lin)], domains)
+
+
+@settings(deadline=None, max_examples=100)
+@given(lin_exprs, domain_maps)
+def test_exact_hit_across_strict_and_nonstrict_spellings(lin, domains):
+    """Priming the cache with ``lin < 0`` answers ``lin + 1 <= 0`` (and
+    the GT/GE pair) from the exact tier without a second solver call."""
+    cache = SolverResultCache()
+    solver = Solver(seed=0)
+    for strict, nonstrict in (
+        (CmpExpr(LT, lin), CmpExpr(LE, lin.add_const(1))),
+        (CmpExpr(GT, lin), CmpExpr(GE, lin.add_const(-1))),
+    ):
+        stored = solver.solve([strict], domains)
+        cache.store([strict], domains, stored)
+        if stored.status not in ("sat", "unsat"):
+            continue
+        hit = cache.lookup([nonstrict], domains)
+        assert hit is not None
+        result, tier = hit
+        assert tier == EXACT
+        assert result.status == stored.status
+
+
 @settings(deadline=None, max_examples=150)
 @given(constraint_lists, constraint_lists, domain_maps)
 def test_distinct_key_sets_never_collide_unsoundly(first, second, domains):
@@ -92,8 +132,12 @@ def test_distinct_key_sets_never_collide_unsoundly(first, second, domains):
     if hit is None:
         return
     result, tier = hit
-    first_keys = {c.key() for c in first}
-    second_keys = {c.key() for c in second}
+    # The cache's identity is the *canonical* key — strict inequalities
+    # are normalized to their non-strict spelling — so soundness is
+    # judged on canonical keys, not raw ``CmpExpr.key()``s.
+    canon = SolverResultCache.canonical_cmp_key
+    first_keys = {canon(c) for c in first}
+    second_keys = {canon(c) for c in second}
     if tier == EXACT:
         assert first_keys == second_keys
         assert SolverResultCache.query_key(first, domains) == \

@@ -142,6 +142,43 @@ class TestCheckpointRejection:
         # already rejects it; the engine tag is belt and braces.
         assert not resumed.resumed
 
+    def test_checkpoint_from_old_constraint_encoding_is_rejected(
+        self, tmp_path
+    ):
+        """Migration: a checkpoint written before the machine-integer
+        widening encoding (fingerprint without the ``encoding`` field, or
+        with an older generation) carries ``done`` verdicts decided under
+        ideal-integer conjuncts.  Resuming must reject it and re-solve
+        from scratch rather than trust stale decisions."""
+        path = str(tmp_path / "state.json")
+        self.run_once(AC_CONTROLLER_SOURCE, path)
+        payload = json.load(open(path))
+        assert payload["body"]["fingerprint"]["encoding"] == 2
+        fingerprint = Dart(
+            AC_CONTROLLER_SOURCE, "ac_controller",
+            DartOptions(strategy="bfs", seed=1),
+        ).fingerprint
+
+        def rewrite(mutate):
+            # Recompute the checksum so the encoding generation is the
+            # *only* thing wrong with the file.
+            stale = json.loads(json.dumps(payload))
+            mutate(stale["body"]["fingerprint"])
+            stale["checksum"] = persist._body_checksum(stale["body"])
+            with open(path, "w") as handle:
+                json.dump(stale, handle)
+
+        # A v1-encoding session stamped encoding=1.
+        rewrite(lambda fp: fp.__setitem__("encoding", 1))
+        assert persist.load_checkpoint(path, fingerprint) is None
+        # A pre-versioning session had no encoding field at all.
+        rewrite(lambda fp: fp.__delitem__("encoding"))
+        assert persist.load_checkpoint(path, fingerprint) is None
+        resumed = self.run_once(AC_CONTROLLER_SOURCE, path,
+                                max_iterations=400)
+        assert not resumed.resumed  # restarted: branches re-solved
+        assert resumed.status == "complete"
+
     def test_corrupted_checkpoint_is_rejected(self, tmp_path):
         path = str(tmp_path / "state.json")
         self.run_once(AC_CONTROLLER_SOURCE, path)

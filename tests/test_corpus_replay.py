@@ -13,6 +13,8 @@ import os
 
 import pytest
 
+from repro.dart.config import DartOptions
+from repro.dart.runner import Dart
 from repro.testgen import OracleOptions, load_repro, replay_repro
 from repro.testgen.harness import CORPUS_FORMAT
 
@@ -44,6 +46,31 @@ def test_repro_file_is_well_formed(path):
 def test_repro_replays_clean(path):
     divergences = replay_repro(path, OPTS)
     assert divergences == [], "\n".join(d.describe() for d in divergences)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_repro_search_is_directed_not_lucky(path):
+    """The corpus programs all hinge on signed/unsigned wrap-around, the
+    exact conjuncts the old faithfulness screen used to drop.  With the
+    widening layer those conjuncts are encoded instead: a full session
+    must keep ``all_faithful``, drop nothing, widen at least one conjunct
+    (these programs cannot be explored faithfully without it), and reach
+    its branches through SAT answers to flipped conjuncts — directed
+    search, not random luck."""
+    payload = load_repro(path)
+    dart = Dart(payload["source"], payload["toplevel"],
+                DartOptions(max_iterations=120, stop_on_first_error=False,
+                            handle_signals=False, seed=0))
+    result = dart.run()
+    stats = result.stats
+    assert stats.conjuncts_dropped_unfaithful == 0
+    assert stats.conjuncts_widened > 0
+    assert result.flags[3], "all_faithful degraded on a corpus repro"
+    assert stats.flips_sat > 0, \
+        "no flipped conjunct was ever solved SAT: coverage was luck"
+    assert stats.runs_forced > 0, \
+        "no solver-planned run executed its predicted branch stack"
 
 
 def test_repro_files_record_their_seed():

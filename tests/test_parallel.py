@@ -63,7 +63,7 @@ class TestSamplesParallelMatchesSerial:
         parallel = run(samples.Z_SOURCE, "f", 4, strategy="bfs",
                        max_iterations=60, seed=1)
         assert serial.status == parallel.status == "complete"
-        assert serial.flags == parallel.flags == (True, True, True)
+        assert serial.flags == parallel.flags == (True, True, True, True)
         assert (serial.stats.distinct_paths
                 == parallel.stats.distinct_paths)
 

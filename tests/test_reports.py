@@ -57,7 +57,7 @@ class TestDartResult:
     def test_statuses(self):
         stats = RunStats()
         stats.finish()
-        result = DartResult(COMPLETE, [], stats, (True, True, True))
+        result = DartResult(COMPLETE, [], stats, (True, True, True, True))
         assert result.complete and not result.found_error
         assert result.first_error() is None
         assert "all" in result.describe()
@@ -69,7 +69,7 @@ class TestDartResult:
         fault = ProgramAbort("boom")
         report = ErrorReport(fault, [5], 3)
         result = DartResult(BUG_FOUND, [report], stats,
-                            (True, True, True))
+                            (True, True, True, True))
         assert result.found_error
         assert "Bug found" in result.describe()
 

@@ -47,7 +47,7 @@ class TestTerminationExample:
     def test_all_flags_still_set(self):
         result = dart_check(samples.Z_SOURCE, "f",
                             max_iterations=50, seed=1)
-        assert result.flags == (True, True, True)
+        assert result.flags == (True, True, True, True)
 
     def test_exactly_two_feasible_paths(self):
         result = dart_check(samples.Z_SOURCE, "f",
@@ -94,7 +94,7 @@ class TestFoobarExample:
     def test_non_linearity_clears_all_linear(self):
         result = dart_check(samples.FOOBAR_SOURCE, "foobar",
                             max_iterations=200, seed=0)
-        all_linear, _, _ = result.flags
+        all_linear = result.flags[0]
         assert not all_linear
 
     def test_found_across_seeds(self):

@@ -50,6 +50,24 @@ class TestCanonicalKeys:
         assert base.add_const(1).key() == (((0, 1),), 2)
         assert base.negate().key() == (((0, -1),), -1)
 
+    def test_query_key_embeds_the_encoding_version(self):
+        # The leading version field makes keys from different constraint
+        # encodings disjoint: a persisted or shared cache entry from the
+        # v1 ideal-integer encoding can never answer a v2 query.
+        from repro.solver.cache import ENCODING_VERSION
+
+        key = SolverResultCache.query_key([cmp(EQ, {0: 1})], {})
+        assert key[0] == ENCODING_VERSION == 2
+
+    def test_strict_ops_normalize_in_cache_keys_only(self):
+        strict = cmp(GT, {0: 1}, 5)           # x0 + 5 > 0
+        nonstrict = cmp(GE, {0: 1}, 4)        # x0 + 4 >= 0
+        assert strict.key() != nonstrict.key()  # expression identity kept
+        assert SolverResultCache.canonical_cmp_key(strict) == \
+            SolverResultCache.canonical_cmp_key(nonstrict)
+        assert SolverResultCache.query_key([strict], {}) == \
+            SolverResultCache.query_key([nonstrict], {})
+
 
 class TestExactTier:
     def test_hit_after_store(self):

@@ -135,7 +135,7 @@ class TestTransparentMemory:
         # constraint after memcpy is gone and the bug needs luck.
         result = dart_check(self.SOURCE, "f", max_iterations=60, seed=0)
         assert not result.found_error
-        all_linear, _, _ = result.flags
+        all_linear = result.flags[0]
         assert not all_linear  # honesty: completeness was lost
 
     def test_transparent_memcpy_keeps_symbolic_value(self):

@@ -265,4 +265,10 @@ class TestFlags:
     def test_snapshot(self):
         flags = CompletenessFlags()
         flags.clear_locs()
-        assert flags.snapshot() == (True, False, True)
+        assert flags.snapshot() == (True, False, True, True)
+
+    def test_clear_faithful(self):
+        flags = CompletenessFlags()
+        flags.clear_faithful()
+        assert not flags.complete
+        assert flags.snapshot() == (True, True, True, False)

@@ -65,7 +65,7 @@ class TestCompleteness:
         result = dart_check(source, toplevel, depth=depth,
                             max_iterations=2000, seed=0)
         assert result.status == "complete"
-        assert result.flags == (True, True, True)
+        assert result.flags == (True, True, True, True)
 
     @pytest.mark.parametrize("source,toplevel,depth", CLEAN)
     def test_path_set_is_seed_independent(self, source, toplevel, depth):
@@ -87,7 +87,7 @@ class TestCompleteness:
         """
         result = dart_check(source, "f", max_iterations=50, seed=0)
         assert result.status == "exhausted"  # runs forever in principle
-        all_linear, _, _ = result.flags
+        all_linear = result.flags[0]
         assert not all_linear
 
     def test_completeness_not_claimed_with_symbolic_address(self):
@@ -101,7 +101,7 @@ class TestCompleteness:
         }
         """
         result = dart_check(source, "f", max_iterations=100, seed=0)
-        _, all_locs, _ = result.flags
+        all_locs = result.flags[1]
         assert not all_locs
         assert result.status == "exhausted"
 
@@ -126,6 +126,6 @@ class TestInvariant:
     def test_invariant_at_session_end(self, source, toplevel, depth, seed):
         result = dart_check(source, toplevel, depth=depth,
                             max_iterations=300, seed=seed)
-        all_linear, all_locs, forcing_ok = result.flags
+        all_linear, all_locs, forcing_ok = result.flags[:3]
         if all_linear and all_locs:
             assert forcing_ok

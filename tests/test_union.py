@@ -118,7 +118,7 @@ class TestSymbolicInteraction:
         # x == 1 makes w.i == 1 after the overwrite only if the upper
         # bytes are zero; DART may or may not find it by luck, but must
         # never misreport, and the invariant must hold.
-        all_linear, all_locs, forcing = result.flags
+        all_linear, all_locs, forcing = result.flags[:3]
         if all_linear and all_locs:
             assert forcing
 
