@@ -16,6 +16,13 @@ divergence.  Exit status: 0 = clean campaign, 1 = divergence(s) found.
 written with ``--trace``: the per-phase time breakdown (execute / solve /
 cache / checkpoint), the branch-flip funnel (attempted → sat → forced →
 new path), verdict and cache-tier tallies (see docs/OBSERVABILITY.md).
+
+``python -m repro chaos [options]`` runs the chaos harness
+(:mod:`repro.faults.chaos`): seeded fault schedules injected into full
+campaigns over the benchmark programs, asserting the recovery invariants
+(no uncontained crash, replayable errors, error-set preservation, honest
+degradation — see docs/ROBUSTNESS.md).  Exit status: 0 = every invariant
+held, 1 = violation(s).
 """
 
 import argparse
@@ -81,6 +88,10 @@ def build_parser():
                         help="attribute session wall time to execute / "
                              "solve / cache / checkpoint phases "
                              "(reported in the stats summary)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject deterministic faults from SPEC "
+                             "('site@occurrence,...' or 'seed:N'; see "
+                             "docs/ROBUSTNESS.md) — test harness only")
     parser.add_argument("--json", action="store_true",
                         help="emit the full result (errors, quarantined "
                              "runs, stats, coverage) as JSON")
@@ -119,6 +130,10 @@ def build_fuzz_parser():
     parser.add_argument("--parallel-every", type=int, default=25,
                         help="sample the jobs-vs-serial comparison every "
                              "Nth program (0 disables; default 25)")
+    parser.add_argument("--chaos-every", type=int, default=25,
+                        help="sample the fault-containment probe (clean "
+                             "vs. seeded-fault session pair) every Nth "
+                             "program (0 disables; default 25)")
     parser.add_argument("--no-solver-fuzz", action="store_true",
                         help="skip the brute-force constraint fuzzing "
                              "oracle")
@@ -161,6 +176,7 @@ def fuzz_main(argv=None):
         seed=args.seed, budget=args.budget, time_budget=args.time_budget,
         out_dir=args.out, gen_opts=gen_opts, oracle_opts=oracle_opts,
         parallel_every=args.parallel_every,
+        chaos_every=args.chaos_every,
         solver_fuzz=not args.no_solver_fuzz,
         stop_on_first=args.stop_on_first, progress=progress,
     )
@@ -171,6 +187,70 @@ def fuzz_main(argv=None):
             print("fuzz: {} conjunct(s) dropped as unfaithful — the "
                   "widening layer should leave zero".format(dropped))
             return 1
+    return 0 if report.ok else 1
+
+
+def build_chaos_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Chaos harness: run seeded fault schedules against "
+                    "full campaigns over the benchmark programs and "
+                    "assert the recovery invariants (crash containment, "
+                    "crash-resume equivalence, honest degradation)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="harness seed (default 0); every fault "
+                             "schedule derives from it deterministically")
+    parser.add_argument("--schedules", type=int, default=25,
+                        help="number of fault schedules to run "
+                             "(default 25)")
+    parser.add_argument("--benchmark", action="append", default=None,
+                        metavar="NAME", dest="benchmarks",
+                        help="restrict to one benchmark (repeatable); "
+                             "default: rotate through all of them")
+    parser.add_argument("--max-resumes", type=int, default=8,
+                        help="resume attempts per schedule before the "
+                             "termination invariant fails (default 8)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write per-schedule artifacts (fault plan, "
+                             "outcome, structured trace) and report.json "
+                             "under DIR")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--progress-every", type=int, default=5,
+                        help="print a progress line every N schedules "
+                             "(0 silences; default 5)")
+    return parser
+
+
+def chaos_main(argv=None):
+    from repro.faults.chaos import BENCHMARKS, run_chaos
+
+    args = build_chaos_parser().parse_args(argv)
+    benchmarks = None
+    if args.benchmarks:
+        by_name = {benchmark.name: benchmark for benchmark in BENCHMARKS}
+        unknown = [name for name in args.benchmarks if name not in by_name]
+        if unknown:
+            print("error: unknown benchmark(s): {} (have: {})".format(
+                ", ".join(unknown), ", ".join(sorted(by_name))),
+                file=sys.stderr)
+            return 2
+        benchmarks = tuple(by_name[name] for name in args.benchmarks)
+
+    def progress(index, outcome):
+        if args.progress_every and (index + 1) % args.progress_every == 0:
+            print("chaos: {}/{} schedule(s)".format(
+                index + 1, args.schedules), flush=True)
+
+    report = run_chaos(
+        seed=args.seed, schedules=args.schedules, benchmarks=benchmarks,
+        out_dir=args.out, max_resumes=args.max_resumes, progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
     return 0 if report.ok else 1
 
 
@@ -225,6 +305,8 @@ def main(argv=None):
         return fuzz_main(argv[1:])
     if argv and argv[0] == "trace-summary":
         return trace_summary_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as handle:
@@ -245,6 +327,16 @@ def main(argv=None):
     if not args.toplevel:
         print("error: a toplevel function is required", file=sys.stderr)
         return 2
+
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            print("error: bad --fault-plan: {}".format(error),
+                  file=sys.stderr)
+            return 2
 
     if args.state_file:
         # Fail fast: discovering an unwritable checkpoint path at the
@@ -272,6 +364,7 @@ def main(argv=None):
         handle_signals=True,
         trace_file=args.trace,
         profile_phases=args.profile_phases,
+        fault_plan=fault_plan,
     )
     tester_class = RandomTester if args.random else Dart
     try:

@@ -50,6 +50,7 @@ class DartOptions:
         trace_file=None,
         trace_ring=32,
         profile_phases=False,
+        fault_plan=None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -140,6 +141,15 @@ class DartOptions:
         #: checkpoint phases (repro.obs.profile); adds two clock reads
         #: per section, so it is opt-in.
         self.profile_phases = profile_phases
+        #: Deterministic fault-injection schedule (``--fault-plan``): a
+        #: :class:`repro.faults.plan.FaultPlan`, a spec string
+        #: (``"solver.raise@2"`` / ``"seed:7"``) or None.  The runner
+        #: installs an injector for the session's duration; every
+        #: injected fault is traced and counted.  Test-harness only —
+        #: like the trace options, it is excluded from the checkpoint
+        #: fingerprint so a chaos resume accepts the interrupted
+        #: session's checkpoint (and vice versa).
+        self.fault_plan = fault_plan
 
     def digest(self):
         """A stable hash of the options that shape the *search*.
@@ -154,6 +164,10 @@ class DartOptions:
         Observability knobs (``trace_file``, ``trace_ring``,
         ``profile_phases``) are excluded: watching a search must never
         change it, and a traced resume of an untraced session is valid.
+        ``fault_plan`` is likewise excluded: the chaos harness resumes
+        interrupted sessions across injector installs, and the
+        crash-resume equivalence invariant needs a faulted session's
+        checkpoint to be acceptable to a clean resume.
         """
         relevant = (
             self.depth, self.strategy, self.seed,

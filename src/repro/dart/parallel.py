@@ -46,6 +46,7 @@ metrics-registry snapshots that the parent folds into the session's
 ``RunStats`` (a deterministic merge — see `repro.obs.metrics`).
 """
 
+import os
 import random
 import time
 import traceback
@@ -66,6 +67,7 @@ from repro.dart.report import (
     RunStats,
 )
 from repro.dart.solve import expand_worklist_children
+from repro.faults import points as fault_points
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.obs import trace as tr
@@ -257,10 +259,21 @@ class _WorkerContext:
 
 def _worker_init(source, toplevel, options, filename):
     global _CONTEXT
+    # Workers never inject faults themselves: under a fork start method
+    # the parent's installed injector would be inherited with a *copy*
+    # of its probe counters, making fault placement depend on worker
+    # scheduling.  The only worker-side fault is the kill switch, which
+    # the parent decides and ships in the payload.
+    fault_points.uninstall()
     _CONTEXT = _WorkerContext(source, toplevel, options, filename)
 
 
 def _worker_run(payload):
+    if payload.get("kill"):
+        # Fault injection (``worker.kill``): die the way a segfaulting
+        # interpreter would — no cleanup, no exception, no return value.
+        # The parent sees BrokenProcessPool and must recover.
+        os._exit(3)
     try:
         return _CONTEXT.run_item(payload)
     except Exception as exc:  # pragma: no cover — second-layer boundary
@@ -355,10 +368,11 @@ class _ParallelEngine:
         trace_on = session.trace.enabled
         if trace_on:
             session.trace.emit(tr.GENERATION, size=len(batch))
+        injector = fault_points.ACTIVE
         payloads = []
         for stack, im, bound in batch:
             session.stats.iterations += 1
-            payloads.append({
+            payload = {
                 "stack": persist._encode_stack(stack),
                 "im": persist._encode_im(im),
                 "bound": bound,
@@ -366,26 +380,20 @@ class _ParallelEngine:
                                    session.stats.iterations),
                 "trace": trace_on,
                 "profile": session.stats.phases.enabled,
-            })
+            }
+            if injector is not None \
+                    and injector.worker_kill(session.stats.iterations):
+                # Parent-side kill decision, keyed on the global
+                # iteration (worker processes share no probe counter);
+                # the worker dies before touching the item.
+                payload["kill"] = True
+            payloads.append(payload)
         try:
             results = list(self._executor.map(_worker_run, payloads))
         except BrokenProcessPool:
-            # A worker process died outright (beyond the in-process fault
-            # boundary).  Quarantine the generation, rebuild the pool, and
-            # keep the session alive — the paper's crash-loses-one-run
-            # containment, at generation granularity.
-            session.flags.clear_linear()
-            session._clean_drain = False
-            for index, (stack, im, bound) in enumerate(batch):
-                session.stats.quarantined.append(QuarantineRecord(
-                    INTERNAL_ERROR, im.values(),
-                    [slot.kind for slot in im],
-                    session.stats.iterations - len(batch) + 1 + index,
-                    "worker process died (BrokenProcessPool)",
-                ))
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = self._new_executor()
-            return False, []
+            results = self._retry_generation(payloads, batch)
+            if results is None:
+                return False, []
         children = []
         first_iteration = session.stats.iterations - len(batch) + 1
         for index, result in enumerate(results):
@@ -393,6 +401,55 @@ class _ParallelEngine:
             if stop:
                 return True, children
         return False, children
+
+    def _retry_generation(self, payloads, batch):
+        """Second chance after a lost worker process.
+
+        A dead worker takes its whole generation's results with it, but
+        the items themselves are still known — they were dispatched, not
+        consumed.  So the in-flight flip candidates are *re-queued*: the
+        pool is rebuilt and the same payloads (same per-item seeds, so
+        the merged outcome is exactly what an undisturbed generation
+        would have produced) are dispatched once more.  Injected kill
+        flags are stripped first — the modeled crash is transient, which
+        is precisely the failure shape a retry recovers from.  Only when
+        the crash *reproduces* on the fresh pool does the generation get
+        quarantined (the previous behaviour, now the second layer):
+        deterministic crashes must not retry forever.
+
+        Returns the worker results, or None when the generation was
+        given up and quarantined.
+        """
+        session = self.session
+        session.stats.pool_retries += 1
+        if session.trace.enabled:
+            session.trace.emit(tr.POOL_RETRY, size=len(payloads),
+                               iteration=session.stats.iterations)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._new_executor()
+        retries = []
+        for payload in payloads:
+            payload = dict(payload)
+            payload.pop("kill", None)
+            retries.append(payload)
+        try:
+            return list(self._executor.map(_worker_run, retries))
+        except BrokenProcessPool:
+            # Crash reproduced: quarantine the generation, rebuild the
+            # pool, keep the session alive — the paper's
+            # crash-loses-one-run containment, at generation granularity.
+            session.flags.clear_linear()
+            session._clean_drain = False
+            for index, (stack, im, bound) in enumerate(batch):
+                session.stats.quarantined.append(QuarantineRecord(
+                    INTERNAL_ERROR, im.values(),
+                    [slot.kind for slot in im],
+                    session.stats.iterations - len(batch) + 1 + index,
+                    "worker process died twice (BrokenProcessPool)",
+                ))
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._new_executor()
+            return None
 
     def _ship_events(self, result, iteration, new_path):
         """Re-emit one worker's events on the parent bus, in dispatch

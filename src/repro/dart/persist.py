@@ -23,15 +23,28 @@ Two formats live here:
        "body": {"fingerprint": {...}, "engine": ..., "rng": ...,
                 "counters": {...}, "errors": [...], ...}}
 
-Writes are atomic (write to a temp file, then ``os.replace``).
+Writes are atomic and durable: the payload goes to a temp file which is
+fsynced (as is the containing directory) before ``os.replace``, a failed
+write unlinks the temp file so an ENOSPC can never leave a stale
+``.tmp`` beside a valid checkpoint, and SIGINT/SIGTERM are deferred for
+the duration of the write so an interrupt cannot tear the sequence —
+the signal is re-delivered to the previous handler the moment the write
+completes.  The write and load paths carry fault-injection seams
+(:mod:`repro.faults.points`): ENOSPC, partial writes and post-save
+corruption are all injectable, and the chaos harness asserts the
+invariants above hold under them.
 """
 
+import contextlib
+import errno
 import hashlib
 import json
 import os
+import signal
 
 from repro.dart.inputs import InputVector
 from repro.dart.pathcond import StackEntry
+from repro.faults import points as fault_points
 
 _VERSION = 1
 _CHECKPOINT_VERSION = 2
@@ -58,11 +71,94 @@ def _decode_im(payload):
     return im
 
 
+@contextlib.contextmanager
+def _defer_signals():
+    """Hold SIGINT/SIGTERM for the duration of the block.
+
+    A signal arriving mid-write is recorded and re-delivered to the
+    *previous* handler immediately after the block, so the atomic-write
+    sequence (write temp, fsync, rename) can never be torn by an
+    interrupt: either the old checkpoint survives intact or the new one
+    is complete.  Off the main thread (where ``signal.signal`` is
+    unavailable) the block runs unprotected — exactly the prior
+    behaviour.
+    """
+    deferred = []
+    previous = {}
+
+    def _defer(signum, frame):
+        deferred.append((signum, frame))
+
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _defer)
+    except ValueError:  # not the main thread
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        for signum, frame in deferred:
+            handler = previous.get(signum)
+            if callable(handler):
+                # Includes Python's default_int_handler, which raises
+                # KeyboardInterrupt — exactly the deferred delivery.
+                handler(signum, frame)
+            elif handler != signal.SIG_IGN:
+                # SIG_DFL: re-deliver with the default disposition now
+                # that the original handler is restored.
+                os.kill(os.getpid(), signum)
+
+
 def _atomic_write(path, payload):
+    """Durably replace ``path`` with ``payload`` as JSON, or change
+    nothing: temp file + fsync (file and directory) + rename, with the
+    temp file unlinked on any failure."""
     tmp_path = path + ".tmp"
-    with open(tmp_path, "w") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp_path, path)
+    with _defer_signals():
+        handle = open(tmp_path, "w")
+        try:
+            injector = fault_points.ACTIVE
+            if injector is not None:
+                mode = injector.checkpoint_write()
+                if mode == "partial":
+                    handle.write(json.dumps(payload)[: 40])
+                    handle.flush()
+                if mode is not None:
+                    raise OSError(errno.ENOSPC, "injected: no space left "
+                                                "on device", tmp_path)
+                injector.mid_checkpoint()
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        handle.close()
+        os.replace(tmp_path, path)
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def _fsync_directory(directory):
+    """Persist the rename itself (best effort where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _body_checksum(body):
@@ -216,6 +312,56 @@ def save_checkpoint(path, checkpoint):
         "checksum": _body_checksum(body),
         "body": body,
     })
+    injector = fault_points.ACTIVE
+    if injector is not None:
+        # Post-save corruption (torn storage, bit rot): the *next* load
+        # must catch it via the checksum and reseed cleanly.
+        injector.saved_checkpoint(path)
+
+
+def load_checkpoint_ex(path, fingerprint):
+    """Read and validate a v2 checkpoint; ``(checkpoint, reason)``.
+
+    The checkpoint is None whenever it must not be used, and ``reason``
+    tells the caller how much to trust the world:
+
+    * ``"ok"`` — a valid, matching checkpoint (first element non-None).
+    * ``"missing"`` — no file at all: a clean first start.
+    * ``"version"`` — a valid file in a different format (e.g. a v1
+      state file); legitimate, restart cleanly.
+    * ``"fingerprint"`` — a valid checkpoint for a *different* program,
+      toplevel or configuration; legitimate, restart cleanly.
+    * ``"corrupt"`` — the file exists but is unreadable, structurally
+      wrong, or fails its checksum: state was **lost**, and the caller
+      must degrade (quarantine-style record, completeness cleared)
+      rather than silently pretend it started fresh.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None, "missing"
+    except (OSError, ValueError):
+        return None, "corrupt"
+    if not isinstance(payload, dict):
+        return None, "corrupt"
+    if payload.get("version") != _CHECKPOINT_VERSION:
+        # Recognizably a *different* format (the v1 state file, a future
+        # version) is a legitimate mismatch; anything else is damage.
+        if isinstance(payload.get("version"), int):
+            return None, "version"
+        return None, "corrupt"
+    body = payload.get("body")
+    if not isinstance(body, dict):
+        return None, "corrupt"
+    if _body_checksum(body) != payload.get("checksum"):
+        return None, "corrupt"
+    if body.get("fingerprint") != fingerprint:
+        return None, "fingerprint"
+    try:
+        return SessionCheckpoint.from_body(body), "ok"
+    except (KeyError, IndexError, TypeError, ValueError):
+        return None, "corrupt"
 
 
 def load_checkpoint(path, fingerprint):
@@ -225,24 +371,8 @@ def load_checkpoint(path, fingerprint):
     or unreadable file, a version mismatch, a checksum mismatch (torn or
     corrupted write), and — crucially — a **fingerprint mismatch**: a
     checkpoint written for a different program source, toplevel function
-    or search-relevant configuration.
+    or search-relevant configuration.  Callers that need to distinguish
+    *why* use :func:`load_checkpoint_ex`.
     """
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    if not isinstance(payload, dict) \
-            or payload.get("version") != _CHECKPOINT_VERSION:
-        return None
-    body = payload.get("body")
-    if not isinstance(body, dict):
-        return None
-    if _body_checksum(body) != payload.get("checksum"):
-        return None
-    if body.get("fingerprint") != fingerprint:
-        return None
-    try:
-        return SessionCheckpoint.from_body(body)
-    except (KeyError, IndexError, TypeError, ValueError):
-        return None
+    checkpoint, _ = load_checkpoint_ex(path, fingerprint)
+    return checkpoint

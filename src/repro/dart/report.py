@@ -28,6 +28,12 @@ INTERRUPTED = "interrupted"  # SIGINT/SIGTERM: checkpointed partial result
 INTERNAL_ERROR = "internal-error"  # harness bug escaped the machine
 RUN_TIMEOUT = "run-timeout"  # the per-run wall-clock watchdog tripped
 RESOURCE_EXHAUSTED = "resource-exhausted"  # RecursionError / MemoryError
+#: Quarantine-style classification for a checkpoint file that existed
+#: but failed structural validation (torn write, bit rot): the session
+#: reseeds from scratch instead of crashing, records one of these, and
+#: no longer claims completeness — whatever the lost checkpoint held
+#: (errors, quarantines) cannot be vouched for.
+CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 
 
 class ErrorReport:
@@ -163,6 +169,19 @@ class RunStats:
         # ``conjuncts_dropped_unfaithful`` counts the last-resort drops
         # where no faithful encoding existed (clears ``all_faithful``).
         "conjuncts_widened", "conjuncts_dropped_unfaithful",
+        # Robustness funnel (fault injection + recovery; see
+        # docs/ROBUSTNESS.md): ``faults_injected`` counts faults the
+        # chaos layer fired into this session; ``solver_failures``
+        # counts solver calls that raised and were degraded to UNKNOWN
+        # (the flip falls back to the random-branch strategy);
+        # ``cache_failures`` counts cache accesses that raised and
+        # self-healed by clearing the cache; ``checkpoint_failures``
+        # counts checkpoint writes that failed without losing the prior
+        # checkpoint; ``checkpoints_rejected`` counts corrupt state
+        # files downgraded to a clean reseed; ``pool_retries`` counts
+        # generations re-dispatched after a worker-process death.
+        "faults_injected", "solver_failures", "cache_failures",
+        "checkpoint_failures", "checkpoints_rejected", "pool_retries",
     )
 
     def __init__(self):
@@ -251,6 +270,12 @@ class RunStats:
             "conjuncts_widened": self.conjuncts_widened,
             "conjuncts_dropped_unfaithful":
                 self.conjuncts_dropped_unfaithful,
+            "faults_injected": self.faults_injected,
+            "solver_failures": self.solver_failures,
+            "cache_failures": self.cache_failures,
+            "checkpoint_failures": self.checkpoint_failures,
+            "checkpoints_rejected": self.checkpoints_rejected,
+            "pool_retries": self.pool_retries,
             "histograms": {
                 "solver_latency_s": self.solver_latency.to_dict(),
                 "path_length": self.path_length.to_dict(),

@@ -38,6 +38,7 @@ from repro.dart.inputs import InputVector
 from repro.dart.instrument import DirectedHooks, ForcingMismatch
 from repro.dart.report import (
     BUG_FOUND,
+    CHECKPOINT_CORRUPT,
     COMPLETE,
     EXHAUSTED,
     INTERNAL_ERROR,
@@ -53,6 +54,8 @@ from repro.dart.solve import (
     expand_worklist_children,
     solve_path_constraint,
 )
+from repro.faults import points as fault_points
+from repro.faults.points import FaultInjector
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.obs import trace as tr
@@ -119,6 +122,14 @@ class Dart:
         jsonl = None
         if self.options.trace_file is not None:
             jsonl = self.trace.attach(JsonlTraceSink(self.options.trace_file))
+        # Fault injection: install the options' plan unless a harness
+        # (the chaos driver) already installed an injector — its probe
+        # counters must survive across resumed sessions so each
+        # scheduled fault fires exactly once per schedule.
+        owned_injector = None
+        if self.options.fault_plan and fault_points.ACTIVE is None:
+            owned_injector = fault_points.install(
+                FaultInjector(self.options.fault_plan))
         session = _Session(self)
         if self.trace.enabled:
             self.trace.emit(
@@ -154,6 +165,12 @@ class Dart:
                 )
                 self.trace.flush()
             session.detach_sinks()
+            if owned_injector is not None:
+                fault_points.uninstall()
+            elif fault_points.ACTIVE is not None:
+                # A harness-owned injector outlives the session; drop the
+                # references to this session's bus and stats.
+                fault_points.ACTIVE.bind(None, None)
             if jsonl is not None:
                 self.trace.detach(jsonl)
                 jsonl.close()
@@ -268,6 +285,11 @@ class _Session:
         self.flags.trace = self.trace
         self.stats = RunStats()
         self.stats.phases.enabled = self.options.profile_phases
+        if fault_points.ACTIVE is not None:
+            # Injected faults count into this session's statistics and
+            # trace stream (a harness-owned injector is re-bound per
+            # resumed session).
+            fault_points.ACTIVE.bind(self.trace, self.stats)
         self.errors = []
         self._seen_error_keys = set()
         self.rng = random.Random(self.options.seed)
@@ -277,6 +299,10 @@ class _Session:
         if self.options.time_limit is not None:
             self._deadline = time.perf_counter() + self.options.time_limit
         self._interrupted = False
+        #: True when the session exited through the truncation path
+        #: (budget / deadline / signal): the search is unfinished and a
+        #: checkpoint was saved.
+        self._truncated = False
         self._engine = "dfs" if self.options.strategy == "dfs" \
             else "generational"
         #: dfs: the (stack, im) plan the next run will execute.
@@ -503,7 +529,14 @@ class _Session:
         return self.options.stop_on_first_error
 
     def _result(self):
-        if self._interrupted and self.status == EXHAUSTED:
+        # A signal that truncated the search wins over a sticky
+        # BUG_FOUND from an earlier error: the session is unfinished and
+        # resumable, and callers (the CLI's exit 130, the chaos
+        # harness's resume loop) must be able to tell.  A signal that
+        # arrived but did *not* cut the search short (the stop-on-first
+        # early return, a clean drain) changes nothing.
+        if self._interrupted and (self._truncated
+                                  or self.status == EXHAUSTED):
             self.status = INTERRUPTED
         return DartResult(
             self.status, self.errors, self.stats, self.flags.snapshot(),
@@ -548,8 +581,22 @@ class _Session:
         if self.options.state_file is None:
             return
         started = time.perf_counter()
-        persist.save_checkpoint(self.options.state_file,
-                                self._make_checkpoint())
+        try:
+            persist.save_checkpoint(self.options.state_file,
+                                    self._make_checkpoint())
+        except OSError as exc:
+            # A failed write (ENOSPC, permissions, torn disk) costs
+            # durability, never the session: the previous checkpoint —
+            # if any — is still intact on disk (the write is atomic),
+            # the search continues, and the failure is counted and
+            # traced so it cannot pass silently.
+            self.stats.checkpoint_failures += 1
+            if self.trace.enabled:
+                self.trace.emit(tr.CHECKPOINT_FAILED,
+                                iteration=self.stats.iterations,
+                                error=type(exc).__name__,
+                                detail=str(exc)[:200])
+            return
         wall = time.perf_counter() - started
         if self.stats.phases.enabled:
             self.stats.phases.add(CHECKPOINT, wall)
@@ -565,6 +612,12 @@ class _Session:
         state (worklist, RNG, counters) is consistent: the checkpoint
         describes exactly "N runs done, these remain".
         """
+        injector = fault_points.ACTIVE
+        if injector is not None:
+            # Fault seam: deliver a real SIGINT at the between-runs
+            # boundary — the signal guard must turn it into a clean
+            # checkpoint-and-return, never a traceback.
+            injector.between_runs()
         every = self.options.checkpoint_every
         if self.options.state_file is None or not every:
             return
@@ -610,18 +663,34 @@ class _Session:
     def _resume(self):
         """Load this session's checkpoint, if a valid one exists.
 
-        A missing, corrupted, version-mismatched or — most importantly —
+        A missing, version-mismatched or — most importantly —
         *fingerprint*-mismatched checkpoint (different program, toplevel
         or search configuration) yields None and the search starts
         cleanly from scratch, never silently replaying stale state.
+
+        A **corrupt** checkpoint (the file exists but is torn, bit-rotted
+        or structurally broken) also reseeds cleanly, but not silently:
+        prior search state was *lost*, so the session records a
+        quarantine-style ``checkpoint-corrupt`` entry and degrades its
+        completeness claim — a reseeded session cannot know what the
+        lost state had already covered, so it must never report
+        ``complete``.
         """
         path = self.options.state_file
         if path is None:
             return None
-        checkpoint = persist.load_checkpoint(path, self.dart.fingerprint)
+        checkpoint, reason = persist.load_checkpoint_ex(
+            path, self.dart.fingerprint)
         if checkpoint is not None and checkpoint.engine == self._engine:
             self._restore(checkpoint)
             return checkpoint
+        if reason == "corrupt":
+            self._reject_checkpoint(path)
+            return None
+        if checkpoint is not None:
+            # Valid checkpoint for the other engine: legitimate mismatch,
+            # restart cleanly without touching it further.
+            return None
         if self._engine == "dfs":
             # Compatibility: a v1 (stack, im) file — the paper's literal
             # "stack kept in a file" — still seeds the directed search.
@@ -637,6 +706,26 @@ class _Session:
                 self.resumed = True
                 return checkpoint
         return None
+
+    def _reject_checkpoint(self, path):
+        """Contain a corrupt checkpoint: count, record, degrade, reseed.
+
+        Mirrors :meth:`_quarantine` for state loss instead of run loss:
+        the session continues from scratch, but the lost coverage makes
+        any completeness claim unsound, so ``all_linear`` is cleared and
+        a ``checkpoint-corrupt`` record preserves the evidence.
+        """
+        self.stats.checkpoints_rejected += 1
+        self.flags.clear_linear()
+        detail = ("checkpoint {} failed validation (torn, bit-rotted or "
+                  "structurally broken); reseeding from scratch".format(path))
+        trace_tail = self.ring.tail() if self.ring is not None else None
+        self.stats.quarantined.append(QuarantineRecord(
+            CHECKPOINT_CORRUPT, [], [], self.stats.iterations, detail,
+            trace_tail=trace_tail,
+        ))
+        if self.trace.enabled:
+            self.trace.emit(tr.CHECKPOINT_REJECTED, detail=detail)
 
     def _clear_checkpoint(self):
         if self.options.state_file is not None:
@@ -697,6 +786,7 @@ class _Session:
         except _BudgetReached:
             # §2.3: the stack is "kept in a file between executions" —
             # checkpoint the pending plan so the search resumes later.
+            self._truncated = True
             self._save_checkpoint()
             return self._result()
 
@@ -764,6 +854,7 @@ class _Session:
                 self.stats.random_restarts += 1
                 pending = None
         except _BudgetReached:
+            self._truncated = True
             self._save_checkpoint()
             return self._result()
 

@@ -30,6 +30,7 @@ import time
 from repro.dart.slicing import ConstraintSlicer
 from repro.obs import trace as tr
 from repro.obs.profile import CACHE, PhaseTimer
+from repro.solver.core import UNKNOWN, SolverResult
 from repro.symbolic.widen import (
     WidenedCmp,
     flatten_constraints,
@@ -38,6 +39,47 @@ from repro.symbolic.widen import (
 
 #: Shared disabled timer so the hot path below never branches on None.
 _NO_PHASES = PhaseTimer()
+
+
+def _safe_solve(solver, constraints, domains, stats, trace, **kwargs):
+    """One solver call with the failure contained to an UNKNOWN verdict.
+
+    A solver that *crashes* on a flip must not take the campaign down —
+    the flip is treated exactly like prover incompleteness: the caller
+    clears ``all_linear`` and the search falls back to the paper's
+    random-branch strategy (random restarts keep the session honest and
+    productive).  The failure is counted (``solver_failures``) and traced
+    so the degradation is observable, never silent.
+    """
+    try:
+        return solver.solve(constraints, domains, **kwargs)
+    except Exception as exc:
+        if stats is not None:
+            stats.solver_failures += 1
+        if trace is not None and trace.enabled:
+            trace.emit(tr.SOLVER_FAILED, error=type(exc).__name__,
+                       detail=str(exc)[:200],
+                       constraints=len(constraints))
+        return SolverResult(UNKNOWN)
+
+
+def _contain_cache_failure(cache, exc, stats, trace):
+    """Self-heal a corrupted result cache: count, trace, clear.
+
+    Clearing is always safe — the cache only reproduces verdicts the
+    solver would give, so an empty cache merely costs re-derived calls.
+    The failed access is then treated as a miss (lookup) or dropped
+    (store).
+    """
+    if stats is not None:
+        stats.cache_failures += 1
+    if trace is not None and trace.enabled:
+        trace.emit(tr.CACHE_FAILED, error=type(exc).__name__,
+                   detail=str(exc)[:200])
+    try:
+        cache.clear()
+    except Exception:
+        pass
 
 
 def solve_with_retry(solver, constraints, domains, stats=None,
@@ -66,29 +108,38 @@ def solve_with_retry(solver, constraints, domains, stats=None,
     so the phases stay disjoint.
     """
     phases = stats.phases if stats is not None else _NO_PHASES
-    if cache is not None:
-        with phases.section(CACHE):
-            hit = cache.lookup(constraints, domains)
-        if hit is not None:
-            result, tier = hit
+    cache_usable = cache is not None
+    if cache_usable:
+        try:
+            with phases.section(CACHE):
+                hit = cache.lookup(constraints, domains)
+        except Exception as exc:
+            # Corrupted cache state: self-heal and fall through to a
+            # real solver call; skip the store below (the cache just
+            # proved untrustworthy for this query).
+            _contain_cache_failure(cache, exc, stats, trace)
+            cache_usable = False
+        else:
+            if hit is not None:
+                result, tier = hit
+                if stats is not None:
+                    if tier == "exact":
+                        stats.cache_hits += 1
+                    elif tier == "unsat-superset":
+                        stats.cache_unsat_shortcuts += 1
+                    else:
+                        stats.cache_model_reuses += 1
+                return result
             if stats is not None:
-                if tier == "exact":
-                    stats.cache_hits += 1
-                elif tier == "unsat-superset":
-                    stats.cache_unsat_shortcuts += 1
-                else:
-                    stats.cache_model_reuses += 1
-            return result
-        if stats is not None:
-            stats.cache_misses += 1
+                stats.cache_misses += 1
     escalated = False
     started = time.perf_counter()
-    result = solver.solve(constraints, domains)
+    result = _safe_solve(solver, constraints, domains, stats, trace)
     if result.status == "unknown" and escalation and escalation > 1:
         if stats is not None:
             stats.solver_retries += 1
-        result = solver.solve(
-            constraints, domains,
+        result = _safe_solve(
+            solver, constraints, domains, stats, trace,
             node_budget=solver.node_budget * escalation,
         )
         escalated = True
@@ -109,9 +160,12 @@ def solve_with_retry(solver, constraints, domains, stats=None,
         trace.emit(tr.SOLVER_ANSWERED, verdict=result.status,
                    wall_s=round(wall, 6), constraints=len(constraints),
                    escalated=escalated)
-    if cache is not None:
-        with phases.section(CACHE):
-            cache.store(constraints, domains, result)
+    if cache_usable:
+        try:
+            with phases.section(CACHE):
+                cache.store(constraints, domains, result)
+        except Exception as exc:
+            _contain_cache_failure(cache, exc, stats, trace)
     return result
 
 

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the DART engine (chaos testing).
+
+PR 1 gave the engine fault boundaries, quarantine, watchdogs and
+checkpoints; this package *exercises* those recovery paths deliberately.
+A :class:`FaultPlan` is a seeded, replayable schedule of faults; a
+:class:`FaultInjector` installed via :func:`install` (or the
+``DartOptions(fault_plan=...)`` knob / CLI ``--fault-plan``) arms
+instrumented seams across the stack — solver exceptions, forced-UNKNOWN
+verdicts, slow solves, solver-cache corruption, ``MemoryError``/
+``RecursionError`` inside the machine, worker-process kills, checkpoint
+write failures (ENOSPC, partial writes, bit-flips of the saved file) and
+signal delivery at adversarial moments.  Every seam follows the trace
+bus idiom — one module-global ``None`` check when disabled, so a
+production session pays nothing — and every injected fault emits a
+``fault_injected`` trace event plus the ``faults_injected`` counter.
+
+:mod:`repro.faults.chaos` drives whole campaigns through randomized
+fault schedules and asserts the recovery invariants (``python -m repro
+chaos``); see ``docs/ROBUSTNESS.md`` for the taxonomy and the invariant
+matrix.
+"""
+
+from repro.faults.plan import (
+    ALL_SITES,
+    LOSSY_SITES,
+    FaultPlan,
+)
+from repro.faults.points import (
+    ACTIVE,
+    FaultInjector,
+    InjectedCacheCorruption,
+    InjectedSolverError,
+    active,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIVE",
+    "ALL_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCacheCorruption",
+    "InjectedSolverError",
+    "LOSSY_SITES",
+    "active",
+    "install",
+    "uninstall",
+]

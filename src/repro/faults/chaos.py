@@ -1,0 +1,412 @@
+"""The chaos harness: whole campaigns under seeded fault schedules.
+
+``run_chaos`` drives the full stack — runner, engines, solver, cache,
+interpreter, persistence, signals — through ``schedules`` randomized
+:class:`repro.faults.plan.FaultPlan`s and asserts the *recovery
+invariants* after each one:
+
+1. **No uncontained crash.**  Whatever the plan injects, ``Dart.run``
+   returns a result; an exception escaping the fault boundaries is a
+   violation.
+2. **Termination.**  The campaign finishes within a bounded number of
+   resumes (interrupted sessions are resumed from their checkpoint, like
+   an operator re-running the CLI).
+3. **Error replay soundness.**  Every reported error replays to the same
+   fault kind on a clean, injector-free re-execution — Theorem 1(a)
+   survives chaos.
+4. **Error-set preservation.**  Against a fault-free baseline of the
+   same benchmark: plans made only of *lossless* faults (checkpoint
+   damage, worker kills, signals, slow/flaky-but-retried solves) must
+   report exactly the baseline error set; plans containing *lossy*
+   faults (quarantined runs, forced solver UNKNOWNs — work the paper's
+   model legitimately loses) must report a subset, never an invention.
+5. **Honest degradation.**  A session that consumed a corrupted
+   checkpoint (``checkpoints_rejected > 0``) must never report
+   ``complete``.
+6. **No stale temp files.**  Failed checkpoint writes leave no
+   ``*.tmp`` debris next to the state file.
+
+The benchmarks are deliberately small programs whose fault-free directed
+search is *exhaustive* well inside the iteration budget — that is what
+makes invariant 4's subset direction sound: the baseline error set is
+the complete error set, so a chaotic session can only ever rediscover
+it, never exceed it.
+
+``chaos_probe`` is the fuzz campaign's lightweight sibling: one
+baseline-vs-faulted comparison on a *generated* program (non-signal,
+in-process fault sites only), used by ``repro fuzz --chaos-every``.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.dart.config import DartOptions
+from repro.dart.report import COMPLETE, INTERRUPTED
+from repro.dart.runner import Dart
+from repro.faults import points as fault_points
+from repro.faults.plan import ALL_SITES, SIGNAL_SITES, FaultPlan
+from repro.faults.points import FaultInjector
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+from repro.programs.samples import H_SOURCE, H_TOPLEVEL
+
+#: Fault sites that require worker processes (meaningless when jobs=1).
+_PARALLEL_ONLY = frozenset(("worker.kill",))
+
+#: Sites meaningful for a parallel benchmark: the engine-level seams.
+#: Machine/solver/cache seams live in the workers, which deliberately
+#: run injector-free (determinism needs parent-owned probe counters).
+_PARALLEL_SITES = (
+    "worker.kill", "persist.enospc", "persist.partial",
+    "persist.truncate", "persist.bitflip",
+    "signal.interrupt", "signal.checkpoint",
+)
+
+#: In-process sites for the fuzz campaign's chaos probe: no real signals
+#: (a stray KeyboardInterrupt must never escape into the campaign
+#: driver), no worker kills, no persistence (fuzz oracles keep no state
+#: file, so those seams would never be probed).
+PROBE_SITES = tuple(
+    site for site in ALL_SITES
+    if site not in SIGNAL_SITES
+    and site not in _PARALLEL_ONLY
+    and not site.startswith("persist.")
+)
+
+
+class _Benchmark:
+    """One chaos target: a program plus the session options shaping it."""
+
+    def __init__(self, name, source, toplevel, sites, **options):
+        self.name = name
+        self.source = source
+        self.toplevel = toplevel
+        #: The fault sites seeded plans may draw from for this benchmark.
+        self.sites = sites
+        self.options = options
+
+    def make_options(self, state_file, fault_plan=None, trace_file=None):
+        return DartOptions(
+            state_file=state_file, fault_plan=fault_plan,
+            trace_file=trace_file, handle_signals=True,
+            stop_on_first_error=False, **self.options)
+
+
+def _serial_sites():
+    return tuple(site for site in ALL_SITES if site not in _PARALLEL_ONLY)
+
+
+#: The benchmark rotation.  Both programs have exhaustive fault-free
+#: searches (AC controller: the paper's Fig. 6 at depth 2; ``h``: the
+#: Section 2.1 motivating example) and exactly one distinct error, so
+#: every invariant above is decidable.  The checkpoint cadence is tuned
+#: low so the persistence seams are probed many times per session.
+BENCHMARKS = (
+    _Benchmark(
+        "ac-bfs", AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+        _serial_sites(), depth=2, strategy="bfs", max_iterations=150,
+        checkpoint_every=3, time_limit=30.0, run_time_limit=5.0,
+    ),
+    _Benchmark(
+        "h-dfs", H_SOURCE, H_TOPLEVEL,
+        _serial_sites(), depth=1, strategy="dfs", max_iterations=150,
+        checkpoint_every=3, time_limit=30.0, run_time_limit=5.0,
+    ),
+    _Benchmark(
+        "ac-parallel", AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+        _PARALLEL_SITES, depth=2, strategy="bfs", jobs=2,
+        max_iterations=150, checkpoint_every=3, time_limit=60.0,
+        run_time_limit=5.0,
+    ),
+)
+
+
+def _plan_seed(seed, index):
+    """Deterministic per-schedule plan seed (mirrors ``_item_seed``)."""
+    return seed * 1_000_003 + index
+
+
+def _error_keys(result):
+    """The deduplication identity of a result's error set."""
+    return {(error.kind, str(error.location)) for error in result.errors}
+
+
+class ScheduleOutcome:
+    """What one fault schedule did to one benchmark."""
+
+    def __init__(self, index, benchmark, plan):
+        self.index = index
+        self.benchmark = benchmark
+        self.plan_spec = plan.spec()
+        #: (site, occurrence) pairs that actually fired.
+        self.fired = []
+        self.resumes = 0
+        self.status = None
+        self.violations = []
+        self.wall_s = 0.0
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def to_dict(self):
+        return {
+            "index": self.index,
+            "benchmark": self.benchmark,
+            "plan": self.plan_spec,
+            "fired": [list(pair) for pair in self.fired],
+            "resumes": self.resumes,
+            "status": self.status,
+            "violations": list(self.violations),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+    def describe(self):
+        verdict = "ok" if self.ok else "FAIL"
+        line = "[{:>3}] {} plan={!r} fired={} resumes={} status={} {}".format(
+            self.index, self.benchmark, self.plan_spec or "(empty)",
+            len(self.fired), self.resumes, self.status, verdict)
+        for violation in self.violations:
+            line += "\n      ! " + violation
+        return line
+
+
+class ChaosReport:
+    """Every schedule's outcome plus the campaign verdict."""
+
+    def __init__(self, seed, schedules):
+        self.seed = seed
+        self.schedules = schedules
+        self.outcomes = []
+        self.elapsed = 0.0
+
+    @property
+    def ok(self):
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self):
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "schedules": self.schedules,
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed, 3),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def describe(self):
+        fired = sum(len(outcome.fired) for outcome in self.outcomes)
+        lines = [
+            "chaos: seed {} -> {} schedule(s), {} fault(s) injected, "
+            "{} violation(s) in {:.1f}s".format(
+                self.seed, len(self.outcomes), fired,
+                sum(len(outcome.violations) for outcome in self.outcomes),
+                self.elapsed),
+        ]
+        for outcome in self.outcomes:
+            lines.append(outcome.describe())
+        return "\n".join(lines)
+
+
+def _baseline(benchmark, cache):
+    """The fault-free reference result for a benchmark (memoized)."""
+    reference = cache.get(benchmark.name)
+    if reference is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            options = benchmark.make_options(
+                os.path.join(scratch, "baseline.ckpt"))
+            reference = Dart(benchmark.source, benchmark.toplevel,
+                             options).run()
+        cache[benchmark.name] = reference
+    return reference
+
+
+def _run_schedule(index, benchmark, plan, baseline, max_resumes,
+                  out_dir=None):
+    """One chaotic campaign: run, resume past interrupts, check."""
+    outcome = ScheduleOutcome(index, benchmark.name, plan)
+    started = time.monotonic()
+    trace_file = None
+    run_dir = None
+    if out_dir is not None:
+        run_dir = os.path.join(out_dir, "schedule-{:03d}".format(index))
+        os.makedirs(run_dir, exist_ok=True)
+        trace_file = os.path.join(run_dir, "trace.jsonl")
+    injector = FaultInjector(plan)
+    result = None
+    crash = None
+    with tempfile.TemporaryDirectory() as scratch:
+        state_file = os.path.join(scratch, "session.ckpt")
+        # One injector across every resume of this schedule: probe
+        # counters persist, so each scheduled fault fires exactly once
+        # per schedule instead of re-firing on every resumed session
+        # (which could livelock an interrupt/resume loop).
+        fault_points.install(injector)
+        try:
+            while outcome.resumes < max_resumes:
+                options = benchmark.make_options(
+                    state_file, trace_file=trace_file)
+                result = Dart(benchmark.source, benchmark.toplevel,
+                              options).run()
+                outcome.resumes += 1
+                if result.status != INTERRUPTED:
+                    break
+        except BaseException as caught:  # noqa: BLE001 — invariant 1
+            crash = "{}: {}".format(type(caught).__name__, caught)
+        finally:
+            fault_points.uninstall()
+        outcome.fired = list(injector.fired)
+        if crash is not None:
+            outcome.status = "crashed"
+            outcome.violations.append(
+                "uncontained crash escaped Dart.run: " + crash)
+        elif result is None:
+            outcome.status = "no-result"
+            outcome.violations.append("no session produced a result")
+        else:
+            outcome.status = result.status
+            _check_invariants(outcome, benchmark, plan, result, baseline,
+                              state_file, max_resumes)
+    outcome.wall_s = time.monotonic() - started
+    if run_dir is not None:
+        with open(os.path.join(run_dir, "outcome.json"), "w") as handle:
+            json.dump(outcome.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return outcome
+
+
+def _check_invariants(outcome, benchmark, plan, result, baseline,
+                      state_file, max_resumes):
+    violations = outcome.violations
+    # 2. Termination within the resume budget.
+    if result.status == INTERRUPTED:
+        violations.append(
+            "still interrupted after {} resume(s)".format(max_resumes))
+    # 6. No stale temp file, whatever the persistence seams did.
+    if os.path.exists(state_file + ".tmp"):
+        violations.append("stale checkpoint temp file left behind")
+    # No duplicate error reports across crash/resume boundaries.
+    keys = [(error.kind, str(error.location)) for error in result.errors]
+    if len(keys) != len(set(keys)):
+        violations.append("duplicate error reports after resume: {}"
+                          .format(sorted(keys)))
+    # 3. Replay soundness, on a clean injector-free session.
+    dart = Dart(benchmark.source, benchmark.toplevel,
+                benchmark.make_options(None))
+    for error in result.errors:
+        fault = dart.replay(error)
+        if fault is None or fault.kind != error.kind:
+            violations.append(
+                "error {} at {} does not replay cleanly (got {})".format(
+                    error.kind, error.location,
+                    fault.kind if fault is not None else "no fault"))
+    # 4. Error-set preservation against the fault-free baseline.
+    chaotic, reference = _error_keys(result), _error_keys(baseline)
+    if plan.lossy:
+        if not chaotic <= reference:
+            violations.append(
+                "lossy plan invented errors: {} not in baseline {}".format(
+                    sorted(chaotic - reference), sorted(reference)))
+    elif chaotic != reference:
+        violations.append(
+            "lossless plan changed the error set: {} vs baseline {}".format(
+                sorted(chaotic), sorted(reference)))
+    # A complete claim implies nothing was lost — equality always.
+    if result.status == COMPLETE and chaotic != reference:
+        violations.append("complete session missed errors: {} vs {}".format(
+            sorted(chaotic), sorted(reference)))
+    # 5. Consumed checkpoint corruption forbids completeness.
+    if result.status == COMPLETE and result.stats.checkpoints_rejected:
+        violations.append(
+            "session claimed complete after a rejected checkpoint")
+
+
+def run_chaos(seed=0, schedules=25, benchmarks=None, out_dir=None,
+              max_resumes=8, progress=None):
+    """Run ``schedules`` seeded fault schedules; returns a ChaosReport.
+
+    Schedules rotate over ``benchmarks`` (default: the full
+    :data:`BENCHMARKS` rotation, including the parallel engine); each
+    draws a :class:`FaultPlan` from the benchmark's site pool with a
+    seed derived from ``(seed, index)``, so any outcome is replayable
+    from its printed plan spec alone.  ``out_dir`` writes per-schedule
+    ``outcome.json`` and trace artifacts.  ``progress`` is an optional
+    ``(index, outcome)`` callback.
+    """
+    targets = tuple(benchmarks) if benchmarks is not None else BENCHMARKS
+    report = ChaosReport(seed, schedules)
+    baselines = {}
+    started = time.monotonic()
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+    for index in range(schedules):
+        benchmark = targets[index % len(targets)]
+        plan = FaultPlan.from_seed(_plan_seed(seed, index),
+                                   sites=benchmark.sites)
+        baseline = _baseline(benchmark, baselines)
+        outcome = _run_schedule(index, benchmark, plan, baseline,
+                                max_resumes, out_dir=out_dir)
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(index, outcome)
+    report.elapsed = time.monotonic() - started
+    if out_dir is not None:
+        with open(os.path.join(out_dir, "report.json"), "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def chaos_probe(source, toplevel, options_kwargs, plan_seed):
+    """One baseline-vs-faulted comparison on an arbitrary program.
+
+    Used by the fuzz campaign (``repro fuzz --chaos-every``): runs the
+    program's DART session once clean and once under a seeded in-process
+    fault plan (:data:`PROBE_SITES` only), and checks that faults are
+    contained and never *invent* errors.  The subset/equality invariant
+    is only applied when the clean baseline finished its search inside
+    the budget — a budget-truncated baseline's error set is not the
+    complete set, so a faulted session legitimately may differ.
+
+    Returns a list of violation strings (empty = invariants held).
+    """
+    plan = FaultPlan.from_seed(plan_seed, sites=PROBE_SITES)
+    baseline = Dart(source, toplevel,
+                    DartOptions(**options_kwargs)).run()
+    violations = []
+    injector = FaultInjector(plan)
+    fault_points.install(injector)
+    try:
+        faulted = Dart(source, toplevel,
+                       DartOptions(**options_kwargs)).run()
+    except Exception as caught:  # noqa: BLE001 — containment is the test
+        violations.append(
+            "chaos: uncontained crash under plan {!r}: {}: {}".format(
+                plan.spec(), type(caught).__name__, caught))
+        return violations
+    finally:
+        fault_points.uninstall()
+    if not injector.fired:
+        return violations
+    max_iterations = options_kwargs.get("max_iterations", 10_000)
+    exhaustive = (baseline.status != INTERRUPTED
+                  and baseline.stats.iterations < max_iterations)
+    chaotic, reference = _error_keys(faulted), _error_keys(baseline)
+    if exhaustive and not chaotic <= reference:
+        violations.append(
+            "chaos: plan {!r} invented errors {} (baseline {})".format(
+                plan.spec(), sorted(chaotic - reference),
+                sorted(reference)))
+    if exhaustive and not plan.lossy and chaotic != reference:
+        violations.append(
+            "chaos: lossless plan {!r} changed the error set: "
+            "{} vs {}".format(plan.spec(), sorted(chaotic),
+                              sorted(reference)))
+    return violations

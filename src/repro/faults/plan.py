@@ -1,0 +1,190 @@
+"""Seeded, replayable fault schedules.
+
+A :class:`FaultPlan` maps *fault sites* (the instrumented seams listed in
+:data:`ALL_SITES`) to the 1-based probe occurrences at which they fire:
+``{"solver.raise": {2}}`` makes the second solver call of the session
+raise an injected error.  Occurrence counting is per
+:class:`repro.faults.points.FaultInjector` instance, so a plan replays
+exactly under the same (program, options, seed) — the whole point of
+deterministic chaos testing.
+
+Plans have two interchangeable spellings:
+
+* **Seeded** — ``FaultPlan.from_seed(seed)`` derives a schedule from a
+  PRNG: a handful of sites, each with a few firing occurrences inside a
+  small horizon.  ``seed:<n>`` in spec form.
+* **Explicit** — ``"solver.raise@2,persist.enospc@1"`` names every
+  (site, occurrence) pair.  ``FaultPlan.spec()`` always renders this
+  form, so any seeded plan can be re-run from its printed spec.
+
+:data:`LOSSY_SITES` marks the fault classes that may legitimately *lose*
+search work (a quarantined run's subtree, an abandoned flip): the chaos
+harness downgrades its error-set invariant from equality to subset for
+plans containing them; everything else must preserve the error set
+exactly.
+"""
+
+import random
+
+#: Every instrumented fault site, with where its seam lives.
+ALL_SITES = (
+    # repro.solver.core.Solver.solve — raise an internal solver error.
+    "solver.raise",
+    # repro.solver.core.Solver.solve — force an UNKNOWN verdict (budget
+    # exhaustion without a proof), exercising the escalation/degradation
+    # path.
+    "solver.unknown",
+    # repro.solver.core.Solver.solve — sleep before solving (a slow
+    # solve; interacts with session deadlines, never the run watchdog).
+    "solver.slow",
+    # repro.solver.cache.SolverResultCache — corrupt internal state:
+    # lookups/stores raise until the engine self-heals by clearing.
+    "cache.corrupt",
+    # repro.interp.machine.Machine — MemoryError mid-execution.
+    "machine.memory",
+    # repro.interp.machine.Machine — RecursionError mid-execution.
+    "machine.recursion",
+    # repro.dart.parallel — kill a worker process mid-generation
+    # (occurrence = the global iteration whose payload carries the kill).
+    "worker.kill",
+    # repro.dart.persist._atomic_write — ENOSPC before any content is
+    # written.
+    "persist.enospc",
+    # repro.dart.persist._atomic_write — ENOSPC after a partial write
+    # (the temp file must be cleaned up, the old checkpoint preserved).
+    "persist.partial",
+    # repro.dart.persist.save_checkpoint — truncate the saved file after
+    # a successful write (simulated torn storage; resume must reseed).
+    "persist.truncate",
+    # repro.dart.persist.save_checkpoint — flip a byte of the saved file
+    # (bit rot; the checksum must catch it and resume must reseed).
+    "persist.bitflip",
+    # repro.dart.runner — deliver SIGINT at the between-runs boundary.
+    "signal.interrupt",
+    # repro.dart.persist._atomic_write — deliver SIGINT *mid-write*
+    # (must be deferred until the atomic sequence completes).
+    "signal.checkpoint",
+)
+
+#: Sites whose faults may lose search work: the run (and its unexplored
+#: children) is quarantined, or a flip is abandoned as unsolvable.  The
+#: chaos harness asserts error-set *subset* instead of equality for
+#: plans containing any of these.
+LOSSY_SITES = frozenset((
+    "solver.raise",
+    "solver.unknown",
+    "machine.memory",
+    "machine.recursion",
+))
+
+#: Sites that corrupt or destroy the saved checkpoint: resuming from one
+#: reseeds from scratch, so the resumed session re-runs the whole search
+#: (equality still holds — the search is deterministic — but the session
+#: honestly refuses to claim completeness).
+RESEED_SITES = frozenset(("persist.truncate", "persist.bitflip"))
+
+#: Sites that deliver real signals; excluded from the fuzz campaign's
+#: chaos probe (which must never risk a KeyboardInterrupt escaping into
+#: the campaign driver).
+SIGNAL_SITES = frozenset(("signal.interrupt", "signal.checkpoint"))
+
+
+class FaultPlan:
+    """A deterministic schedule: fault site -> firing occurrences."""
+
+    def __init__(self, schedule=None):
+        #: {site: frozenset of 1-based occurrence indices}.
+        self.schedule = {}
+        for site, occurrences in (schedule or {}).items():
+            if site not in ALL_SITES:
+                raise ValueError("unknown fault site {!r}".format(site))
+            occurrences = frozenset(int(n) for n in occurrences)
+            if any(n < 1 for n in occurrences):
+                raise ValueError("occurrences are 1-based")
+            if occurrences:
+                self.schedule[site] = occurrences
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def sites(self):
+        return frozenset(self.schedule)
+
+    @property
+    def lossy(self):
+        """True when the plan may lose search work (subset invariant)."""
+        return bool(self.sites & LOSSY_SITES)
+
+    @property
+    def reseeds(self):
+        """True when the plan may force a from-scratch reseed."""
+        return bool(self.sites & RESEED_SITES)
+
+    def fires(self, site, occurrence):
+        """Does ``site`` fire at its ``occurrence``-th probe?"""
+        return occurrence in self.schedule.get(site, ())
+
+    def __bool__(self):
+        return bool(self.schedule)
+
+    # -- spellings ----------------------------------------------------------
+
+    def spec(self):
+        """The explicit, replayable spec string of this plan."""
+        parts = []
+        for site in ALL_SITES:
+            for occurrence in sorted(self.schedule.get(site, ())):
+                parts.append("{}@{}".format(site, occurrence))
+        return ",".join(parts)
+
+    @classmethod
+    def from_seed(cls, seed, sites=None, max_sites=3, max_fires=2,
+                  horizon=12):
+        """Derive a random schedule from ``seed``.
+
+        Picks 1..``max_sites`` of ``sites`` (default: every site), each
+        firing at 1..``max_fires`` occurrences within ``horizon`` — small
+        numbers on purpose: early faults hit sessions while they still
+        have work in flight.
+        """
+        rng = random.Random(seed)
+        pool = list(sites) if sites is not None else list(ALL_SITES)
+        count = rng.randint(1, min(max_sites, len(pool)))
+        chosen = rng.sample(pool, count)
+        schedule = {}
+        for site in chosen:
+            fires = rng.randint(1, max_fires)
+            schedule[site] = {rng.randint(1, horizon) for _ in range(fires)}
+        return cls(schedule)
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse a spec string: ``seed:<n>`` or ``site@occ[,site@occ...]``.
+
+        Accepts a :class:`FaultPlan` (returned unchanged) and None (an
+        empty plan), so option plumbing can pass whatever it holds.
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, FaultPlan):
+            return spec
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        if spec.startswith("seed:"):
+            return cls.from_seed(int(spec[len("seed:"):], 10))
+        schedule = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "@" not in part:
+                raise ValueError(
+                    "bad fault spec {!r}: expected site@occurrence".format(
+                        part))
+            site, _, occurrence = part.partition("@")
+            schedule.setdefault(site, set()).add(int(occurrence, 10))
+        return cls(schedule)
+
+    def __repr__(self):
+        return "FaultPlan({!r})".format(self.spec())

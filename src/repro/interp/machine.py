@@ -20,6 +20,7 @@ Two extension points connect the machine to the testing layers:
 import sys
 import time
 
+from repro.faults import points as fault_points
 from repro.interp.builtins import (
     BUILTINS,
     INPUT_INTRINSICS,
@@ -228,6 +229,12 @@ class Machine:
                     function_name, len(function.param_slots)
                 )
             )
+        injector = fault_points.ACTIVE
+        if injector is not None:
+            # Fault seam: may raise MemoryError/RecursionError as if the
+            # interpreter itself blew up; the runner's fault boundary
+            # must quarantine the run, not crash the session.
+            injector.machine_probe()
         pairs = [(value, None) for value in args]
         try:
             value, _ = self._call(function, pairs, function.location)
@@ -275,7 +282,9 @@ class Machine:
         limit = self.options.max_steps
         deadline = self.options.deadline
         interrupt_check = self.options.interrupt_check
-        watchdog = deadline is not None or interrupt_check is not None
+        injector = fault_points.ACTIVE
+        watchdog = deadline is not None or interrupt_check is not None \
+            or injector is not None
         while True:
             self.steps += 1
             instr = instrs[pc]
@@ -284,6 +293,10 @@ class Machine:
             if watchdog and self.steps >= self._next_watchdog:
                 self._next_watchdog = \
                     self.steps + self.options.watchdog_interval
+                if injector is not None:
+                    # Fault seam: resource exhaustion mid-execution, at
+                    # watchdog cadence so deep runs are also exposed.
+                    injector.machine_probe()
                 if interrupt_check is not None:
                     interrupt_check()
                 if deadline is not None:

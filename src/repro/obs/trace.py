@@ -54,6 +54,12 @@ QUARANTINE = "quarantine"
 CHECKPOINT = "checkpoint"
 GENERATION = "generation"
 PLAN = "plan"
+FAULT_INJECTED = "fault_injected"
+SOLVER_FAILED = "solver_failed"
+CACHE_FAILED = "cache_failed"
+CHECKPOINT_FAILED = "checkpoint_failed"
+CHECKPOINT_REJECTED = "checkpoint_rejected"
+POOL_RETRY = "pool_retry"
 
 #: All event types, for schema-completeness checks.
 EVENT_TYPES = (
@@ -61,6 +67,8 @@ EVENT_TYPES = (
     BRANCH, CONJUNCT_NEGATED, SOLVER_ANSWERED, CACHE_LOOKUP, CACHE_STORE,
     FORCING_MISMATCH, FLAG_DEGRADED, CONJUNCT_WIDENED, CONJUNCT_DROPPED,
     QUARANTINE, CHECKPOINT, GENERATION, PLAN,
+    FAULT_INJECTED, SOLVER_FAILED, CACHE_FAILED,
+    CHECKPOINT_FAILED, CHECKPOINT_REJECTED, POOL_RETRY,
 )
 
 

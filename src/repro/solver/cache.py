@@ -40,6 +40,7 @@ the tier (or miss) and its wall time.
 import time
 from collections import OrderedDict
 
+from repro.faults import points as fault_points
 from repro.obs import trace as tr
 from repro.solver.core import SAT, UNSAT, SolverResult
 from repro.symbolic.expr import GE, GT, LE, LT
@@ -151,6 +152,12 @@ class SolverResultCache:
         return hit
 
     def _lookup(self, constraints, domains):
+        injector = fault_points.ACTIVE
+        if injector is not None:
+            # Fault seam: simulated internal corruption.  The engine
+            # (solve_with_retry) self-heals by clearing the cache and
+            # treating the lookup as a miss.
+            injector.cache_access()
         key = self.query_key(constraints, domains)
         result = self._results.get(key)
         if result is not None:
@@ -223,6 +230,9 @@ class SolverResultCache:
         self._store(constraints, domains, result)
 
     def _store(self, constraints, domains, result):
+        injector = fault_points.ACTIVE
+        if injector is not None:
+            injector.cache_access()
         key = self.query_key(constraints, domains)
         self._results[key] = result
         self._results.move_to_end(key)
@@ -243,6 +253,17 @@ class SolverResultCache:
             self._unsat.move_to_end(key)
             while len(self._unsat) > self._max_unsat_sets:
                 self._unsat.popitem(last=False)
+
+    def clear(self):
+        """Drop every entry (the self-heal after detected corruption).
+
+        Losing the cache costs only re-derived solver calls, never
+        answers: every tier reproduces verdicts the solver would give,
+        so an empty cache is always a safe state to fall back to.
+        """
+        self._results.clear()
+        self._models.clear()
+        self._unsat.clear()
 
     def __len__(self):
         return len(self._results)

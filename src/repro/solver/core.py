@@ -11,6 +11,7 @@ the *original* constraints and domains before SAT is reported.
 
 import random
 
+from repro.faults import points as fault_points
 from repro.solver.fm import refutes
 from repro.solver.problem import (
     complete_model,
@@ -81,6 +82,13 @@ class Solver:
         :class:`SolverResult`; a SAT model assigns every variable that
         occurs in the constraints.
         """
+        injector = fault_points.ACTIVE
+        if injector is not None:
+            # Fault seam: may raise InjectedSolverError, sleep (a slow
+            # solve), or force an UNKNOWN verdict — the caller's
+            # resilience paths (solve_with_retry) are the test subject.
+            if injector.solver_call() == "unknown":
+                return SolverResult(UNKNOWN)
         constraints = list(constraints)
         call_budget = self._node_budget if node_budget is None \
             else node_budget

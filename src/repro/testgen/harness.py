@@ -188,15 +188,18 @@ def replay_repro(payload, oracle_opts=None):
 
 def run_campaign(seed=0, budget=200, time_budget=None, out_dir=None,
                  gen_opts=None, oracle_opts=None, parallel_every=25,
-                 solver_fuzz=True, reduce_budget=400, progress=None,
-                 stop_on_first=False):
+                 chaos_every=25, solver_fuzz=True, reduce_budget=400,
+                 progress=None, stop_on_first=False):
     """Run one fuzz campaign; returns a :class:`FuzzReport`.
 
     ``parallel_every`` samples the expensive ``--jobs`` vs. serial
-    comparison every Nth program (0 disables it).  ``progress`` is an
-    optional callback ``(index, report)`` invoked after each program.
-    ``stop_on_first`` ends the campaign at the first divergence (used by
-    the injected-bug acceptance test, which only needs one).
+    comparison every Nth program (0 disables it); ``chaos_every`` does
+    the same for the fault-containment probe (a clean vs. seeded-fault
+    session pair, :func:`repro.faults.chaos.chaos_probe`).  ``progress``
+    is an optional callback ``(index, report)`` invoked after each
+    program.  ``stop_on_first`` ends the campaign at the first
+    divergence (used by the injected-bug acceptance test, which only
+    needs one).
     """
     rng = random.Random(seed)
     battery = OracleBattery(oracle_opts)
@@ -212,8 +215,10 @@ def run_campaign(seed=0, budget=200, time_budget=None, out_dir=None,
                                    seed=program_seed)
         parallel = bool(parallel_every) and index % parallel_every == 0 \
             and index > 0
+        chaos = bool(chaos_every) and index % chaos_every == 0 \
+            and index > 0
         divergences = battery.check(
-            program, parallel=parallel,
+            program, parallel=parallel, chaos=chaos,
             solver_rng=rng if solver_fuzz else None)
         report.programs += 1
         for divergence in divergences:

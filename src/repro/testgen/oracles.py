@@ -211,7 +211,7 @@ class OracleBattery:
             "definitive_pairs": 0, "skipped_pairs": 0,
             "forcing_mismatches": 0, "plans_checked": 0,
             "solver_systems": 0, "solver_unknown": 0,
-            "parallel_sessions": 0,
+            "parallel_sessions": 0, "chaos_probes": 0,
             "conjuncts_widened": 0, "conjuncts_dropped_unfaithful": 0,
         }
 
@@ -561,9 +561,34 @@ class OracleBattery:
                     ).format(index, conjunct)
         return None
 
+    # -- oracle 6: fault containment (chaos probe) ---------------------------
+
+    def check_chaos(self, program):
+        """Clean vs. seeded-fault DART session on a generated program.
+
+        Delegates to :func:`repro.faults.chaos.chaos_probe`: in-process
+        fault sites only, plan derived from the program seed so every
+        violation is replayable.  The invariants are containment (no
+        crash escapes the fault boundaries) and honesty (a faulted
+        session never *invents* errors a clean exhaustive session did
+        not find).
+        """
+        from repro.faults.chaos import chaos_probe
+
+        self.counters["chaos_probes"] += 1
+        self.counters["dart_sessions"] += 2
+        violations = chaos_probe(
+            program.render(), program.toplevel,
+            dict(max_iterations=self.opts.dart_iterations,
+                 stop_on_first_error=False, max_steps=self.opts.max_steps,
+                 handle_signals=False, seed=0),
+            (program.seed or 0) * 1_000_003 + 4242,
+        )
+        return [Divergence("chaos", violation) for violation in violations]
+
     # -- the full battery ---------------------------------------------------
 
-    def check(self, program, parallel=False, solver_rng=None):
+    def check(self, program, parallel=False, solver_rng=None, chaos=False):
         """Run every oracle on ``program``; returns all divergences."""
         self.counters["programs"] += 1
         try:
@@ -578,6 +603,8 @@ class OracleBattery:
         divergences.extend(self.check_config_invariance(program))
         if parallel:
             divergences.extend(self.check_parallel_invariance(program))
+        if chaos:
+            divergences.extend(self.check_chaos(program))
         if solver_rng is not None:
             divergences.extend(self.check_constraint_fuzz(solver_rng))
         return divergences
@@ -597,4 +624,6 @@ class OracleBattery:
         if oracle in ("config", "quarantine", "solver"):
             return [d for d in self.check_config_invariance(program)
                     if d.oracle == oracle]
+        if oracle == "chaos":
+            return self.check_chaos(program)
         return []

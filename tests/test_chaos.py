@@ -1,0 +1,117 @@
+"""The chaos harness (repro.faults.chaos) and its CLI surface."""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.faults import points as fault_points
+from repro.faults.chaos import (
+    BENCHMARKS,
+    PROBE_SITES,
+    chaos_probe,
+    run_chaos,
+)
+from repro.faults.plan import SIGNAL_SITES
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+
+
+class TestRunChaos:
+    def test_rotation_covers_every_benchmark(self, tmp_path):
+        out_dir = str(tmp_path / "artifacts")
+        report = run_chaos(seed=3, schedules=len(BENCHMARKS),
+                           out_dir=out_dir)
+        assert report.ok, report.describe()
+        assert {outcome.benchmark for outcome in report.outcomes} == \
+            {benchmark.name for benchmark in BENCHMARKS}
+        # Artifacts: one directory per schedule plus the campaign report.
+        payload = json.load(open(os.path.join(out_dir, "report.json")))
+        assert payload["ok"] is True
+        assert len(payload["outcomes"]) == len(BENCHMARKS)
+        for index in range(len(BENCHMARKS)):
+            run_dir = os.path.join(out_dir,
+                                   "schedule-{:03d}".format(index))
+            outcome = json.load(open(os.path.join(run_dir,
+                                                  "outcome.json")))
+            assert outcome["violations"] == []
+            assert os.path.exists(os.path.join(run_dir, "trace.jsonl"))
+
+    def test_schedules_are_replayable(self):
+        first = run_chaos(seed=11, schedules=2)
+        second = run_chaos(seed=11, schedules=2)
+        assert [outcome.plan_spec for outcome in first.outcomes] == \
+            [outcome.plan_spec for outcome in second.outcomes]
+        assert [outcome.fired for outcome in first.outcomes] == \
+            [outcome.fired for outcome in second.outcomes]
+
+    def test_harness_leaves_no_injector_behind(self):
+        run_chaos(seed=5, schedules=1)
+        assert fault_points.ACTIVE is None
+
+
+class TestChaosProbe:
+    OPTIONS = dict(depth=2, strategy="bfs", seed=0, max_iterations=150,
+                   stop_on_first_error=False, handle_signals=False)
+
+    def test_probe_sites_are_in_process_only(self):
+        assert not set(PROBE_SITES) & SIGNAL_SITES
+        assert "worker.kill" not in PROBE_SITES
+        assert not any(site.startswith("persist.")
+                       for site in PROBE_SITES)
+
+    def test_probe_holds_on_clean_stack(self):
+        # A few seeds so at least one plan actually fires.
+        for plan_seed in range(4):
+            violations = chaos_probe(
+                AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                dict(self.OPTIONS), plan_seed)
+            assert violations == []
+        assert fault_points.ACTIVE is None
+
+
+class TestChaosCli:
+    def test_chaos_command_ok(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = cli.main(["chaos", "--seed", "2", "--schedules", "2",
+                         "--benchmark", "h-dfs", "--out", out_dir,
+                         "--progress-every", "0"])
+        assert code == 0
+        assert "violation(s)" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(out_dir, "report.json"))
+
+    def test_chaos_command_json(self, capsys):
+        code = cli.main(["chaos", "--schedules", "1",
+                         "--benchmark", "ac-bfs", "--json",
+                         "--progress-every", "0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_chaos_command_rejects_unknown_benchmark(self, capsys):
+        code = cli.main(["chaos", "--benchmark", "nope"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_fault_plan_flag_rejects_bad_spec(self, tmp_path, capsys):
+        source = tmp_path / "p.c"
+        source.write_text(AC_CONTROLLER_SOURCE)
+        code = cli.main([str(source), AC_CONTROLLER_TOPLEVEL,
+                         "--fault-plan", "solver.meltdown@1"])
+        assert code == 2
+        assert "bad --fault-plan" in capsys.readouterr().err
+
+    def test_fault_plan_flag_injects(self, tmp_path, capsys):
+        source = tmp_path / "p.c"
+        source.write_text(AC_CONTROLLER_SOURCE)
+        code = cli.main([str(source), AC_CONTROLLER_TOPLEVEL,
+                         "--depth", "2", "--strategy", "bfs",
+                         "--all-errors", "--max-iterations", "150",
+                         "--fault-plan", "solver.raise@2", "--json"])
+        assert code == 1  # the AC bug is still found
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["faults_injected"] == 1
+        assert payload["stats"]["solver_failures"] == 1

@@ -12,6 +12,7 @@ import pytest
 import repro
 from repro import DartOptions
 from repro.dart import persist
+from repro.dart.report import CHECKPOINT_CORRUPT
 from repro.dart.runner import Dart
 from repro.programs.ac_controller import AC_CONTROLLER_SOURCE
 
@@ -179,6 +180,19 @@ class TestCheckpointRejection:
         assert not resumed.resumed  # restarted: branches re-solved
         assert resumed.status == "complete"
 
+    def assert_degraded_reseed(self, resumed):
+        """A corrupt (exists-but-invalid) checkpoint must reseed from
+        scratch AND degrade: lost progress means the session can no
+        longer certify completeness, and the damage is quarantined as
+        evidence rather than silently swallowed."""
+        assert not resumed.resumed
+        assert resumed.status == "exhausted"  # never COMPLETE after loss
+        assert resumed.stats.checkpoints_rejected == 1
+        records = [record for record in resumed.quarantined
+                   if record.classification == CHECKPOINT_CORRUPT]
+        assert len(records) == 1
+        assert "reseeding" in records[0].detail
+
     def test_corrupted_checkpoint_is_rejected(self, tmp_path):
         path = str(tmp_path / "state.json")
         self.run_once(AC_CONTROLLER_SOURCE, path)
@@ -191,10 +205,8 @@ class TestCheckpointRejection:
             DartOptions(strategy="bfs", seed=1),
         ).fingerprint
         assert persist.load_checkpoint(path, fingerprint) is None
-        resumed = self.run_once(AC_CONTROLLER_SOURCE, path,
-                                max_iterations=400)
-        assert not resumed.resumed
-        assert resumed.status == "complete"
+        self.assert_degraded_reseed(
+            self.run_once(AC_CONTROLLER_SOURCE, path, max_iterations=400))
 
     def test_truncated_checkpoint_is_rejected(self, tmp_path):
         path = str(tmp_path / "state.json")
@@ -202,10 +214,8 @@ class TestCheckpointRejection:
         data = open(path).read()
         with open(path, "w") as handle:
             handle.write(data[: len(data) // 2])  # torn write
-        resumed = self.run_once(AC_CONTROLLER_SOURCE, path,
-                                max_iterations=400)
-        assert not resumed.resumed
-        assert resumed.status == "complete"
+        self.assert_degraded_reseed(
+            self.run_once(AC_CONTROLLER_SOURCE, path, max_iterations=400))
 
     def test_load_checkpoint_roundtrip(self, tmp_path):
         path = str(tmp_path / "state.json")

@@ -1,0 +1,344 @@
+"""The deterministic fault-injection layer (repro.faults).
+
+Covers the plan algebra (parse/spec round-trips, seeded determinism,
+validation), the zero-overhead-when-disabled pin, and — for every fault
+site — that the stack *contains* the injected failure: the session never
+crashes, the right funnel counter moves, and recovery preserves the
+error set the clean session reports.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro import DartOptions
+from repro.dart import persist
+from repro.dart.report import (
+    CHECKPOINT_CORRUPT,
+    COMPLETE,
+    INTERRUPTED,
+    RESOURCE_EXHAUSTED,
+)
+from repro.dart.runner import Dart
+from repro.faults import (
+    ALL_SITES,
+    LOSSY_SITES,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.faults import points as fault_points
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+from repro.programs.samples import H_SOURCE, H_TOPLEVEL
+
+
+def error_keys(result):
+    return {(error.kind, str(error.location)) for error in result.errors}
+
+
+def run_ac(fault_plan=None, **overrides):
+    options = dict(depth=2, strategy="bfs", seed=0, max_iterations=150,
+                   stop_on_first_error=False, fault_plan=fault_plan)
+    options.update(overrides)
+    return Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                DartOptions(**options)).run()
+
+
+@pytest.fixture(scope="module")
+def ac_baseline():
+    return run_ac()
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.parse("solver.raise@2,solver.raise@5,"
+                               "persist.enospc@1")
+        assert plan.spec() == "solver.raise@2,solver.raise@5," \
+                              "persist.enospc@1"
+        assert FaultPlan.parse(plan.spec()).schedule == plan.schedule
+
+    def test_spec_order_is_canonical(self):
+        # Same schedule, scrambled spelling -> identical spec.
+        one = FaultPlan.parse("persist.enospc@1,solver.raise@5,"
+                              "solver.raise@2")
+        two = FaultPlan.parse("solver.raise@2,persist.enospc@1,"
+                              "solver.raise@5")
+        assert one.spec() == two.spec()
+
+    def test_from_seed_is_deterministic(self):
+        for seed in range(30):
+            first = FaultPlan.from_seed(seed)
+            assert first.schedule  # never an empty schedule
+            assert first.spec() == FaultPlan.from_seed(seed).spec()
+            # And the printed spec replays to the same plan.
+            assert FaultPlan.parse(first.spec()).schedule == first.schedule
+
+    def test_from_seed_respects_site_pool(self):
+        pool = ("persist.enospc", "persist.bitflip")
+        for seed in range(20):
+            plan = FaultPlan.from_seed(seed, sites=pool)
+            assert plan.sites <= set(pool)
+
+    def test_seed_spec_form(self):
+        assert FaultPlan.parse("seed:7").spec() == \
+            FaultPlan.from_seed(7).spec()
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("solver.meltdown@1")
+
+    def test_rejects_zero_occurrence(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("solver.raise@0")
+
+    def test_rejects_bare_site(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("solver.raise")
+
+    def test_empty_plans(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("").spec() == ""
+
+    def test_fires(self):
+        plan = FaultPlan.parse("cache.corrupt@3")
+        assert plan.fires("cache.corrupt", 3)
+        assert not plan.fires("cache.corrupt", 2)
+        assert not plan.fires("solver.raise", 3)
+
+    def test_lossy_classification(self):
+        assert FaultPlan.parse("solver.raise@1").lossy
+        assert FaultPlan.parse("machine.memory@1").lossy
+        assert not FaultPlan.parse("persist.enospc@1").lossy
+        assert not FaultPlan.parse("worker.kill@1").lossy
+        assert LOSSY_SITES <= set(ALL_SITES)
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_no_injector_installed_by_default(self, ac_baseline):
+        # The seams read one module attribute and do nothing else; a
+        # session without a fault plan must neither install an injector
+        # nor count any faults.
+        assert fault_points.ACTIVE is None
+        assert ac_baseline.stats.faults_injected == 0
+        assert ac_baseline.stats.solver_failures == 0
+        assert ac_baseline.stats.cache_failures == 0
+        assert ac_baseline.stats.checkpoint_failures == 0
+        assert ac_baseline.stats.checkpoints_rejected == 0
+        assert ac_baseline.stats.pool_retries == 0
+
+    def test_session_uninstalls_owned_injector(self):
+        run_ac(fault_plan="solver.raise@1")
+        assert fault_points.ACTIVE is None  # removed on session end
+
+    def test_empty_plan_never_fires(self):
+        injector = FaultInjector(FaultPlan())
+        for _ in range(5):
+            assert injector.solver_call() is None
+            injector.cache_access()
+            injector.machine_probe()
+            assert injector.checkpoint_write() is None
+        assert injector.fired == []
+
+
+class TestSolverFaults:
+    def test_solver_raise_is_contained(self, ac_baseline):
+        result = run_ac(fault_plan="solver.raise@2")
+        assert result.stats.faults_injected == 1
+        assert result.stats.solver_failures == 1
+        # A failed solve degrades to UNKNOWN: the flip is abandoned, the
+        # session survives and may lose (never invent) errors.
+        assert error_keys(result) <= error_keys(ac_baseline)
+        assert result.status != COMPLETE  # degraded: honesty about loss
+
+    def test_solver_unknown_single_blip_is_absorbed_by_escalation(self):
+        # One forced UNKNOWN is not even lossy: solve_with_retry
+        # escalates the node budget and re-solves, and the second call
+        # (occurrence 2) is fault-free.
+        result = run_ac(fault_plan="solver.unknown@1")
+        assert result.stats.faults_injected == 1
+        assert result.stats.solver_retries >= 1
+        assert result.stats.solver_unknown == 0
+
+    def test_solver_unknown_past_escalation_degrades(self):
+        # Both the original call and its escalated retry forced UNKNOWN:
+        # the flip is abandoned and the verdict honestly degrades.
+        result = run_ac(fault_plan="solver.unknown@1,solver.unknown@2")
+        assert result.stats.faults_injected == 2
+        assert result.stats.solver_unknown >= 1
+        assert result.status != COMPLETE
+
+    def test_solver_failure_counts_every_occurrence(self):
+        result = run_ac(fault_plan="solver.raise@1,solver.raise@2,"
+                                   "solver.raise@3")
+        assert result.stats.solver_failures == 3
+
+    def test_cache_corruption_self_heals(self, ac_baseline):
+        result = run_ac(fault_plan="cache.corrupt@2")
+        assert result.stats.faults_injected == 1
+        assert result.stats.cache_failures == 1
+        # The cache only memoizes solver verdicts, so clearing it is
+        # always sound: the session's verdict must be unchanged.
+        assert error_keys(result) == error_keys(ac_baseline)
+        assert result.status == ac_baseline.status
+        assert result.stats.iterations == ac_baseline.stats.iterations
+
+
+class TestMachineFaults:
+    def test_memory_error_is_quarantined(self):
+        result = run_ac(fault_plan="machine.memory@3")
+        assert result.stats.faults_injected == 1
+        records = [record for record in result.quarantined
+                   if record.classification == RESOURCE_EXHAUSTED]
+        assert len(records) == 1
+        assert result.status != COMPLETE  # the run's subtree was lost
+
+    def test_recursion_error_is_quarantined(self):
+        result = run_ac(fault_plan="machine.recursion@3")
+        records = [record for record in result.quarantined
+                   if record.classification == RESOURCE_EXHAUSTED]
+        assert len(records) == 1
+
+
+class TestPersistFaults:
+    def run_with_state(self, path, fault_plan=None, **overrides):
+        overrides.setdefault("checkpoint_every", 3)
+        return run_ac(fault_plan=fault_plan, state_file=path, **overrides)
+
+    def assert_no_temp_debris(self, path):
+        assert not glob.glob(path + "*.tmp")
+        assert not glob.glob(os.path.join(os.path.dirname(path), "*.tmp"))
+
+    def test_enospc_keeps_previous_checkpoint(self, tmp_path, ac_baseline):
+        path = str(tmp_path / "state.json")
+        # Budget-exhaust at 10 so the session ends holding a state file
+        # (a clean finish would clear it): autosaves at 3, 6 (fails), 9,
+        # plus the budget-exhaustion save.
+        result = self.run_with_state(path, fault_plan="persist.enospc@2",
+                                     max_iterations=10)
+        assert result.stats.checkpoint_failures == 1
+        self.assert_no_temp_debris(path)
+        # The failed save left the *previous* checkpoint in place; later
+        # successful saves overwrote it — either way the file on disk is
+        # valid, and resuming from it reproduces the clean error set.
+        fingerprint = Dart(
+            AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+            DartOptions(depth=2, strategy="bfs", seed=0,
+                        max_iterations=10, stop_on_first_error=False),
+        ).fingerprint
+        checkpoint, reason = persist.load_checkpoint_ex(path, fingerprint)
+        assert reason == "ok" and checkpoint is not None
+        # Resume with the full budget (budget knobs are outside the
+        # fingerprint) and finish the search.
+        resumed = run_ac(state_file=path, checkpoint_every=3)
+        assert resumed.resumed
+        assert error_keys(resumed) == error_keys(ac_baseline)
+
+    def test_clean_finish_clears_state_file(self, tmp_path, ac_baseline):
+        path = str(tmp_path / "state.json")
+        result = self.run_with_state(path, fault_plan="persist.enospc@2")
+        assert result.stats.checkpoint_failures == 1
+        self.assert_no_temp_debris(path)
+        assert error_keys(result) == error_keys(ac_baseline)
+        # Full budget: the search drained cleanly, so the checkpoint was
+        # cleared exactly as in a fault-free session.
+        assert not os.path.exists(path)
+
+    def test_partial_write_leaves_no_temp_file(self, tmp_path, ac_baseline):
+        path = str(tmp_path / "state.json")
+        result = self.run_with_state(path, fault_plan="persist.partial@1")
+        assert result.stats.checkpoint_failures == 1
+        self.assert_no_temp_debris(path)
+        assert error_keys(result) == error_keys(ac_baseline)
+
+    def corrupt_final_checkpoint(self, tmp_path, site):
+        """Run with the *only* save (the budget-exhaustion checkpoint)
+        corrupted by ``site``, then resume clean; returns the resumed
+        result."""
+        path = str(tmp_path / "state.json")
+        self.run_with_state(path, fault_plan="{}@1".format(site),
+                            max_iterations=10, checkpoint_every=10_000)
+        assert os.path.exists(path)  # damaged, but present
+        return path, self.run_with_state(path)
+
+    def assert_degraded_reseed(self, resumed, ac_baseline):
+        assert not resumed.resumed
+        assert resumed.stats.checkpoints_rejected == 1
+        records = [record for record in resumed.quarantined
+                   if record.classification == CHECKPOINT_CORRUPT]
+        assert len(records) == 1
+        assert resumed.status != COMPLETE  # lost progress, honest verdict
+        assert error_keys(resumed) == error_keys(ac_baseline)
+
+    def test_truncated_checkpoint_reseeds(self, tmp_path, ac_baseline):
+        _, resumed = self.corrupt_final_checkpoint(tmp_path,
+                                                   "persist.truncate")
+        self.assert_degraded_reseed(resumed, ac_baseline)
+
+    def test_bitflipped_checkpoint_reseeds(self, tmp_path, ac_baseline):
+        path, resumed = self.corrupt_final_checkpoint(tmp_path,
+                                                      "persist.bitflip")
+        self.assert_degraded_reseed(resumed, ac_baseline)
+        # The checksum, not JSON parsing, must be what catches bit rot
+        # when the flip lands inside a value.
+        with open(path) as handle:
+            payload = json.load(handle)  # may or may not still parse
+        assert isinstance(payload, dict)
+
+
+class TestSignalFaults:
+    def test_sigint_mid_checkpoint_write_is_deferred(self, tmp_path,
+                                                     ac_baseline):
+        # SIGINT delivered in the middle of _atomic_write: the deferral
+        # guard must finish the atomic rename first, then let the
+        # session's handler interrupt it — leaving a *valid* checkpoint
+        # that a clean resume completes from.
+        path = str(tmp_path / "state.json")
+        interrupted = run_ac(fault_plan="signal.checkpoint@1",
+                             state_file=path, checkpoint_every=3,
+                             handle_signals=True)
+        assert interrupted.status == INTERRUPTED
+        resumed = run_ac(state_file=path, checkpoint_every=3)
+        assert resumed.resumed
+        assert error_keys(resumed) == error_keys(ac_baseline)
+        assert resumed.stats.checkpoints_rejected == 0
+
+    def test_sigint_between_runs_checkpoints_and_resumes(self, tmp_path,
+                                                         ac_baseline):
+        path = str(tmp_path / "state.json")
+        interrupted = run_ac(fault_plan="signal.interrupt@2",
+                             state_file=path, checkpoint_every=3,
+                             handle_signals=True)
+        assert interrupted.status == INTERRUPTED
+        resumed = run_ac(state_file=path, checkpoint_every=3)
+        assert resumed.resumed
+        assert error_keys(resumed) == error_keys(ac_baseline)
+
+
+class TestWorkerFaults:
+    def test_worker_kill_retries_and_matches_serial(self, ac_baseline):
+        result = run_ac(fault_plan="worker.kill@3", jobs=2)
+        assert result.stats.pool_retries == 1
+        assert result.stats.faults_injected == 1
+        # The generation is re-dispatched with the same payload seeds, so
+        # the merged outcome is exactly the undisturbed session's.
+        assert error_keys(result) == error_keys(ac_baseline)
+        assert result.stats.iterations == ac_baseline.stats.iterations
+        assert result.status == ac_baseline.status
+
+    def test_h_dfs_survives_solver_raise(self):
+        clean = Dart(H_SOURCE, H_TOPLEVEL,
+                     DartOptions(strategy="dfs", seed=0,
+                                 max_iterations=100,
+                                 stop_on_first_error=False)).run()
+        chaotic = Dart(H_SOURCE, H_TOPLEVEL,
+                       DartOptions(strategy="dfs", seed=0,
+                                   max_iterations=100,
+                                   stop_on_first_error=False,
+                                   fault_plan="solver.raise@1")).run()
+        assert chaotic.stats.solver_failures == 1
+        assert error_keys(chaotic) <= error_keys(clean)
