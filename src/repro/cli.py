@@ -63,6 +63,10 @@ def build_parser():
                              "(solve the full path-constraint prefix)")
     parser.add_argument("--no-solver-cache", action="store_true",
                         help="disable the solver result cache")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable the compiled execution engine "
+                             "(run the tree-walking interpreter; "
+                             "ablation only — results are identical)")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget in seconds")
     parser.add_argument("--run-time-limit", type=float, default=None,
@@ -355,6 +359,7 @@ def main(argv=None):
         jobs=args.jobs,
         constraint_slicing=not args.no_slicing,
         solver_cache=not args.no_solver_cache,
+        compiled_execution=not args.no_compile,
         stop_on_first_error=not args.all_errors,
         time_limit=args.time_limit,
         run_time_limit=args.run_time_limit,
@@ -400,5 +405,9 @@ def main(argv=None):
         "{cache_unsat_shortcuts} unsat-shortcut / {cache_model_reuses} "
         "model-reuse / {cache_misses} miss (hit rate "
         "{cache_hit_rate})".format(**stats)
+    )
+    print(
+        "instructions: {instructions_executed} executed / "
+        "{instructions_symbolic} symbolic".format(**stats)
     )
     return _exit_code(result)

@@ -51,6 +51,7 @@ class DartOptions:
         trace_ring=32,
         profile_phases=False,
         fault_plan=None,
+        compiled_execution=True,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -150,6 +151,14 @@ class DartOptions:
         #: fingerprint so a chaos resume accepts the interrupted
         #: session's checkpoint (and vice versa).
         self.fault_plan = fault_plan
+        #: Lower the IR to specialized closures once per session and run
+        #: untainted instructions on a concrete-only fast path
+        #: (repro.interp.compile); ``--no-compile`` selects the
+        #: tree-walking interpreter for ablation.  A pure perf knob —
+        #: both engines are observationally identical (pinned by the
+        #: engine-differential oracle) — so like ``jobs`` it is excluded
+        #: from the checkpoint digest.
+        self.compiled_execution = compiled_execution
 
     def digest(self):
         """A stable hash of the options that shape the *search*.
@@ -168,6 +177,10 @@ class DartOptions:
         interrupted sessions across injector installs, and the
         crash-resume equivalence invariant needs a faulted session's
         checkpoint to be acceptable to a clean resume.
+        ``compiled_execution`` is excluded for the same reason as
+        ``jobs``: the engines are observationally identical, so a
+        ``--no-compile`` resume of a compiled session (and vice versa)
+        must be accepted.
         """
         relevant = (
             self.depth, self.strategy, self.seed,

@@ -68,11 +68,12 @@ from repro.dart.report import (
 )
 from repro.dart.solve import expand_worklist_children
 from repro.faults import points as fault_points
+from repro.interp.compile import CompiledProgram
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.obs import trace as tr
 from repro.obs.profile import CACHE as CACHE_PHASE
-from repro.obs.profile import EXECUTE, SOLVE
+from repro.obs.profile import COMPILE, EXECUTE, SOLVE
 from repro.obs.trace import ListSink, TraceBus
 from repro.solver import Solver, SolverResultCache
 from repro.symbolic.flags import CompletenessFlags
@@ -103,6 +104,12 @@ class _WorkerContext:
         self.solver = Solver(seed=options.seed,
                              node_budget=options.solver_node_budget)
         self.cache = SolverResultCache() if options.solver_cache else None
+        #: Per-process compiled engine (closures are not picklable, so
+        #: each worker lowers its own module copy once).
+        self.compiled = CompiledProgram(self.module) \
+            if options.compiled_execution else None
+        #: compile_seconds already attributed to the compile phase.
+        self._compile_seconds_seen = 0.0
 
     def run_item(self, payload):
         """Execute one pending item and expand its children.
@@ -147,6 +154,7 @@ class _WorkerContext:
                 trace=bus,
             ),
             hooks, flags,
+            compiled=self.compiled,
         )
         if bus is not None:
             bus.emit(tr.RUN_STARTED, iteration=0, planned=planned)
@@ -170,10 +178,24 @@ class _WorkerContext:
             out["status"] = "quarantined"
             out["quarantine"] = self._quarantine(INTERNAL_ERROR, im, caught)
         wall = time.perf_counter() - started
+        compiled = self.compiled
+        compile_delta = 0.0
+        if compiled is not None:
+            compile_delta = \
+                compiled.compile_seconds - self._compile_seconds_seen
+            self._compile_seconds_seen = compiled.compile_seconds
+            if compile_delta > 0.0:
+                wall = max(wall - compile_delta, 0.0)
+                if bus is not None:
+                    bus.emit(tr.COMPILE, wall_s=round(compile_delta, 6),
+                             functions=compiled.functions_compiled)
         if stats.phases.enabled:
+            if compile_delta > 0.0:
+                stats.phases.add(COMPILE, compile_delta)
             stats.phases.add(EXECUTE, wall)
         stats.branches_executed = machine.branches_executed
-        stats.machine_steps = machine.steps
+        stats.instructions_executed = machine.steps
+        stats.instructions_symbolic = machine.symbolic_steps
         stats.conjuncts_widened = machine.widener.widened
         stats.conjuncts_dropped_unfaithful = machine.widener.dropped
         if bus is not None:

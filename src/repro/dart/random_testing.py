@@ -20,6 +20,7 @@ from repro.dart.report import (
     ErrorReport,
     RunStats,
 )
+from repro.interp.compile import CompiledProgram
 from repro.interp.faults import ExecutionFault, RunTimeout
 from repro.interp.machine import Machine, MachineOptions
 from repro.symbolic.flags import CompletenessFlags
@@ -54,6 +55,8 @@ class RandomTester:
             source, toplevel, depth=self.options.depth, filename=filename,
             max_init_depth=self.options.max_init_depth,
         )
+        self.compiled = CompiledProgram(self.module) \
+            if self.options.compiled_execution else None
 
     def run(self):
         options = self.options
@@ -91,6 +94,7 @@ class RandomTester:
                     ),
                     hooks,
                     CompletenessFlags(),
+                    compiled=self.compiled,
                 )
                 try:
                     machine.run(DRIVER_ENTRY)
@@ -111,7 +115,8 @@ class RandomTester:
                         break
                 finally:
                     stats.branches_executed += machine.branches_executed
-                    stats.machine_steps += machine.steps
+                    stats.instructions_executed += machine.steps
+                    stats.instructions_symbolic += machine.symbolic_steps
                     stats.covered_branches |= machine.covered_branches
         finally:
             stats.finish()

@@ -146,7 +146,13 @@ class RunStats:
         "iterations", "paths_explored", "solver_calls", "solver_sat",
         "solver_unsat", "solver_unknown", "solver_retries",
         "solver_escalations", "forcing_failures", "random_restarts",
-        "branches_executed", "machine_steps",
+        # Instruction throughput: ``instructions_executed`` counts RAM-
+        # machine steps across all runs (the numerator of the
+        # instructions/sec throughput metric); ``instructions_symbolic``
+        # counts the subset whose result carried a symbolic expression —
+        # the taint-gated slow path both execution engines share.
+        "branches_executed", "instructions_executed",
+        "instructions_symbolic",
         # Solver-throughput subsystem (slicing + result cache):
         # ``solver_constraints`` totals the conjuncts of *actual* solver
         # calls (avg query size = solver_constraints / solver_calls);
@@ -260,7 +266,9 @@ class RunStats:
             "forcing_failures": self.forcing_failures,
             "random_restarts": self.random_restarts,
             "branches": self.branches_executed,
-            "steps": self.machine_steps,
+            "steps": self.instructions_executed,
+            "instructions_executed": self.instructions_executed,
+            "instructions_symbolic": self.instructions_symbolic,
             "quarantined": len(self.quarantined),
             "elapsed_s": round(self.elapsed, 4),
             "flips_attempted": self.flips_attempted,

@@ -57,10 +57,11 @@ from repro.dart.solve import (
 from repro.faults import points as fault_points
 from repro.faults.points import FaultInjector
 from repro.interp.faults import ExecutionFault, RestoredFault, RunTimeout
+from repro.interp.compile import CompiledProgram
 from repro.interp.machine import Machine, MachineOptions
 from repro.obs import trace as tr
 from repro.obs.profile import CACHE as CACHE_PHASE
-from repro.obs.profile import CHECKPOINT, EXECUTE, SOLVE
+from repro.obs.profile import CHECKPOINT, COMPILE, EXECUTE, SOLVE
 from repro.obs.trace import JsonlTraceSink, RingBufferSink, TraceBus
 from repro.solver import Solver, SolverResultCache
 from repro.solver.cache import ENCODING_VERSION
@@ -87,6 +88,12 @@ class Dart:
         #: Session-lifetime solver result cache (None when disabled).
         self.solver_cache = SolverResultCache() \
             if self.options.solver_cache else None
+        #: The compiled execution engine (repro.interp.compile), shared by
+        #: every machine this session creates — functions are lowered once
+        #: and the closures are reused across runs.  None selects the
+        #: tree-walking interpreter (``--no-compile`` ablation).
+        self.compiled = CompiledProgram(self.module) \
+            if self.options.compiled_execution else None
         #: The structured trace bus (repro.obs.trace).  Disabled — and
         #: free — until run() attaches a sink (``trace_file``), or a
         #: caller attaches one programmatically before run().
@@ -185,7 +192,8 @@ class Dart:
             interrupt_check=interrupt_check,
             trace=self.trace,
         )
-        return Machine(self.module, machine_options, hooks, flags)
+        return Machine(self.module, machine_options, hooks, flags,
+                       compiled=self.compiled)
 
     # -- replay -----------------------------------------------------------
 
@@ -285,6 +293,12 @@ class _Session:
         self.flags.trace = self.trace
         self.stats = RunStats()
         self.stats.phases.enabled = self.options.profile_phases
+        #: compile_seconds high-water mark already attributed to the
+        #: compile phase (the compiled program outlives the session).
+        self._compile_seconds_seen = (
+            dart.compiled.compile_seconds if dart.compiled is not None
+            else 0.0
+        )
         if fault_points.ACTIVE is not None:
             # Injected faults count into this session's statistics and
             # trace stream (a harness-owned injector is re-bound per
@@ -433,7 +447,8 @@ class _Session:
             outcome.quarantined = True
             self._quarantine(INTERNAL_ERROR, im, caught)
         self.stats.branches_executed += machine.branches_executed
-        self.stats.machine_steps += machine.steps
+        self.stats.instructions_executed += machine.steps
+        self.stats.instructions_symbolic += machine.symbolic_steps
         self.stats.conjuncts_widened += machine.widener.widened
         self.stats.conjuncts_dropped_unfaithful += machine.widener.dropped
         self.stats.covered_branches |= machine.covered_branches
@@ -446,7 +461,23 @@ class _Session:
                 # the flip was successfully forced (funnel stage 3).
                 self.stats.runs_forced += 1
         wall = time.perf_counter() - started
+        # IR lowering happens lazily inside the run window (first call of
+        # each function); carve it out of execute so both the phase
+        # profile and the trace attribute compilation honestly.
+        compiled = self.dart.compiled
+        compile_delta = 0.0
+        if compiled is not None:
+            compile_delta = \
+                compiled.compile_seconds - self._compile_seconds_seen
+            self._compile_seconds_seen = compiled.compile_seconds
+            if compile_delta > 0.0:
+                wall = max(wall - compile_delta, 0.0)
+                if trace.enabled:
+                    trace.emit(tr.COMPILE, wall_s=round(compile_delta, 6),
+                               functions=compiled.functions_compiled)
         if self.stats.phases.enabled:
+            if compile_delta > 0.0:
+                self.stats.phases.add(COMPILE, compile_delta)
             self.stats.phases.add(EXECUTE, wall)
         if trace.enabled:
             if outcome.mismatch:

@@ -1,0 +1,1036 @@
+"""The compiled execution engine: IR lowered once to Python closures.
+
+The tree-walking interpreter in :mod:`repro.interp.machine` re-dispatches
+on instruction and AST-node types on *every* step; at osip scale (§4.3 of
+the paper) that dispatch — not the solver — dominates session wall time.
+This module lowers each :class:`repro.minic.ir.IRFunction` once into a
+flat list of specialized step closures: operand shapes, C types, frame
+offsets, wrap masks, signedness and operator functions are all resolved
+at lowering time, so executing an instruction is a single closure call.
+
+**Taint gating.** The machine's ``(concrete value, symbolic expression or
+None)`` value pairs already carry a per-value taint bit: ``sym is None``
+means the value cannot depend on any input.  Every compiled closure tests
+that bit inline and, when all operands are untainted, runs a concrete-only
+path that skips symbolic expression construction, the
+:class:`~repro.symbolic.widen.Widener`, and branch-constraint recording
+entirely.  The moment any operand carries taint the closure falls back to
+the machine's full-symbolic methods (``_compare``, ``_apply_binary``,
+``constraint_from_branch``...), so tainted instructions behave *exactly*
+like the interpreter — including every completeness-flag transition.
+
+**Bit-identical invariant.** Both engines share all machine state (memory
+``M``, symbolic memory ``S``, hooks, widener, flags, frames, counters)
+and must produce identical concrete state, branch events, coverage sets,
+faults and fault locations, counters and completeness flags on every
+program.  The concrete fast paths below are therefore exact inlinings of
+the interpreter's semantics — the untainted early-outs mirror the
+evaluator combinators' ``_both_concrete`` returns (which neither build
+expressions nor touch flags), so skipping them is observationally
+equivalent.  The equivalence is pinned by the engine-differential oracle
+(``repro.testgen.oracles``) and a Hypothesis property over generated
+programs (``tests/test_compile_engine.py``).
+
+**Constant folding.** Pure concrete subtrees (literals, enum constants,
+arithmetic on folded operands) are evaluated at lowering time with the
+machine's exact wrap semantics; division by a folded zero is *not* folded
+(it must fault at runtime with the right location), and string literals
+are never folded (their addresses are per-machine).
+
+Lowering is lazy — a function is compiled on its first call — and
+:class:`CompiledProgram` accumulates ``compile_seconds`` so the session
+profiler can attribute lowering to its own ``compile`` phase instead of
+polluting ``execute``.
+"""
+
+import operator
+import time
+
+from repro.interp.builtins import BUILTINS, INPUT_INTRINSICS
+from repro.interp.faults import (
+    AssertionViolation,
+    DivisionByZero,
+    InterpreterError,
+    ProgramAbort,
+)
+from repro.interp.values import c_div, c_mod, wrap
+from repro.minic import ast_nodes as ast
+from repro.minic import ir
+from repro.minic.symbols import ENUM_CONST, GLOBAL
+from repro.symbolic.evaluate import constraint_from_branch
+from repro.symbolic.expr import EQ, LinExpr
+
+_M32 = 0xFFFFFFFF
+
+_CMP = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+#: Shared "no value" pair (void returns, casts to void).
+_ZERO_PAIR = (0, None)
+
+#: Constant-folding failure sentinel (None is a legitimate fold result
+#: only in the sense that it never is — folds are ints).
+_NOT_CONST = object()
+
+
+def _wrap_fn(ctype):
+    """A closure computing ``values.wrap(v, ctype)`` with baked-in masks."""
+    bits = 8 * ctype.size
+    mask = (1 << bits) - 1
+    if ctype.signed:
+        sbit = 1 << (bits - 1)
+        # Branch-free two's-complement wrap.
+        return lambda v: ((v & mask) ^ sbit) - sbit
+    return lambda v: v & mask
+
+
+def _unsigned_ctype(ctype):
+    """Machine._unsigned_ctype, available at lowering time."""
+    if ctype is None:
+        return False
+    ctype = ctype.decay()
+    if ctype.is_pointer():
+        return True
+    return ctype.is_integer() and not ctype.signed
+
+
+# ---------------------------------------------------------------------------
+# Constant folding (lowering-time evaluation of pure concrete subtrees)
+# ---------------------------------------------------------------------------
+
+
+def _fold(e):
+    """The concrete value the machine would compute for ``e``, or
+    ``_NOT_CONST``.  Only side-effect-free nodes whose machine semantics
+    are fully determined at lowering time are folded; the arithmetic
+    mirrors ``Machine._apply_binary``/``_eval_unary`` exactly (including
+    the unsigned operand folding and the final wrap)."""
+    if isinstance(e, ast.IntLit):
+        return e.value
+    if isinstance(e, ast.Ident):
+        symbol = e.symbol
+        if symbol is not None and symbol.kind == ENUM_CONST:
+            return symbol.value
+        return _NOT_CONST
+    if isinstance(e, ast.Unary):
+        if e.op not in ("-", "~", "!"):
+            return _NOT_CONST
+        value = _fold(e.operand)
+        if value is _NOT_CONST:
+            return _NOT_CONST
+        if e.op == "!":
+            return 0 if value != 0 else 1
+        if e.ctype is None or not e.ctype.is_integer():
+            return _NOT_CONST
+        return wrap(-value if e.op == "-" else ~value, e.ctype)
+    if isinstance(e, ast.Cast):
+        value = _fold(e.operand)
+        if value is _NOT_CONST or e.ctype is None:
+            return _NOT_CONST
+        if e.ctype.is_void():
+            return 0
+        if e.ctype.is_integer():
+            return wrap(value, e.ctype)
+        if e.ctype.is_pointer():
+            return value & _M32
+        return _NOT_CONST
+    if isinstance(e, ast.Binary):
+        return _fold_binary(e)
+    return _NOT_CONST
+
+
+def _fold_binary(e):
+    lv = _fold(e.left)
+    if lv is _NOT_CONST:
+        return _NOT_CONST
+    rv = _fold(e.right)
+    if rv is _NOT_CONST:
+        return _NOT_CONST
+    lt = e.left.ctype.decay() if e.left.ctype is not None else None
+    rt = e.right.ctype.decay() if e.right.ctype is not None else None
+    if lt is None or rt is None:
+        return _NOT_CONST
+    op = e.op
+    if op in _CMP:
+        unsigned = (lt.is_pointer() or rt.is_pointer()
+                    or not lt.signed or not rt.signed)
+        if unsigned:
+            lv &= _M32
+            rv &= _M32
+        return 1 if _CMP[op](lv, rv) else 0
+    if lt.is_pointer() or rt.is_pointer():
+        return _NOT_CONST  # pointer arithmetic: addresses are per-machine
+    result_type = e.ctype.decay() if e.ctype is not None else None
+    if result_type is None or not result_type.is_integer():
+        return _NOT_CONST
+    if not result_type.signed:
+        lv &= _M32
+        rv &= _M32
+    if op == "+":
+        raw = lv + rv
+    elif op == "-":
+        raw = lv - rv
+    elif op == "*":
+        raw = lv * rv
+    elif op in ("/", "%"):
+        if rv == 0:
+            return _NOT_CONST  # must fault at runtime, with a location
+        raw = c_div(lv, rv) if op == "/" else c_mod(lv, rv)
+    elif op == "<<":
+        raw = lv << (rv & 31)
+    elif op == ">>":
+        raw = lv >> (rv & 31)
+    elif op == "&":
+        raw = lv & rv
+    elif op == "|":
+        raw = lv | rv
+    elif op == "^":
+        raw = lv ^ rv
+    else:
+        return _NOT_CONST
+    return wrap(raw, result_type)
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    """Lowers one module's expressions/instructions to closures.
+
+    Every generated closure has the signature ``closure(m, f)`` where
+    ``m`` is the executing :class:`~repro.interp.machine.Machine` and
+    ``f`` is the current frame's base address; expression closures return
+    the machine's ``(value, sym)`` pairs, lvalue closures return
+    addresses, step closures return the next pc (negative = return).
+    """
+
+    def __init__(self, module):
+        self.module = module
+
+    # -- generic expression dispatch ------------------------------------
+
+    def expr(self, e):
+        value = _fold(e)
+        if value is not _NOT_CONST:
+            pair = (value, None)
+            return lambda m, f: pair
+        method = self._DISPATCH.get(type(e))
+        if method is None:
+            # Sound fallback: the interpreter evaluates the node against
+            # the same shared machine state.
+            return lambda m, f: m._eval(e)
+        return method(self, e)
+
+    # -- loads / stores (specialized by C type) -------------------------
+
+    def _load_fn(self, ctype):
+        """``load(m, addr) -> (value, sym)`` mirroring Machine._load."""
+        if ctype.is_array():
+            return lambda m, addr: (addr, None)  # decay
+        if ctype.is_struct():
+            size = ctype.size
+
+            def load_struct(m, addr):
+                data = m.memory.read_bytes(addr, size, check_init=False)
+                return _struct_value(data, addr), None
+
+            return load_struct
+        size = ctype.size
+        signed = ctype.is_integer() and ctype.signed
+        from_bytes = int.from_bytes
+
+        def load(m, addr):
+            mem = m.memory
+            region = mem._last_region
+            if (
+                region is not None
+                and region.start <= addr
+                and addr + size <= region.start + region.size
+                and region.live
+                and region.written is None
+            ):
+                off = addr - region.start
+                value = from_bytes(
+                    region.data[off:off + size], "little", signed=signed
+                )
+            else:
+                value = mem.read_int(addr, size, signed)
+            symbolic = m.symbolic
+            # Inlined bounds guard: S is consulted only when [addr, addr+size)
+            # intersects the range symbolic data was ever stored in.
+            if symbolic._entries and addr < symbolic._hi \
+                    and addr + size > symbolic._lo:
+                sym = symbolic.read(addr, size)
+                if sym is None and symbolic.has_overlap(addr, size):
+                    m.flags.clear_linear()
+                return value, sym
+            return value, None
+
+        return load
+
+    def _store_fn(self, ctype):
+        """``store(m, addr, value, sym)`` mirroring Machine._store_scalar."""
+        size = ctype.size
+        signed = ctype.is_integer() and ctype.signed
+        mask = (1 << (8 * size)) - 1
+
+        def store(m, addr, value, sym):
+            mem = m.memory
+            region = mem._last_region
+            if (
+                region is not None
+                and region.start <= addr
+                and addr + size <= region.start + region.size
+                and region.live
+                and region.written is None
+                and region.kind != "string"
+            ):
+                off = addr - region.start
+                region.data[off:off + size] = (value & mask).to_bytes(
+                    size, "little"
+                )
+            else:
+                mem.write_int(addr, value, size, signed)
+            symbolic = m.symbolic
+            if sym is not None:
+                symbolic.write(addr, size, sym)
+            elif symbolic._entries and addr < symbolic._hi \
+                    and addr + size > symbolic._lo:
+                # A concrete store can only matter to S by invalidating an
+                # overlapping entry; outside the bounds it is a no-op.
+                symbolic.write(addr, size, None)
+
+        return store
+
+    def _convert_fn(self, from_type, to_type):
+        """Machine._convert split into (concrete, full) closures.
+
+        ``concrete(v)`` is the conversion for untainted values (the
+        symbolic half stays None); ``full(m, v, s)`` is the tainted path
+        including ``evaluator.cast_int``.
+        """
+        if to_type.is_struct():
+            return (lambda v: v), (lambda m, v, s: (v, s))
+        if to_type.is_integer():
+            wrapf = _wrap_fn(to_type)
+
+            def full_int(m, v, s):
+                nv = wrapf(v)
+                return nv, m.evaluator.cast_int(v, nv, s)
+
+            return wrapf, full_int
+        if to_type.is_pointer():
+
+            def conc_ptr(v):
+                return v & _M32
+
+            def full_ptr(m, v, s):
+                nv = v & _M32
+                return nv, m.evaluator.cast_int(v, nv, s)
+
+            return conc_ptr, full_ptr
+        return (lambda v: v), (lambda m, v, s: (v, s))
+
+    # -- lvalues ---------------------------------------------------------
+
+    def lvalue(self, e):
+        """``lv(m, f) -> address``, mirroring Machine._eval_lvalue."""
+        if isinstance(e, ast.Ident):
+            symbol = e.symbol
+            if symbol.kind == GLOBAL:
+                name = symbol.name
+                return lambda m, f: m._global_addrs[name]
+            off = symbol.frame_offset
+            if off is None:
+                return lambda m, f: m._eval_lvalue(e)
+            return lambda m, f: f + off
+        if isinstance(e, ast.Unary) and e.op == "*":
+            operand = self.expr(e.operand)
+
+            def lv_deref(m, f):
+                value, sym = operand(m, f)
+                if sym is not None:
+                    m.flags.clear_locs()
+                return value
+
+            return lv_deref
+        if isinstance(e, ast.Index):
+            return self._index_lvalue(e)
+        if isinstance(e, ast.Member):
+            return self._member_lvalue(e)
+        return lambda m, f: m._eval_lvalue(e)
+
+    def _index_lvalue(self, e):
+        base = self.expr(e.base)
+        index = self.expr(e.index)
+        base_type = e.base.ctype.decay()
+        if base_type.is_pointer():
+            esize = base_type.pointee.size
+
+            def lv_index(m, f):
+                base_value, base_sym = base(m, f)
+                index_value, index_sym = index(m, f)
+                if base_sym is not None or index_sym is not None:
+                    m.flags.clear_locs()
+                return base_value + index_value * esize
+
+            return lv_index
+        # ``i[p]``: semantic analysis allows it; the pointer is the index.
+        esize = e.index.ctype.decay().pointee.size
+
+        def lv_index_swapped(m, f):
+            index_value, index_sym = base(m, f)
+            base_value, base_sym = index(m, f)
+            if base_sym is not None or index_sym is not None:
+                m.flags.clear_locs()
+            return base_value + index_value * esize
+
+        return lv_index_swapped
+
+    def _member_lvalue(self, e):
+        offset = e.field.offset
+        if e.arrow:
+            base = self.expr(e.base)
+
+            def lv_arrow(m, f):
+                base_value, base_sym = base(m, f)
+                if base_sym is not None:
+                    m.flags.clear_locs()
+                return base_value + offset
+
+            return lv_arrow
+        inner = self.lvalue(e.base)
+        return lambda m, f: inner(m, f) + offset
+
+    # -- node compilers --------------------------------------------------
+
+    def intlit(self, e):
+        pair = (e.value, None)
+        return lambda m, f: pair
+
+    def stringlit(self, e):
+        index = e.intern_index
+        return lambda m, f: (m._string_addrs[index], None)
+
+    def ident(self, e):
+        symbol = e.symbol
+        if symbol.kind == ENUM_CONST:
+            pair = (symbol.value, None)
+            return lambda m, f: pair
+        ctype = e.ctype
+        load = self._load_fn(ctype)
+        if symbol.kind == GLOBAL:
+            name = symbol.name
+            return lambda m, f: load(m, m._global_addrs[name])
+        off = symbol.frame_offset
+        if off is None:
+            return lambda m, f: m._eval(e)
+        if not (ctype.is_array() or ctype.is_struct()):
+            # Scalar frame local: the hottest expression form by far.
+            # Fuse the address computation into the load body so reading
+            # a local costs one closure call, not a lambda + load chain.
+            size = ctype.size
+            signed = ctype.is_integer() and ctype.signed
+            from_bytes = int.from_bytes
+
+            def load_local(m, f):
+                addr = f + off
+                mem = m.memory
+                region = mem._last_region
+                if (
+                    region is not None
+                    and region.start <= addr
+                    and addr + size <= region.start + region.size
+                    and region.live
+                    and region.written is None
+                ):
+                    roff = addr - region.start
+                    value = from_bytes(
+                        region.data[roff:roff + size], "little",
+                        signed=signed,
+                    )
+                else:
+                    value = mem.read_int(addr, size, signed)
+                symbolic = m.symbolic
+                if symbolic._entries and addr < symbolic._hi \
+                        and addr + size > symbolic._lo:
+                    sym = symbolic.read(addr, size)
+                    if sym is None and symbolic.has_overlap(addr, size):
+                        m.flags.clear_linear()
+                    return value, sym
+                return value, None
+
+            return load_local
+        return lambda m, f: load(m, f + off)
+
+    def unary(self, e):
+        op = e.op
+        if op == "&":
+            lv = self.lvalue(e.operand)
+            return lambda m, f: (lv(m, f), None)
+        if op == "*":
+            lv = self.lvalue(e)
+            load = self._load_fn(e.ctype)
+            return lambda m, f: load(m, lv(m, f))
+        if op in ("++", "--"):
+            return self._incdec(e.operand, op, prefix=True)
+        operand = self.expr(e.operand)
+        if op in ("-", "~"):
+            if e.ctype is None or not e.ctype.is_integer():
+                return lambda m, f: m._eval(e)
+            wrapf = _wrap_fn(e.ctype)
+            if op == "-":
+
+                def ev_neg(m, f):
+                    value, sym = operand(m, f)
+                    if sym is None:
+                        return wrapf(-value), None
+                    return wrapf(-value), m.evaluator.neg(value, sym)
+
+                return ev_neg
+
+            def ev_inv(m, f):
+                value, sym = operand(m, f)
+                if sym is None:
+                    return wrapf(~value), None
+                return wrapf(~value), m.evaluator.nonlinear(sym)
+
+            return ev_inv
+        if op == "!":
+            unsigned = _unsigned_ctype(e.operand.ctype)
+
+            def ev_not(m, f):
+                value, sym = operand(m, f)
+                result = 0 if value != 0 else 1
+                if sym is None:
+                    return result, None
+                if isinstance(sym, LinExpr):
+                    notsym = m.widener.widen_truth_test(
+                        EQ, value, sym, unsigned, result
+                    )
+                else:
+                    notsym = m.evaluator.logical_not(value, sym)
+                    if notsym is not None and \
+                            not m.widener.faithful(notsym, result):
+                        notsym = m.widener.drop_unfaithful()
+                return result, notsym
+
+            return ev_not
+        return lambda m, f: m._eval(e)
+
+    def postfix(self, e):
+        return self._incdec(e.operand, e.op, prefix=False)
+
+    def _incdec(self, target, op, prefix):
+        lv = self.lvalue(target)
+        ctype = target.ctype.decay()
+        load = self._load_fn(ctype)
+        store = self._store_fn(ctype)
+        if ctype.is_pointer():
+            step = ctype.pointee.size
+            delta = step if op == "++" else -step
+
+            def ev_ptr(m, f):
+                addr = lv(m, f)
+                old_value, old_sym = load(m, addr)
+                new_value = old_value + delta
+                new_sym = None if old_sym is None \
+                    else m.evaluator.nonlinear(old_sym)
+                store(m, addr, new_value, new_sym)
+                if prefix:
+                    return new_value, new_sym
+                return old_value, old_sym
+
+            return ev_ptr
+        delta = 1 if op == "++" else -1
+        wrapf = _wrap_fn(ctype)
+
+        def ev_int(m, f):
+            addr = lv(m, f)
+            old_value, old_sym = load(m, addr)
+            new_value = wrapf(old_value + delta)
+            new_sym = None if old_sym is None \
+                else m.evaluator.add(old_value, old_sym, delta, None)
+            store(m, addr, new_value, new_sym)
+            if prefix:
+                return new_value, new_sym
+            return old_value, old_sym
+
+        return ev_int
+
+    def binary(self, e):
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        apply = self._make_apply(
+            e, e.op, e.left.ctype.decay(), e.right.ctype.decay()
+        )
+
+        def ev(m, f):
+            lv, ls = left(m, f)
+            rv, rs = right(m, f)
+            return apply(m, lv, ls, rv, rs)
+
+        return ev
+
+    def _make_apply(self, e, op, lt, rt):
+        """``apply(m, lv, ls, rv, rs) -> (value, sym)`` mirroring
+        Machine._apply_binary, with the untainted path inlined."""
+
+        def apply_generic(m, lv, ls, rv, rs):
+            return m._apply_binary(e, op, lt, lv, ls, rt, rv, rs)
+
+        if op in _CMP:
+            cmpf = _CMP[op]
+            unsigned = (lt.is_pointer() or rt.is_pointer()
+                        or not lt.signed or not rt.signed)
+
+            def apply_cmp(m, lv, ls, rv, rs):
+                if ls is None and rs is None:
+                    if unsigned:
+                        lv &= _M32
+                        rv &= _M32
+                    return (1 if cmpf(lv, rv) else 0), None
+                return m._compare(op, lt, lv, ls, rt, rv, rs)
+
+            return apply_cmp
+        if lt.is_pointer() or rt.is_pointer():
+            if op == "-" and lt.is_pointer() and rt.is_pointer():
+                size = max(lt.pointee.size, 1)
+
+                def apply_ptrdiff(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        return (lv - rv) // size, None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+                return apply_ptrdiff
+            if op in ("+", "-"):
+                if lt.is_pointer():
+                    size = max(lt.pointee.size, 1)
+                    negate = op == "-"
+
+                    def apply_ptr_left(m, lv, ls, rv, rs):
+                        if ls is None and rs is None:
+                            offset = rv * size
+                            return (lv - offset if negate
+                                    else lv + offset), None
+                        return apply_generic(m, lv, ls, rv, rs)
+
+                    return apply_ptr_left
+                size = max(rt.pointee.size, 1)
+                negate = op == "-"
+
+                def apply_ptr_right(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        offset = lv * size
+                        return (rv - offset if negate
+                                else rv + offset), None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+                return apply_ptr_right
+            return apply_generic
+        result_type = e.ctype.decay() if e.ctype is not None else None
+        if result_type is None or not result_type.is_integer():
+            return apply_generic
+        wrapf = _wrap_fn(result_type)
+        ufold = not result_type.signed
+        # The wrap is inlined below rather than calling wrapf: a Python
+        # closure call per arithmetic node is the single largest cost of
+        # the concrete fast path.
+        mask = (1 << (8 * result_type.size)) - 1
+        sbit = 1 << (8 * result_type.size - 1)
+        if op in ("+", "-", "*"):
+            arith = {"+": operator.add, "-": operator.sub,
+                     "*": operator.mul}[op]
+            if ufold:
+
+                def apply_arith(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        return arith(lv & _M32, rv & _M32) & mask, None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+            else:
+
+                def apply_arith(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        return ((arith(lv, rv) & mask) ^ sbit) - sbit, \
+                            None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+            return apply_arith
+        if op in ("/", "%"):
+            message = "division by zero" if op == "/" else "modulo by zero"
+            divf = c_div if op == "/" else c_mod
+            location = e.location
+
+            def apply_div(m, lv, ls, rv, rs):
+                if ls is None and rs is None:
+                    if ufold:
+                        lv &= _M32
+                        rv &= _M32
+                    if rv == 0:
+                        raise DivisionByZero(message, location)
+                    return wrapf(divf(lv, rv)), None
+                return apply_generic(m, lv, ls, rv, rs)
+
+            return apply_div
+        if op in ("<<", ">>", "&", "|", "^"):
+            if op == "<<":
+                def bitf(a, b):
+                    return a << (b & 31)
+            elif op == ">>":
+                def bitf(a, b):
+                    return a >> (b & 31)
+            else:
+                bitf = {"&": operator.and_, "|": operator.or_,
+                        "^": operator.xor}[op]
+
+            if ufold:
+
+                def apply_bit(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        return bitf(lv & _M32, rv & _M32) & mask, None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+            else:
+
+                def apply_bit(m, lv, ls, rv, rs):
+                    if ls is None and rs is None:
+                        return ((bitf(lv, rv) & mask) ^ sbit) - sbit, None
+                    return apply_generic(m, lv, ls, rv, rs)
+
+            return apply_bit
+        return apply_generic
+
+    def assign(self, e):
+        target_type = e.target.ctype.decay()
+        lv = self.lvalue(e.target)
+        if e.op == "=":
+            value = self.expr(e.value)
+            if target_type.is_struct():
+
+                def ev_struct(m, f):
+                    addr = lv(m, f)
+                    v, s = value(m, f)
+                    m._store_scalar_or_struct(addr, target_type, v, s)
+                    return v, s
+
+                return ev_struct
+            conc, full = self._convert_fn(
+                e.value.ctype.decay(), target_type
+            )
+            store = self._store_fn(target_type)
+            target = e.target
+            if (
+                isinstance(target, ast.Ident)
+                and target.symbol.kind != GLOBAL
+                and target.symbol.frame_offset is not None
+            ):
+                # Scalar local on the left: fold the address computation
+                # into the assignment closure (the hot loop-body shape).
+                off = target.symbol.frame_offset
+
+                def ev_assign_local(m, f):
+                    v, s = value(m, f)
+                    if s is None:
+                        v = conc(v)
+                        store(m, f + off, v, None)
+                        return v, None
+                    v, s = full(m, v, s)
+                    store(m, f + off, v, s)
+                    return v, s
+
+                return ev_assign_local
+
+            def ev_assign(m, f):
+                addr = lv(m, f)
+                v, s = value(m, f)
+                if s is None:
+                    v = conc(v)
+                    store(m, addr, v, None)
+                    return v, None
+                v, s = full(m, v, s)
+                store(m, addr, v, s)
+                return v, s
+
+            return ev_assign
+        # Compound assignment (+=, -=, ...): load-modify-store.
+        binop = e.op[:-1]
+        rhs_type = e.value.ctype.decay()
+        load = self._load_fn(target_type)
+        store = self._store_fn(target_type)
+        rhs = self.expr(e.value)
+        apply = self._make_apply(e, binop, target_type, rhs_type)
+        target_int = target_type.is_integer()
+        wrapt = _wrap_fn(target_type) if target_int else None
+
+        def ev_compound(m, f):
+            addr = lv(m, f)
+            old_value, old_sym = load(m, addr)
+            rv, rs = rhs(m, f)
+            v, s = apply(m, old_value, old_sym, rv, rs)
+            if target_int:
+                v = wrapt(v)
+            store(m, addr, v, s)
+            return v, s
+
+        return ev_compound
+
+    def cast(self, e):
+        operand = self.expr(e.operand)
+        target = e.ctype
+        if target.is_void():
+
+            def ev_void(m, f):
+                operand(m, f)
+                return _ZERO_PAIR
+
+            return ev_void
+        conc, full = self._convert_fn(e.operand.ctype.decay(), target)
+
+        def ev_cast(m, f):
+            v, s = operand(m, f)
+            if s is None:
+                return conc(v), None
+            return full(m, v, s)
+
+        return ev_cast
+
+    def index(self, e):
+        lv = self._index_lvalue(e)
+        load = self._load_fn(e.ctype)
+        return lambda m, f: load(m, lv(m, f))
+
+    def member(self, e):
+        if e.arrow or e.base.is_lvalue:
+            lv = self._member_lvalue(e)
+            load = self._load_fn(e.ctype)
+            return lambda m, f: load(m, lv(m, f))
+        # Field of a struct rvalue: rare; the interpreter path is shared.
+        return lambda m, f: m._eval_member(e)
+
+    def call(self, e):
+        name = e.name
+        kind = INPUT_INTRINSICS.get(name)
+        if kind is not None:
+            return lambda m, f: m._acquire_input(kind)
+        arg_evs = [self.expr(arg) for arg in e.args]
+        location = e.location
+        function = self.module.functions.get(name)
+        if function is not None:
+            converters = [
+                self._convert_fn(arg.ctype.decay(), ptype)
+                for arg, ptype in zip(e.args, function.ftype.param_types)
+            ]
+
+            def ev_call(m, f):
+                pairs = [ev(m, f) for ev in arg_evs]
+                converted = []
+                for (conc, full), (v, s) in zip(converters, pairs):
+                    if s is None:
+                        converted.append((conc(v), None))
+                    else:
+                        converted.append(full(m, v, s))
+                return m._call(function, converted, location)
+
+            return ev_call
+        handler = BUILTINS.get(name)
+        if handler is not None:
+            transparent_candidate = name in ("memcpy", "strcpy")
+
+            def ev_builtin(m, f):
+                pairs = [ev(m, f) for ev in arg_evs]
+                if not (m.options.transparent_memory
+                        and transparent_candidate):
+                    if any(s is not None for _, s in pairs):
+                        # A black-box library call consumed symbolic
+                        # values (same loss as the interpreter records).
+                        m.flags.clear_linear()
+                return handler(m, pairs, location), None
+
+            return ev_builtin
+        # Unknown callee: the interpreter raises the right diagnostic.
+        return lambda m, f: m._eval_call(e)
+
+    # -- instruction lowering --------------------------------------------
+
+    def instr(self, instruction, pc, function):
+        if isinstance(instruction, ir.Eval):
+            ev = self.expr(instruction.expr)
+            next_pc = pc + 1
+
+            def step_eval(m, f):
+                if ev(m, f)[1] is not None:
+                    m.symbolic_steps += 1
+                return next_pc
+
+            return step_eval
+        if isinstance(instruction, ir.Branch):
+            cond = self.expr(instruction.cond)
+            unsigned = _unsigned_ctype(instruction.cond.ctype)
+            target = instruction.target
+            next_pc = pc + 1
+            location = instruction.location
+            fname = function.name
+            key_taken = (fname, pc, True)
+            key_not_taken = (fname, pc, False)
+
+            def step_branch(m, f):
+                value, sym = cond(m, f)
+                taken = value != 0
+                if sym is None:
+                    constraint = None
+                else:
+                    m.symbolic_steps += 1
+                    constraint = constraint_from_branch(
+                        sym, taken, widener=m.widener, value=value,
+                        unsigned=unsigned,
+                    )
+                m.branches_executed += 1
+                m.covered_branches.add(key_taken if taken
+                                       else key_not_taken)
+                trace = m.options.trace
+                if trace is not None and trace.enabled:
+                    trace.emit("branch", function=fname, pc=pc,
+                               taken=taken,
+                               symbolic=constraint is not None)
+                m.hooks.on_branch(taken, constraint, location)
+                return target if taken else next_pc
+
+            return step_branch
+        if isinstance(instruction, ir.Jump):
+            target = instruction.target
+            return lambda m, f: target
+        if isinstance(instruction, ir.Ret):
+            if instruction.value is None:
+
+                def step_ret_void(m, f):
+                    m._return_value = _ZERO_PAIR
+                    return -1
+
+                return step_ret_void
+            ev = self.expr(instruction.value)
+
+            def step_ret(m, f):
+                pair = ev(m, f)
+                if pair[1] is not None:
+                    m.symbolic_steps += 1
+                m._return_value = pair
+                return -1
+
+            return step_ret
+        if isinstance(instruction, ir.AbortInstr):
+            location = instruction.location
+            if instruction.reason == "assertion violation":
+
+                def step_assert(m, f):
+                    raise AssertionViolation("assertion violated", location)
+
+                return step_assert
+
+            def step_abort(m, f):
+                raise ProgramAbort("abort() reached", location)
+
+            return step_abort
+        raise InterpreterError(
+            "cannot compile instruction {!r}".format(instruction)
+        )
+
+    _DISPATCH = {}
+
+
+_Compiler._DISPATCH = {
+    ast.IntLit: _Compiler.intlit,
+    ast.StringLit: _Compiler.stringlit,
+    ast.Ident: _Compiler.ident,
+    ast.Unary: _Compiler.unary,
+    ast.Postfix: _Compiler.postfix,
+    ast.Binary: _Compiler.binary,
+    ast.Assign: _Compiler.assign,
+    ast.Cast: _Compiler.cast,
+    ast.Index: _Compiler.index,
+    ast.Member: _Compiler.member,
+    ast.Call: _Compiler.call,
+}
+
+
+def _struct_value(data, addr):
+    """Build the machine's struct rvalue (lazy import avoids a cycle at
+    module-definition time; the class object is cached on first use)."""
+    global _StructValue
+    if _StructValue is None:
+        from repro.interp.machine import _StructValue as cls
+        _StructValue = cls
+    return _StructValue(data, addr)
+
+
+_StructValue = None
+
+
+# ---------------------------------------------------------------------------
+# Compiled artifacts
+# ---------------------------------------------------------------------------
+
+
+class CompiledFunction:
+    """One lowered function: a closure per instruction, plus locations
+    (for NonTermination / RunTimeout / fault-location anchoring)."""
+
+    __slots__ = ("name", "steps", "locations")
+
+    def __init__(self, name, steps, locations):
+        self.name = name
+        self.steps = steps
+        self.locations = locations
+
+    def __repr__(self):
+        return "CompiledFunction({!r}, {} steps)".format(
+            self.name, len(self.steps)
+        )
+
+
+class CompiledProgram:
+    """Per-module cache of :class:`CompiledFunction` artifacts.
+
+    One instance is shared by every :class:`Machine` a session creates
+    (closures bake in only module-level facts — types, offsets, operator
+    shapes — never per-machine state, which always arrives through the
+    ``m`` argument).  Functions are lowered lazily on first call;
+    ``compile_seconds`` / ``functions_compiled`` let the runner attribute
+    lowering to the ``compile`` phase.
+    """
+
+    def __init__(self, module):
+        self.module = module
+        self._functions = {}
+        self._compiler = _Compiler(module)
+        #: Cumulative lowering wall time (read by the session profiler).
+        self.compile_seconds = 0.0
+        self.functions_compiled = 0
+
+    def function(self, ir_function):
+        """The compiled form of ``ir_function`` (lowered on first use)."""
+        compiled = self._functions.get(ir_function.name)
+        if compiled is None:
+            started = time.perf_counter()
+            compiled = self._compile(ir_function)
+            self.compile_seconds += time.perf_counter() - started
+            self.functions_compiled += 1
+            self._functions[ir_function.name] = compiled
+        return compiled
+
+    def _compile(self, function):
+        compiler = self._compiler
+        steps = []
+        locations = []
+        for pc, instruction in enumerate(function.instrs):
+            locations.append(instruction.location)
+            steps.append(compiler.instr(instruction, pc, function))
+        return CompiledFunction(function.name, steps, locations)

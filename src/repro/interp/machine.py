@@ -142,13 +142,30 @@ class _StructValue:
 
 
 class Machine:
-    """Executes a lowered module; one instance per program execution."""
+    """Executes a lowered module; one instance per program execution.
 
-    def __init__(self, module, options=None, hooks=None, flags=None):
+    Two execution engines share every piece of machine state (memory,
+    symbolic store, hooks, widener, flags, frames, counters): the
+    tree-walking interpreter below (``_execute``/``_eval``) and the
+    compiled engine (:mod:`repro.interp.compile`), selected by passing a
+    ``CompiledProgram`` for the same module as ``compiled``.  The engines
+    are observationally identical — same concrete state, branch events,
+    faults, counters and completeness-flag transitions — which the
+    engine-differential oracle pins (see ``repro.testgen.oracles``).
+    """
+
+    def __init__(self, module, options=None, hooks=None, flags=None,
+                 compiled=None):
         self.module = module
         self.options = options or MachineOptions()
         self.hooks = hooks or ExecutionHooks()
         self.flags = flags or CompletenessFlags()
+        if compiled is not None and compiled.module is not module:
+            raise InterpreterError(
+                "compiled program was lowered from a different module"
+            )
+        #: repro.interp.compile.CompiledProgram or None (interpreter).
+        self.compiled = compiled
         self.symbolic = SymbolicMemory()
         self.evaluator = SymbolicEvaluator(self.flags)
         #: Machine-integer widening: keeps recorded conjuncts faithful to
@@ -159,6 +176,9 @@ class Machine:
         self.memory = Memory(self.options.memory)
         self.output = []
         self.steps = 0
+        #: Instructions whose result carried a symbolic expression — the
+        #: taint-gated slow path.  Counted identically by both engines.
+        self.symbolic_steps = 0
         self.branches_executed = 0
         #: (function name, pc, taken) triples — branch-direction coverage.
         self.covered_branches = set()
@@ -254,6 +274,11 @@ class Machine:
             self._store_scalar_or_struct(addr, slot.ctype, value, sym)
         self._frames.append(frame)
         try:
+            compiled = self.compiled
+            if compiled is not None:
+                return self._execute_compiled(
+                    compiled.function(function), frame
+                )
             return self._execute(function, frame)
         finally:
             self._frames.pop()
@@ -319,22 +344,71 @@ class Machine:
             if pc < 0:
                 return self._return_value
 
+    def _execute_compiled(self, cfunc, frame):
+        """Step loop for the compiled engine (repro.interp.compile).
+
+        Mirrors ``_execute`` exactly — same step accounting, watchdog
+        cadence, fault-location attachment — but each pc indexes a
+        pre-lowered closure ``step(machine, frame_base) -> next pc``
+        instead of re-dispatching on the instruction type.
+        """
+        steps = cfunc.steps
+        locations = cfunc.locations
+        fbase = frame.region.start
+        pc = 0
+        limit = self.options.max_steps
+        deadline = self.options.deadline
+        interrupt_check = self.options.interrupt_check
+        injector = fault_points.ACTIVE
+        watchdog = deadline is not None or interrupt_check is not None \
+            or injector is not None
+        while True:
+            self.steps += 1
+            if self.steps > limit:
+                raise NonTermination(self.steps, locations[pc])
+            if watchdog and self.steps >= self._next_watchdog:
+                self._next_watchdog = \
+                    self.steps + self.options.watchdog_interval
+                if injector is not None:
+                    # Fault seam: same cadence as the interpreter so fault
+                    # plans replay identically under either engine.
+                    injector.machine_probe()
+                if interrupt_check is not None:
+                    interrupt_check()
+                if deadline is not None:
+                    now = time.perf_counter()
+                    if now > deadline:
+                        raise RunTimeout(now - deadline, locations[pc])
+            try:
+                pc = steps[pc](self, fbase)
+            except ExecutionFault as fault:
+                if fault.location is None:
+                    fault.location = locations[pc]
+                raise
+            if pc < 0:
+                return self._return_value
+
     # -- step handlers (one per instruction type; see _STEP_DISPATCH) --------
 
     #: Sentinel pc returned by _step_ret: unwind with self._return_value.
     _PC_RETURN = -1
 
     def _step_eval(self, instr, pc, function):
-        self._eval(instr.expr)
+        if self._eval(instr.expr)[1] is not None:
+            self.symbolic_steps += 1
         return pc + 1
 
     def _step_branch(self, instr, pc, function):
         value, sym = self._eval(instr.cond)
         taken = value != 0
-        constraint = constraint_from_branch(
-            sym, taken, widener=self.widener, value=value,
-            unsigned=self._unsigned_ctype(instr.cond.ctype),
-        )
+        if sym is None:
+            constraint = None
+        else:
+            self.symbolic_steps += 1
+            constraint = constraint_from_branch(
+                sym, taken, widener=self.widener, value=value,
+                unsigned=self._unsigned_ctype(instr.cond.ctype),
+            )
         self.branches_executed += 1
         self.covered_branches.add((function.name, pc, taken))
         trace = self.options.trace
@@ -352,6 +426,8 @@ class Machine:
             self._return_value = (0, None)
         else:
             self._return_value = self._eval(instr.value)
+            if self._return_value[1] is not None:
+                self.symbolic_steps += 1
         return self._PC_RETURN
 
     def _step_abort(self, instr, pc, function):

@@ -20,8 +20,11 @@ EXECUTE = "execute"
 SOLVE = "solve"
 CACHE = "cache"
 CHECKPOINT = "checkpoint"
+#: IR lowering by the compiled execution engine (repro.interp.compile);
+#: carved out of the run window so ``execute`` stays honest.
+COMPILE = "compile"
 
-PHASES = (EXECUTE, SOLVE, CACHE, CHECKPOINT)
+PHASES = (EXECUTE, SOLVE, CACHE, CHECKPOINT, COMPILE)
 
 
 class _NullSection:

@@ -24,8 +24,10 @@ from repro.obs import trace as tr
 def summarize_trace(events):
     """Aggregate an event stream into a JSON-ready summary dict."""
     counts = {}
-    phases = {"execute": 0.0, "solve": 0.0, "cache": 0.0, "checkpoint": 0.0}
+    phases = {"execute": 0.0, "solve": 0.0, "cache": 0.0, "checkpoint": 0.0,
+              "compile": 0.0}
     funnel = {"attempted": 0, "sat": 0, "forced": 0, "new_path": 0}
+    instructions = 0
     verdicts = {"sat": 0, "unsat": 0, "unknown": 0}
     cache_tiers = {}
     runs = {"total": 0, "ok": 0, "fault": 0, "mismatch": 0,
@@ -40,6 +42,7 @@ def summarize_trace(events):
         counts[etype] = counts.get(etype, 0) + 1
         if etype == tr.RUN_FINISHED:
             phases["execute"] += event.get("wall_s", 0.0)
+            instructions += event.get("steps", 0)
             runs["total"] += 1
             run_status = event.get("status")
             if run_status in runs:
@@ -71,6 +74,8 @@ def summarize_trace(events):
             plan_wall += event.get("wall_s", 0.0)
         elif etype == tr.CHECKPOINT:
             phases["checkpoint"] += event.get("wall_s", 0.0)
+        elif etype == tr.COMPILE:
+            phases["compile"] += event.get("wall_s", 0.0)
         elif etype == tr.SESSION_FINISHED:
             total_wall = event.get("wall_s")
             status = event.get("status")
@@ -97,6 +102,10 @@ def summarize_trace(events):
         "phase_other_s": round(max(total_wall - attributed, 0.0), 6),
         "phase_coverage": round(attributed / total_wall, 4)
         if total_wall else 1.0,
+        "instructions": instructions,
+        "instructions_per_s": round(
+            instructions / phases["execute"], 1
+        ) if phases["execute"] else 0.0,
         "funnel": funnel,
         "verdicts": verdicts,
         "cache_tiers": {k: cache_tiers[k] for k in sorted(cache_tiers)},
@@ -121,8 +130,8 @@ def render_summary(summary):
     lines.append("phase breakdown (attributed {:.1%} of wall time):".format(
         summary["phase_coverage"]))
     total = summary["wall_s"] or 1.0
-    for name in ("execute", "solve", "cache", "checkpoint"):
-        seconds = summary["phases"][name]
+    for name in ("execute", "compile", "solve", "cache", "checkpoint"):
+        seconds = summary["phases"].get(name, 0.0)
         frac = seconds / total
         lines.append("  {:<10} {:>9.4f}s  {:>6.1%}  {}".format(
             name, seconds, frac, _bar(frac)))
@@ -150,6 +159,9 @@ def render_summary(summary):
     lines.append("runs: {total} total, {ok} ok, {fault} fault, "
                  "{mismatch} mismatch, {quarantined} quarantined"
                  .format(**runs))
+    lines.append("throughput: {} instruction(s), {}/s over the execute "
+                 "phase".format(summary["instructions"],
+                                summary["instructions_per_s"]))
     lines.append("")
     lines.append("event counts:")
     for etype, count in summary["event_counts"].items():

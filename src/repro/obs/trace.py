@@ -60,6 +60,9 @@ CACHE_FAILED = "cache_failed"
 CHECKPOINT_FAILED = "checkpoint_failed"
 CHECKPOINT_REJECTED = "checkpoint_rejected"
 POOL_RETRY = "pool_retry"
+#: IR lowering by the compiled execution engine (one event per run that
+#: lowered at least one function; carries ``wall_s`` and ``functions``).
+COMPILE = "compile"
 
 #: All event types, for schema-completeness checks.
 EVENT_TYPES = (
@@ -69,6 +72,7 @@ EVENT_TYPES = (
     QUARANTINE, CHECKPOINT, GENERATION, PLAN,
     FAULT_INJECTED, SOLVER_FAILED, CACHE_FAILED,
     CHECKPOINT_FAILED, CHECKPOINT_REJECTED, POOL_RETRY,
+    COMPILE,
 )
 
 

@@ -74,6 +74,11 @@ class SymbolicMemory:
         )
 
     def _invalidate_overlaps(self, addr, size):
+        # Fast path: outside the bounds of everything ever stored, nothing
+        # can overlap (concrete stores vastly outnumber symbolic entries,
+        # so this guard carries the interpreter's store hot path).
+        if self._lo is None or addr + size <= self._lo or addr >= self._hi:
+            return
         # Fast path: an exact-width entry at the same address.
         existing = self._entries.pop(addr, None)
         if existing is not None and existing[0] == size:

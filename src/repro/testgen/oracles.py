@@ -30,6 +30,15 @@ every generated program:
    an expected consequence of the documented under-approximations (value
    casts, wrap-around), not divergences; an input vector that violates
    the very constraints the solver claimed to satisfy *is* one.
+5. **Engine differential** — every transparency vector is additionally
+   replayed under the compiled execution engine, both concretely and
+   with full symbolic instrumentation, and must reproduce the
+   interpreter's observation field-for-field (including the count of
+   symbolically-tracked instructions on the instrumented side).  The
+   configuration-invariance matrix also runs one whole session with
+   ``compiled_execution=False``, so a lowering bug that only shows up
+   across a full directed search (not a single vector) is caught as a
+   verdict/coverage disagreement.
 
 **Soundness.** Every oracle compares two independent derivations of the
 same fact (two executions, two configurations, a model vs. its
@@ -49,6 +58,7 @@ from repro.dart.instrument import DirectedHooks, ForcingMismatch
 from repro.dart.report import BUG_FOUND, COMPLETE, RunStats
 from repro.dart.runner import Dart
 from repro.dart.solve import solve_path_constraint, solve_with_retry
+from repro.interp.compile import CompiledProgram
 from repro.interp.faults import ExecutionFault
 from repro.interp.machine import Machine, MachineOptions
 from repro.minic.errors import MiniCError
@@ -62,8 +72,8 @@ class Divergence:
     """One oracle violation, with enough context to shrink and replay."""
 
     def __init__(self, oracle, detail, inputs=None, kinds=None):
-        #: Which oracle fired: "determinism", "transparency", "config",
-        #: "quarantine", "substitution" or "solver".
+        #: Which oracle fired: "determinism", "transparency", "engine",
+        #: "config", "quarantine", "substitution", "solver" or "chaos".
         self.oracle = oracle
         self.detail = detail
         #: The triggering input vector, when the oracle has one.
@@ -180,21 +190,29 @@ def _substitution_error(constraints, domains, model):
 
 
 class _Observation:
-    """Everything observable about one concrete execution."""
+    """Everything observable about one concrete execution.
 
-    __slots__ = ("fault", "value", "output", "steps", "branches", "trace")
+    ``symbolic_steps`` rides along for the engine-differential oracle but
+    is excluded from :meth:`diff`: the transparency oracle compares dark
+    (0) against instrumented (>0) runs, where it differs by design.
+    """
 
-    def __init__(self, fault, value, output, steps, branches, trace):
+    _COMPARED = ("fault", "value", "output", "steps", "branches", "trace")
+    __slots__ = _COMPARED + ("symbolic_steps",)
+
+    def __init__(self, fault, value, output, steps, branches, trace,
+                 symbolic_steps=0):
         self.fault = fault        # (kind, location text) or None
         self.value = value        # concrete return value (None on fault)
         self.output = output      # captured printf bytes
         self.steps = steps
         self.branches = branches  # branches_executed
         self.trace = trace        # frozenset of covered branch directions
+        self.symbolic_steps = symbolic_steps
 
     def diff(self, other):
         """First observable difference against ``other``, or None."""
-        for field in self.__slots__:
+        for field in self._COMPARED:
             mine, theirs = getattr(self, field), getattr(other, field)
             if mine != theirs:
                 return "{}: {!r} != {!r}".format(field, mine, theirs)
@@ -212,8 +230,13 @@ class OracleBattery:
             "forcing_mismatches": 0, "plans_checked": 0,
             "solver_systems": 0, "solver_unknown": 0,
             "parallel_sessions": 0, "chaos_probes": 0,
+            "engine_runs": 0,
             "conjuncts_widened": 0, "conjuncts_dropped_unfaithful": 0,
         }
+        #: One compiled lowering per module (keyed by identity): every
+        #: engine-differential run of the same program reuses it, which
+        #: is itself part of the property — lowering is stateless.
+        self._compiled_cache = None
 
     # -- shared plumbing ----------------------------------------------------
 
@@ -231,9 +254,9 @@ class OracleBattery:
         base.update(overrides)
         return DartOptions(**base)
 
-    def _observe(self, module, hooks):
+    def _observe(self, module, hooks, compiled=None):
         machine = Machine(module, self._machine_options(), hooks,
-                          CompletenessFlags())
+                          CompletenessFlags(), compiled=compiled)
         fault = None
         value = None
         try:
@@ -243,7 +266,14 @@ class OracleBattery:
         return _Observation(
             fault, value, b"".join(machine.output), machine.steps,
             machine.branches_executed, frozenset(machine.covered_branches),
+            machine.symbolic_steps,
         )
+
+    def _compiled(self, module):
+        cached = self._compiled_cache
+        if cached is None or cached.module is not module:
+            self._compiled_cache = cached = CompiledProgram(module)
+        return cached
 
     # -- oracle 1: instrumentation transparency -----------------------------
 
@@ -292,6 +322,43 @@ class OracleBattery:
                 "transparency",
                 "symbolic instrumentation perturbed concrete state: "
                 + delta, values, kinds))
+        divergences.extend(self._check_engines(
+            module, im, baseline, instrumented, values, kinds))
+        return divergences
+
+    # -- oracle 5: engine differential --------------------------------------
+
+    def _check_engines(self, module, im, baseline, instrumented,
+                       values, kinds):
+        """Replay one vector under the compiled engine, dark and
+        instrumented; both runs must reproduce the interpreter's
+        observation exactly (the lowering's bit-identity invariant), and
+        the instrumented replay doubles as the transparency oracle with
+        the compiled engine as the instrumented side."""
+        compiled = self._compiled(module)
+        divergences = []
+        self.counters["engine_runs"] += 2
+        concrete = self._observe(module, _FixedHooks(im.clone()),
+                                 compiled=compiled)
+        delta = baseline.diff(concrete)
+        if delta is not None:
+            divergences.append(Divergence(
+                "engine",
+                "compiled concrete execution diverges from the "
+                "interpreter: " + delta, values, kinds))
+        replay = self._observe(module, DirectedHooks(
+            im.clone(), [], CompletenessFlags(), random.Random(0),
+            self._dart_options()), compiled=compiled)
+        delta = baseline.diff(replay)
+        if delta is None \
+                and replay.symbolic_steps != instrumented.symbolic_steps:
+            delta = "symbolic_steps: {!r} != {!r}".format(
+                replay.symbolic_steps, instrumented.symbolic_steps)
+        if delta is not None:
+            divergences.append(Divergence(
+                "engine",
+                "compiled instrumented execution diverges from the "
+                "interpreter: " + delta, values, kinds))
         return divergences
 
     # -- oracle 2: configuration invariance ---------------------------------
@@ -366,6 +433,7 @@ class OracleBattery:
             ("base", {}),
             ("noslice", {"constraint_slicing": False}),
             ("nocache", {"solver_cache": False}),
+            ("nocompile", {"compiled_execution": False}),
         ):
             result, violations = self._session(program, **overrides)
             sessions[label] = result
@@ -374,7 +442,7 @@ class OracleBattery:
                 divergences.append(Divergence(
                     "solver", "{}: {}".format(label, violation)))
         base = sessions["base"]
-        for label in ("noslice", "nocache"):
+        for label in ("noslice", "nocache", "nocompile"):
             divergences.extend(
                 self._compare_sessions("base", base, label, sessions[label]))
         return divergences
@@ -616,7 +684,7 @@ class OracleBattery:
             module = build_test_program(program.render(), program.toplevel)
         except MiniCError:
             return []
-        if oracle in ("determinism", "transparency"):
+        if oracle in ("determinism", "transparency", "engine"):
             return [d for d in self.check_transparency(program, module)
                     if d.oracle == oracle]
         if oracle == "substitution":

@@ -1,0 +1,274 @@
+"""Differential tests of the compiled execution engine.
+
+PR 7 lowers each IR function into specialized step closures and runs
+symbolic tracking only for tainted values.  The engine's contract is
+*observational identity*: for any program and any input vector, the
+compiled engine and the tree-walking interpreter must produce the same
+branch events (order, direction, constraint presence), the same final
+memory image, the same fault/return value/output, and — across a whole
+directed campaign — the same verdict, error set and branch coverage.
+
+Three layers of evidence:
+
+* a Hypothesis property over generated mini-C programs (taint off via
+  concrete replay hooks, taint on via ``DirectedHooks``);
+* whole-campaign ablation: ``compiled_execution=False`` sessions on the
+  benchmark programs and on every checked-in fuzz-corpus repro must
+  reproduce the compiled sessions' results key for key;
+* unit checks on the lowering cache and its failure modes.
+"""
+
+import glob
+import os
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dart.config import DartOptions
+from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.inputs import InputVector
+from repro.dart.instrument import DirectedHooks
+from repro.dart.runner import Dart
+from repro.interp.compile import CompiledProgram
+from repro.interp.faults import ExecutionFault, InterpreterError
+from repro.interp.machine import Machine, MachineOptions
+from repro.minic import compile_program
+from repro.symbolic.flags import CompletenessFlags
+from repro.testgen import GeneratorOptions, generate_program, load_repro
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+MACHINE_OPTIONS = MachineOptions(max_steps=300_000)
+
+DART_OPTIONS = dict(max_iterations=120, stop_on_first_error=False,
+                    handle_signals=False, seed=0)
+
+
+class _LoggingFixedHooks:
+    """Concrete replay of a recorded vector; logs every branch event."""
+
+    def __init__(self, im):
+        self.im = im
+        self.branch_log = []
+        self._next_ordinal = 0
+
+    def acquire_input(self, kind):
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        value = self.im.value_or_none(ordinal, kind)
+        return (value if value is not None else 0), None
+
+    def on_branch(self, taken, constraint, location):
+        self.branch_log.append((taken, constraint is not None,
+                                str(location)))
+
+
+class _LoggingDirectedHooks(DirectedHooks):
+    """Full symbolic instrumentation, plus the same branch log."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.branch_log = []
+
+    def on_branch(self, taken, constraint, location):
+        self.branch_log.append((taken, constraint is not None,
+                                str(location)))
+        super().on_branch(taken, constraint, location)
+
+
+def _run(module, hooks, compiled=None):
+    """Execute the driver; returns (outcome dict, branch log).
+
+    The outcome captures everything the engines must agree on for one
+    run: fault, return value, printf output, instruction counts, branch
+    trace, and the final memory image (every region's identity, liveness
+    and full byte contents — frames are popped by then, so this is the
+    surviving globals/string/heap state).
+    """
+    machine = Machine(module, MACHINE_OPTIONS, hooks, CompletenessFlags(),
+                      compiled=compiled)
+    fault = None
+    value = None
+    try:
+        value = machine.run(DRIVER_ENTRY)
+    except ExecutionFault as caught:
+        fault = (caught.kind, str(caught.location))
+    memory = sorted(
+        (region.start, region.kind, region.label, region.live,
+         bytes(region.data))
+        for region in machine.memory._regions.values())
+    outcome = {
+        "fault": fault,
+        "value": value,
+        "output": b"".join(machine.output),
+        "steps": machine.steps,
+        "symbolic_steps": machine.symbolic_steps,
+        "branches": machine.branches_executed,
+        "covered": frozenset(machine.covered_branches),
+        "memory": memory,
+    }
+    return outcome, list(hooks.branch_log)
+
+
+def _random_vector(module, seed):
+    """Draw one input vector by running the program concretely once."""
+    from repro.testgen.oracles import _RecordingHooks
+
+    im = InputVector()
+    hooks = _RecordingHooks(im, random.Random(seed))
+    machine = Machine(module, MACHINE_OPTIONS, hooks, CompletenessFlags())
+    try:
+        machine.run(DRIVER_ENTRY)
+    except ExecutionFault:
+        pass
+    return im
+
+
+def _directed(im):
+    return _LoggingDirectedHooks(
+        im.clone(), [], CompletenessFlags(), random.Random(0),
+        DartOptions(**DART_OPTIONS))
+
+
+class TestEngineProperty:
+    """Compiled == interpreted, on random programs and random vectors."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_engines_agree_on_generated_programs(self, seed):
+        program = generate_program(
+            random.Random(seed), GeneratorOptions(max_statements=10),
+            seed)
+        module = build_test_program(program.render(), program.toplevel)
+        compiled = CompiledProgram(module)
+        im = _random_vector(module, seed * 1_000_003 + 17)
+
+        # Taint off: concrete replay, symbolic stays dark on both sides.
+        interp, interp_log = _run(module, _LoggingFixedHooks(im.clone()))
+        fast, fast_log = _run(module, _LoggingFixedHooks(im.clone()),
+                              compiled=compiled)
+        assert fast == interp
+        assert fast_log == interp_log
+        assert interp["symbolic_steps"] == 0
+
+        # Taint on: every input is a symbolic source; the compiled
+        # engine must fall back to full tracking wherever taint flows
+        # and still leave identical concrete state behind.
+        interp, interp_log = _run(module, _directed(im))
+        fast, fast_log = _run(module, _directed(im), compiled=compiled)
+        assert fast == interp
+        assert fast_log == interp_log
+
+
+class TestCampaignAblation:
+    """Whole directed campaigns, compiled vs. ``--no-compile``."""
+
+    KEYS = ("iterations", "paths", "distinct_paths",
+            "instructions_executed", "instructions_symbolic",
+            "flips_attempted", "flips_sat", "runs_forced", "runs_new_path")
+
+    def _campaign(self, source, toplevel, **overrides):
+        options = DartOptions(**dict(DART_OPTIONS, **overrides))
+        result = Dart(source, toplevel, options).run()
+        return result
+
+    def _assert_identical(self, compiled, interpreted):
+        assert compiled.status == interpreted.status
+        assert [(e.kind, str(e.location)) for e in compiled.errors] == \
+            [(e.kind, str(e.location)) for e in interpreted.errors]
+        assert compiled.stats.covered_branches == \
+            interpreted.stats.covered_branches
+        assert tuple(compiled.flags) == tuple(interpreted.flags)
+        a, b = compiled.stats.summary(), interpreted.stats.summary()
+        for key in self.KEYS:
+            assert a[key] == b[key], key
+
+    def test_ac_controller_campaign(self):
+        from repro.programs.ac_controller import (
+            AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL)
+
+        compiled = self._campaign(
+            AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL, depth=2,
+            max_iterations=200)
+        interpreted = self._campaign(
+            AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL, depth=2,
+            max_iterations=200, compiled_execution=False)
+        self._assert_identical(compiled, interpreted)
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES,
+        ids=[os.path.basename(p) for p in CORPUS_FILES])
+    def test_corpus_replay_under_ablation(self, path):
+        """Every checked-in fuzz repro explores identically without the
+        compiled engine — the ``--no-compile`` ablation demanded by the
+        PR 7 acceptance criteria, on the nastiest known programs."""
+        payload = load_repro(path)
+        compiled = self._campaign(payload["source"], payload["toplevel"])
+        interpreted = self._campaign(payload["source"], payload["toplevel"],
+                                     compiled_execution=False)
+        self._assert_identical(compiled, interpreted)
+
+
+class TestLoweringMechanics:
+    SOURCE = """
+        int helper(int x) { return x * 3 + 1; }
+        int top(int a) {
+            if (a > 10) return helper(a);
+            return a - 1;
+        }
+    """
+
+    def test_lowering_is_lazy_and_cached(self):
+        module = build_test_program(self.SOURCE, "top")
+        compiled = CompiledProgram(module)
+        assert compiled.functions_compiled == 0
+        im = InputVector()
+        im.record(0, "int", 3)
+        outcome, _ = _run(module, _LoggingFixedHooks(im),
+                          compiled=compiled)
+        assert outcome["fault"] is None
+        # a=3 never calls helper: only the executed functions (driver +
+        # top) were lowered, and lowering time was accounted.
+        lowered = compiled.functions_compiled
+        assert 0 < lowered < len(module.functions) + 1
+        assert compiled.compile_seconds > 0.0
+        im = InputVector()
+        im.record(0, "int", 50)
+        _run(module, _LoggingFixedHooks(im), compiled=compiled)
+        assert compiled.functions_compiled == lowered + 1
+        before = compiled.functions_compiled
+        im = InputVector()
+        im.record(0, "int", 50)
+        _run(module, _LoggingFixedHooks(im), compiled=compiled)
+        assert compiled.functions_compiled == before
+
+    def test_module_mismatch_is_rejected(self):
+        module = build_test_program(self.SOURCE, "top")
+        other = compile_program("int f(void) { return 1; }")
+        with pytest.raises(InterpreterError):
+            Machine(module, MACHINE_OPTIONS, _LoggingFixedHooks(
+                InputVector()), CompletenessFlags(),
+                compiled=CompiledProgram(other))
+
+    def test_folded_division_fault_keeps_location(self):
+        """Constant folding must never fold a division by a folded zero:
+        the fault is a runtime event with a source location."""
+        source = """
+            int top(int a) {
+                if (a > 0) return a / (2 - 2);
+                return 0;
+            }
+        """
+        module = build_test_program(source, "top")
+        compiled = CompiledProgram(module)
+        im = InputVector()
+        im.record(0, "int", 5)
+        fast, _ = _run(module, _LoggingFixedHooks(im.clone()),
+                       compiled=compiled)
+        interp, _ = _run(module, _LoggingFixedHooks(im.clone()))
+        assert fast == interp
+        assert fast["fault"] is not None
+        assert fast["fault"][0] == "division by zero"

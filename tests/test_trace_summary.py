@@ -31,6 +31,7 @@ SESSION = dict(depth=2, max_iterations=200, seed=7,
 # each worker process owns a private cache).
 DETERMINISTIC_KEYS = (
     "iterations", "paths", "distinct_paths", "branches", "steps",
+    "instructions_executed", "instructions_symbolic",
     "flips_attempted", "flips_sat", "runs_forced", "runs_new_path",
 )
 
@@ -92,7 +93,8 @@ class TestPhaseAttribution:
         _, events = traced_session(tmp_path, strategy="dfs")
         summary = summarize_trace(events)
         phases = summary["phases"]
-        assert set(phases) == {"execute", "solve", "cache", "checkpoint"}
+        assert set(phases) == {"execute", "compile", "solve", "cache",
+                               "checkpoint"}
         assert phases["execute"] > 0 and phases["solve"] > 0
         attributed = sum(phases.values())
         assert attributed <= summary["wall_s"] * 1.01
