@@ -13,6 +13,11 @@ workload is the whole search tree, not just the run that finds the bug):
 * **parallel** — the bfs generational search with ``jobs=2`` must report
   exactly the serial engine's error set (and, in full mode, the same
   check on the depth-2 Needham-Schroeder possibilistic attack search).
+* **coverage** — the C1 branch-coverage-vs-run-budget curve on the
+  depth-2 bfs search (budgets 1..128, doubling): the curve must be
+  monotone non-decreasing and its largest budget must reach the
+  full-exploration reference C1 — coverage accounting that drifts, or a
+  search that stops discovering, fails the gate.
 * **phases** — one profiled (``profile_phases=True``) depth-2 dfs run
   recording where the session's wall time goes (execute / compile /
   solve / cache / checkpoint, from :mod:`repro.obs.profile`), plus a
@@ -327,6 +332,61 @@ def throughput_section(failures):
     return row
 
 
+#: Run budgets of the coverage-vs-budget curve (doublings, CI-cheap).
+COVERAGE_BUDGETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def coverage_section(failures):
+    """C1 branch coverage vs. run budget on the AC controller.
+
+    One fresh depth-2 bfs campaign per budget; the recorded point is the
+    session's C1 rollup (branches with BOTH arms taken).  Gates: the
+    curve is monotone non-decreasing in the budget (a deterministic
+    directed search can only discover more), and the largest budget
+    reaches exactly the full-exploration reference — the directed
+    search needs ~30 runs to saturate a program random testing cannot
+    finish at all (Section 4.1).
+    """
+    common = dict(depth=2, seed=0, strategy="bfs",
+                  stop_on_first_error=False)
+
+    def point(budget):
+        result = Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                      DartOptions(max_iterations=budget, **common)).run()
+        coverage = result.coverage
+        return {
+            "budget": budget,
+            "iterations": result.iterations,
+            "c1_percent": round(coverage.c1_percent, 2),
+            "branches_both_arms": coverage.branches_both_arms,
+            "total_branches": coverage.total_branches,
+            "direction_percent": round(coverage.percent, 2),
+        }
+
+    reference = point(1000)
+    curve = [point(budget) for budget in COVERAGE_BUDGETS]
+    row = {
+        "program": "sec. 4.1 AC controller, depth 2, bfs",
+        "curve": curve,
+        "reference": reference,
+    }
+    for earlier, later in zip(curve, curve[1:]):
+        if later["c1_percent"] < earlier["c1_percent"]:
+            failures.append(
+                "coverage: C1 fell from {}% (budget {}) to {}% (budget "
+                "{}) — the curve must be monotone".format(
+                    earlier["c1_percent"], earlier["budget"],
+                    later["c1_percent"], later["budget"]))
+            break
+    if curve[-1]["c1_percent"] != reference["c1_percent"]:
+        failures.append(
+            "coverage: budget {} reached {}% C1, full exploration "
+            "reaches {}%".format(
+                curve[-1]["budget"], curve[-1]["c1_percent"],
+                reference["c1_percent"]))
+    return row
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -355,6 +415,7 @@ def main(argv=None):
             depth=2, max_iterations=50_000, seed=0, strategy="bfs",
         ))
     report["widening"] = widening_section(failures)
+    report["coverage"] = coverage_section(failures)
     report["phases"] = phases_section(failures)
     report["throughput"] = throughput_section(failures)
     report["ok"] = not failures
@@ -386,6 +447,11 @@ def main(argv=None):
           .format(widening["conjuncts_widened"],
                   widening["conjuncts_dropped_unfaithful"],
                   widening["status"]))
+    curve = report["coverage"]["curve"]
+    print("coverage: C1 {} across budgets {} (reference {}%)".format(
+        " -> ".join("{}%".format(entry["c1_percent"]) for entry in curve),
+        "/".join(str(entry["budget"]) for entry in curve),
+        report["coverage"]["reference"]["c1_percent"]))
     phases = report["phases"]
     print("phases: {:.1%} of wall attributed ({}); tracing+profiling "
           "overhead {:+.1%}".format(

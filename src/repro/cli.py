@@ -23,6 +23,15 @@ campaigns over the benchmark programs, asserting the recovery invariants
 (no uncontained crash, replayable errors, error-set preservation, honest
 degradation — see docs/ROBUSTNESS.md).  Exit status: 0 = every invariant
 held, 1 = violation(s).
+
+``python -m repro export-suite FILE.c TOPLEVEL --out DIR`` runs a
+campaign and exports every distinct discovered path/error as a
+standalone replayable regression artifact (:mod:`repro.suite`; also
+available as ``--export-suite DIR`` on a plain run, including one
+resumed from a ``--state-file`` checkpoint).  ``replay-suite DIR``
+re-executes an exported suite and compares every artifact against its
+recorded verdict bit-for-bit; ``coverage-report DIR`` prints the
+suite's per-function C1 branch-coverage rollup.  See docs/SUITES.md.
 """
 
 import argparse
@@ -92,6 +101,14 @@ def build_parser():
                         help="attribute session wall time to execute / "
                              "solve / cache / checkpoint phases "
                              "(reported in the stats summary)")
+    parser.add_argument("--export-suite", default=None, metavar="DIR",
+                        dest="export_suite",
+                        help="after the campaign (finished or "
+                             "interrupted), export every distinct "
+                             "path/error as a standalone replayable "
+                             "regression artifact under DIR (see "
+                             "'python -m repro replay-suite DIR' and "
+                             "docs/SUITES.md)")
     parser.add_argument("--fault-plan", default=None, metavar="SPEC",
                         help="inject deterministic faults from SPEC "
                              "('site@occurrence,...' or 'seed:N'; see "
@@ -296,6 +313,163 @@ def trace_summary_main(argv=None):
     return 0
 
 
+def build_export_suite_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro export-suite",
+        description="Run a DART campaign and export every distinct "
+                    "discovered path/error as a standalone replayable "
+                    "regression artifact (mini-C source + input vector "
+                    "+ expected verdict + generated pytest wrapper)",
+    )
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("toplevel", help="function to test")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="suite output directory")
+    parser.add_argument("--depth", type=int, default=1)
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--strategy", default="bfs",
+                        choices=("dfs", "bfs", "random"),
+                        help="search strategy (default bfs)")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--time-limit", type=float, default=None)
+    parser.add_argument("--max-init-depth", type=int, default=None)
+    parser.add_argument("--state-file", default=None,
+                        help="checkpoint file; an interrupted export "
+                             "campaign resumes from it — and a "
+                             "checkpoint written by a plain campaign "
+                             "can be salvaged into a suite (same "
+                             "file/toplevel/options, e.g. with "
+                             "--max-iterations 0)")
+    parser.add_argument("--trace", default=None, metavar="PATH")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the suite manifest body as JSON")
+    return parser
+
+
+def export_suite_main(argv=None):
+    args = build_export_suite_parser().parse_args(argv)
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    options = DartOptions(
+        depth=args.depth,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+        strategy=args.strategy,
+        jobs=args.jobs,
+        stop_on_first_error=False,
+        time_limit=args.time_limit,
+        max_init_depth=args.max_init_depth,
+        state_file=args.state_file,
+        handle_signals=True,
+        trace_file=args.trace,
+        export_suite=args.out,
+    )
+    try:
+        dart = Dart(source, args.toplevel, options, filename=args.file)
+    except MiniCError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    result = dart.run()
+    from repro.suite import load_manifest
+    manifest = load_manifest(args.out)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return _exit_code(result)
+    counts = manifest["counts"]
+    coverage = manifest["coverage"]
+    print("suite: {} artifact(s) ({} error(s)) under {}".format(
+        counts["artifacts"], counts["errors"], args.out))
+    print("dedup: {} witness(es) -> {} duplicate(s) collapsed, "
+          "{} subsumed artifact(s) pruned".format(
+              counts["witnesses"], counts["deduped"], counts["pruned"]))
+    print("coverage: {}/{} branch directions ({:.1f}%), C1 {}/{} "
+          "branches both-arms ({:.1f}%)".format(
+              coverage["covered_directions"], coverage["total_directions"],
+              coverage["percent"], coverage["branches_both_arms"],
+              coverage["total_branches"], coverage["c1_percent"]))
+    print("replay: python -m repro replay-suite {0}  (or: "
+          "PYTHONPATH=src python -m pytest {0})".format(args.out))
+    return _exit_code(result)
+
+
+def build_replay_suite_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro replay-suite",
+        description="Re-execute every artifact of an exported "
+                    "regression suite with zero search and compare "
+                    "verdict, branch path and covered-branch set "
+                    "against the recorded expectations bit-for-bit",
+    )
+    parser.add_argument("suite", help="suite directory (from export-suite)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the replay report as JSON")
+    return parser
+
+
+def replay_suite_main(argv=None):
+    from repro.suite import CorruptArtifact, replay_suite
+
+    args = build_replay_suite_parser().parse_args(argv)
+    try:
+        report = replay_suite(args.suite)
+    except CorruptArtifact as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print("replay: {}/{} artifact(s) passed".format(
+        len(report["passed"]), report["artifacts"]))
+    for failure in report["failed"]:
+        print(" - FAILED {}: {}".format(failure["id"], failure["reason"]))
+    for entry in report["quarantined"]:
+        print(" ! quarantined {}: {}".format(entry["id"], entry["reason"]))
+    return 0 if report["ok"] else 1
+
+
+def build_coverage_report_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro coverage-report",
+        description="Per-function C1 branch-coverage accounting of an "
+                    "exported regression suite (a branch counts as "
+                    "covered only when both arms were taken)",
+    )
+    parser.add_argument("suite", help="suite directory (from export-suite)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the rollup as JSON")
+    return parser
+
+
+def coverage_report_main(argv=None):
+    from repro.dart.coverage import render_c1_table
+    from repro.suite import CorruptArtifact, suite_coverage
+
+    args = build_coverage_report_parser().parse_args(argv)
+    try:
+        coverage, manifest, quarantined = suite_coverage(args.suite)
+    except CorruptArtifact as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    if args.json:
+        payload = coverage.to_dict()
+        payload["suite"] = args.suite
+        payload["artifacts"] = len(manifest.get("artifacts", ()))
+        payload["quarantined"] = quarantined
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("suite: {} ({} artifact(s))".format(
+        args.suite, len(manifest.get("artifacts", ()))))
+    print(render_c1_table(coverage))
+    for entry in quarantined:
+        print(" ! quarantined {}: {}".format(entry["id"], entry["reason"]))
+    return 0
+
+
 def _exit_code(result):
     if result.status == INTERRUPTED:
         return 130
@@ -311,6 +485,12 @@ def main(argv=None):
         return trace_summary_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "export-suite":
+        return export_suite_main(argv[1:])
+    if argv and argv[0] == "replay-suite":
+        return replay_suite_main(argv[1:])
+    if argv and argv[0] == "coverage-report":
+        return coverage_report_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as handle:
@@ -370,6 +550,7 @@ def main(argv=None):
         trace_file=args.trace,
         profile_phases=args.profile_phases,
         fault_plan=fault_plan,
+        export_suite=args.export_suite,
     )
     tester_class = RandomTester if args.random else Dart
     try:

@@ -52,6 +52,8 @@ class DartOptions:
         profile_phases=False,
         fault_plan=None,
         compiled_execution=True,
+        collect_witnesses=False,
+        export_suite=None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -159,6 +161,20 @@ class DartOptions:
         #: engine-differential oracle) — so like ``jobs`` it is excluded
         #: from the checkpoint digest.
         self.compiled_execution = compiled_execution
+        #: Keep a :class:`repro.dart.report.PathWitness` (input vector,
+        #: branch signature, per-run covered set) for every distinct
+        #: (path, error-class) execution, feeding the regression-suite
+        #: exporter (repro.suite).  Off by default: witnesses cost
+        #: memory proportional to the number of distinct paths.
+        self.collect_witnesses = collect_witnesses
+        #: Directory to export a deduplicated replayable regression
+        #: suite into when the session ends (implies witness
+        #: collection); None disables the export.  Like the trace
+        #: options it never steers the search, so it is excluded from
+        #: the checkpoint digest — an interrupted plain campaign can be
+        #: resumed with ``export_suite`` set (budget 0 works) to export
+        #: whatever the checkpoint holds.
+        self.export_suite = export_suite
 
     def digest(self):
         """A stable hash of the options that shape the *search*.
@@ -180,7 +196,11 @@ class DartOptions:
         ``compiled_execution`` is excluded for the same reason as
         ``jobs``: the engines are observationally identical, so a
         ``--no-compile`` resume of a compiled session (and vice versa)
-        must be accepted.
+        must be accepted.  ``collect_witnesses`` and ``export_suite``
+        are excluded like the observability knobs: witnessing records
+        what the search already does, never shapes it, and resuming an
+        interrupted plain campaign *with* an export destination is the
+        supported way to salvage its artifacts.
         """
         relevant = (
             self.depth, self.strategy, self.seed,

@@ -54,6 +54,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.dart import persist
+from repro.dart.coverage import is_program_branch
 from repro.dart.driver import DRIVER_ENTRY, build_test_program
 from repro.dart.inputs import InputVector
 from repro.dart.instrument import DirectedHooks, ForcingMismatch
@@ -63,6 +64,7 @@ from repro.dart.report import (
     RESOURCE_EXHAUSTED,
     RUN_TIMEOUT,
     ErrorReport,
+    PathWitness,
     QuarantineRecord,
     RunStats,
 )
@@ -159,7 +161,8 @@ class _WorkerContext:
         if bus is not None:
             bus.emit(tr.RUN_STARTED, iteration=0, planned=planned)
         out = {"status": "ok", "children": (), "error": None,
-               "quarantine": None, "path": None, "planned": planned}
+               "quarantine": None, "path": None, "planned": planned,
+               "inputs": None, "kinds": None}
         fault = None
         try:
             machine.run(DRIVER_ENTRY)
@@ -213,6 +216,11 @@ class _WorkerContext:
                     sink.events[-options.trace_ring:]
         if out["status"] == "ok":
             out["path"] = list(hooks.record.path_key())
+            # The final input vector (slot kinds included), so the
+            # parent can witness this run for suite export; the parent
+            # decides whether to keep it (deduplication is global).
+            out["inputs"] = im.values()
+            out["kinds"] = [slot.kind for slot in im]
             stats.path_length.observe(machine.branches_executed)
             if fault is not None:
                 out["error"] = {
@@ -300,7 +308,7 @@ def _worker_run(payload):
         return _CONTEXT.run_item(payload)
     except Exception as exc:  # pragma: no cover — second-layer boundary
         return {"status": "quarantined", "children": (), "error": None,
-                "path": None, "covered": (),
+                "path": None, "covered": (), "inputs": None, "kinds": None,
                 "flags": (True, True, True, True),
                 "metrics": _EMPTY_METRICS, "phases": {}, "events": (),
                 "planned": False,
@@ -488,6 +496,38 @@ class _ParallelEngine:
                 event["new_path"] = new_path
             trace.forward(event)
 
+    def _witness(self, result, iteration):
+        """Record one worker run as a suite-export witness.
+
+        Mirrors ``_Session._witness``: keyed on (path, error class),
+        applied in dispatch order, so serial and parallel sessions of
+        the same search retain identical witness lists.
+        """
+        session = self.session
+        error = result["error"]
+        witness_error = None
+        if error is not None:
+            witness_error = {
+                "kind": error["kind"],
+                "message": error["message"],
+                "location": error["location"],
+            }
+        path_key = tuple(result["path"])
+        error_key = (witness_error["kind"], str(witness_error["location"])) \
+            if witness_error is not None else None
+        witness_key = (path_key, error_key)
+        if witness_key in session._witnessed:
+            return
+        session._witnessed.add(witness_key)
+        session.witnesses.append(PathWitness(
+            result["inputs"], result["kinds"], path_key,
+            {entry for entry in
+             ((item[0], item[1], item[2]) for item in result["covered"])
+             if is_program_branch(entry)},
+            error=witness_error, iteration=iteration,
+        ))
+        session.stats.witnesses_recorded += 1
+
     def _merge(self, result, iteration, children):
         """Fold one worker result into the session (dispatch order)."""
         session = self.session
@@ -536,6 +576,8 @@ class _ParallelEngine:
         new_path = session.stats.note_path(tuple(result["path"]))
         if result.get("planned"):
             session.stats.runs_forced += 1
+        if session._collect_witnesses and result.get("inputs") is not None:
+            self._witness(result, iteration)
         self._ship_events(result, iteration, new_path)
         children.extend(
             (persist._decode_stack(child["stack"]),

@@ -71,6 +71,19 @@ def _decode_im(payload):
     return im
 
 
+def encode_input_vector(im):
+    """Public JSON encoding of an :class:`InputVector`: ``[[kind, value],
+    ...]`` in ordinal order — the format checkpoints, fuzz repros and
+    exported suite artifacts (:mod:`repro.suite`) all share."""
+    return _encode_im(im)
+
+
+def decode_input_vector(payload):
+    """Inverse of :func:`encode_input_vector` (kinds preserved, so
+    pointer-choice slots are rebuilt with the right domains)."""
+    return _decode_im(payload)
+
+
 @contextlib.contextmanager
 def _defer_signals():
     """Hold SIGINT/SIGTERM for the duration of the block.
@@ -215,7 +228,8 @@ class SessionCheckpoint:
 
     def __init__(self, fingerprint, engine, rng_state, flags, counters,
                  distinct_paths, covered_branches, errors, quarantined,
-                 dfs_pending=None, worklist=None, clean_drain=True):
+                 dfs_pending=None, worklist=None, clean_drain=True,
+                 witnesses=None):
         #: {"source": sha256, "toplevel": name, "options": digest}.
         self.fingerprint = fingerprint
         #: "dfs" or "generational" — a checkpoint never crosses engines.
@@ -240,6 +254,10 @@ class SessionCheckpoint:
         self.worklist = worklist
         #: generational engine: False once a mismatch tainted this drain.
         self.clean_drain = clean_drain
+        #: PathWitness.to_dict() payloads (witness collection on), or [].
+        #: Optional: checkpoints written before the suite subsystem carry
+        #: no ``witnesses`` key and decode to an empty list.
+        self.witnesses = witnesses if witnesses is not None else []
 
     # -- encoding ---------------------------------------------------------
 
@@ -258,6 +276,8 @@ class SessionCheckpoint:
             "quarantined": list(self.quarantined),
             "clean_drain": self.clean_drain,
         }
+        if self.witnesses:
+            body["witnesses"] = list(self.witnesses)
         if self.dfs_pending is not None:
             stack, im = self.dfs_pending
             body["dfs"] = {"stack": _encode_stack(stack),
@@ -301,6 +321,7 @@ class SessionCheckpoint:
             dfs_pending=dfs_pending,
             worklist=worklist,
             clean_drain=bool(body.get("clean_drain", True)),
+            witnesses=list(body.get("witnesses", ())),
         )
 
 

@@ -138,6 +138,74 @@ class QuarantineRecord:
         return "QuarantineRecord({!r})".format(self.describe())
 
 
+class PathWitness:
+    """One distinct (path, error-class) execution retained for export.
+
+    The searches discard concrete input vectors as soon as a run's
+    children are expanded; with witness collection enabled
+    (``DartOptions(collect_witnesses=True)`` or an ``export_suite``
+    destination) the session instead keeps, for every *new* path — and
+    for every error even on an already-seen path — the input vector,
+    the branch signature and the per-run covered-branch set, which is
+    exactly what :mod:`repro.suite` needs to emit a standalone
+    replayable regression artifact.
+    """
+
+    __slots__ = ("inputs", "kinds", "path", "covered", "error", "iteration")
+
+    def __init__(self, inputs, kinds, path, covered, error=None,
+                 iteration=0):
+        #: The concrete input vector (raw slot values).
+        self.inputs = list(inputs)
+        #: Input kinds aligned with ``inputs`` ("int", "ptr_choice", ...).
+        self.kinds = list(kinds)
+        #: Branch signature of the run (tuple of branch bits).
+        self.path = tuple(path)
+        #: (function, pc, taken) triples this single run exercised,
+        #: restricted to program (non-driver) functions.
+        self.covered = set(covered)
+        #: {"kind", "message", "location"} when the run faulted, or None.
+        self.error = error
+        #: 1-based run index at which the witness was recorded.
+        self.iteration = iteration
+
+    @property
+    def error_key(self):
+        """The error-class key (kind, location), or None for an ok run."""
+        if self.error is None:
+            return None
+        return (self.error["kind"], str(self.error["location"]))
+
+    def to_dict(self):
+        """JSON-ready form (also the checkpoint encoding)."""
+        return {
+            "inputs": list(self.inputs),
+            "kinds": list(self.kinds),
+            "path": list(self.path),
+            "covered": sorted([entry[0], entry[1], entry[2]]
+                              for entry in self.covered),
+            "error": dict(self.error) if self.error is not None else None,
+            "iteration": self.iteration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            payload["inputs"], payload["kinds"],
+            tuple(payload["path"]),
+            {(entry[0], int(entry[1]), bool(entry[2]))
+             for entry in payload["covered"]},
+            error=payload.get("error"),
+            iteration=int(payload.get("iteration", 0)),
+        )
+
+    def __repr__(self):
+        what = "error {}".format(self.error["kind"]) if self.error \
+            else "ok"
+        return "PathWitness({}, {} branch(es), run {})".format(
+            what, len(self.path), self.iteration)
+
+
 class RunStats:
     """Counters accumulated over a session, backed by a metrics registry."""
 
@@ -188,6 +256,15 @@ class RunStats:
         # generations re-dispatched after a worker-process death.
         "faults_injected", "solver_failures", "cache_failures",
         "checkpoint_failures", "checkpoints_rejected", "pool_retries",
+        # Regression-suite export funnel (repro.suite):
+        # ``witnesses_recorded`` counts distinct (path, error-class)
+        # executions whose input vectors were retained for export;
+        # ``artifacts_exported`` counts artifact directories written,
+        # ``artifacts_deduped`` the witnesses collapsed by an identical
+        # (path fingerprint, error class) key, ``artifacts_pruned`` the
+        # ok-witnesses dropped by coverage subsumption.
+        "witnesses_recorded", "artifacts_exported", "artifacts_deduped",
+        "artifacts_pruned",
     )
 
     def __init__(self):
@@ -208,6 +285,9 @@ class RunStats:
         self.phases = PhaseTimer()
         self.distinct_paths = set()
         self.covered_branches = set()
+        #: Coverage rollup dict (BranchCoverage.to_dict()), set by the
+        #: runner when it builds the result; None until then.
+        self.coverage = None
         #: QuarantineRecord list — runs contained at the fault boundary.
         self.quarantined = []
         self.started_at = time.perf_counter()
@@ -284,6 +364,10 @@ class RunStats:
             "checkpoint_failures": self.checkpoint_failures,
             "checkpoints_rejected": self.checkpoints_rejected,
             "pool_retries": self.pool_retries,
+            "witnesses_recorded": self.witnesses_recorded,
+            "artifacts_exported": self.artifacts_exported,
+            "artifacts_deduped": self.artifacts_deduped,
+            "artifacts_pruned": self.artifacts_pruned,
             "histograms": {
                 "solver_latency_s": self.solver_latency.to_dict(),
                 "path_length": self.path_length.to_dict(),
@@ -291,6 +375,8 @@ class RunStats:
         }
         if self.phases.enabled or self.phases.seconds:
             summary["phases"] = self.phases.snapshot()
+        if self.coverage is not None:
+            summary["coverage"] = self.coverage
         return summary
 
 
@@ -316,7 +402,7 @@ class DartResult:
     """Outcome of a DART (or random-testing) session."""
 
     def __init__(self, status, errors, stats, flags_snapshot,
-                 coverage=None, resumed=False):
+                 coverage=None, resumed=False, witnesses=None):
         self.status = status
         self.errors = errors
         self.stats = stats
@@ -328,6 +414,8 @@ class DartResult:
         self.coverage = coverage
         #: True when the session picked up a v2 checkpoint and resumed.
         self.resumed = resumed
+        #: :class:`PathWitness` list (witness collection enabled), or [].
+        self.witnesses = witnesses if witnesses is not None else []
 
     @property
     def found_error(self):
@@ -368,11 +456,9 @@ class DartResult:
             "stats": self.stats.summary(),
         }
         if self.coverage is not None:
-            payload["coverage"] = {
-                "covered_directions": self.coverage.covered_directions,
-                "total_directions": self.coverage.total_directions,
-                "percent": round(self.coverage.percent, 2),
-            }
+            # The full rollup: direction coverage plus the per-function
+            # C1 (both-arms) table — see repro.dart.coverage.
+            payload["coverage"] = self.coverage.to_dict()
         return payload
 
     def describe(self):

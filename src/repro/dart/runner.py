@@ -32,7 +32,7 @@ import traceback
 
 from repro.dart import persist
 from repro.dart.config import DartOptions
-from repro.dart.coverage import BranchCoverage
+from repro.dart.coverage import BranchCoverage, is_program_branch
 from repro.dart.driver import DRIVER_ENTRY, build_test_program
 from repro.dart.inputs import InputVector
 from repro.dart.instrument import DirectedHooks, ForcingMismatch
@@ -47,6 +47,7 @@ from repro.dart.report import (
     RUN_TIMEOUT,
     DartResult,
     ErrorReport,
+    PathWitness,
     QuarantineRecord,
     RunStats,
 )
@@ -160,15 +161,32 @@ class Dart:
                     result = run_parallel_generational(session)
                 else:
                     result = session.run_generational()
+            if self.options.export_suite is not None:
+                # Export before the sinks detach, so the suite_exported
+                # and artifact_deduped events reach the live trace and
+                # the counters land in this session's stats.  An
+                # interrupted or exhausted campaign exports what it
+                # found — that is the point of doing it here.
+                from repro.suite import export_suite
+                export_suite(self, result, self.options.export_suite)
             return result
         finally:
             session.stats.finish()
             if self.trace.enabled:
+                coverage = result.coverage if result is not None else None
                 self.trace.emit(
                     tr.SESSION_FINISHED,
                     status=result.status if result is not None else "error",
                     iterations=session.stats.iterations,
                     wall_s=round(session.stats.elapsed, 6),
+                    **({"coverage": {
+                        "covered_directions": coverage.covered_directions,
+                        "total_directions": coverage.total_directions,
+                        "percent": round(coverage.percent, 2),
+                        "total_branches": coverage.total_branches,
+                        "branches_both_arms": coverage.branches_both_arms,
+                        "c1_percent": round(coverage.c1_percent, 2),
+                    }} if coverage is not None else {}),
                 )
                 self.trace.flush()
             session.detach_sinks()
@@ -306,6 +324,15 @@ class _Session:
             fault_points.ACTIVE.bind(self.trace, self.stats)
         self.errors = []
         self._seen_error_keys = set()
+        #: PathWitness list: distinct (path, error-class) executions,
+        #: retained when witness collection is on (collect_witnesses or
+        #: an export_suite destination) — the exporter's raw material.
+        self.witnesses = []
+        self._witnessed = set()
+        self._collect_witnesses = (
+            self.options.collect_witnesses
+            or self.options.export_suite is not None
+        )
         self.rng = random.Random(self.options.seed)
         self.status = EXHAUSTED
         self.resumed = False
@@ -460,6 +487,8 @@ class _Session:
                 # The predicted prefix was reached and the run finished:
                 # the flip was successfully forced (funnel stage 3).
                 self.stats.runs_forced += 1
+            if self._collect_witnesses:
+                self._witness(im, hooks, machine, outcome.fault)
         wall = time.perf_counter() - started
         # IR lowering happens lazily inside the run window (first call of
         # each function); carve it out of execute so both the phase
@@ -495,6 +524,39 @@ class _Session:
                 branches=machine.branches_executed,
             )
         return outcome
+
+    def _witness(self, im, hooks, machine, fault):
+        """Retain this run for suite export if it is worth keeping.
+
+        Keyed by (path signature, error class): the first run of every
+        distinct path is kept, and an *error* run is kept even when its
+        branch path was already seen ok (a division fault and the clean
+        run share the same branch bits — the error class tells them
+        apart).  Only program-function coverage is stored; driver
+        scaffolding is not part of the replay contract.
+        """
+        error = None
+        if fault is not None:
+            error = {
+                "kind": fault.kind,
+                "message": getattr(fault, "message", str(fault)),
+                "location": str(fault.location)
+                if fault.location is not None else None,
+            }
+        path_key = hooks.record.path_key()
+        error_key = (error["kind"], str(error["location"])) \
+            if error is not None else None
+        witness_key = (path_key, error_key)
+        if witness_key in self._witnessed:
+            return
+        self._witnessed.add(witness_key)
+        self.witnesses.append(PathWitness(
+            im.values(), [slot.kind for slot in im], path_key,
+            {entry for entry in machine.covered_branches
+             if is_program_branch(entry)},
+            error=error, iteration=self.stats.iterations,
+        ))
+        self.stats.witnesses_recorded += 1
 
     def _quarantine(self, classification, im, exc):
         """Contain an internal failure: record it and degrade honestly.
@@ -569,11 +631,16 @@ class _Session:
         if self._interrupted and (self._truncated
                                   or self.status == EXHAUSTED):
             self.status = INTERRUPTED
+        coverage = BranchCoverage(self.dart.module,
+                                  self.stats.covered_branches)
+        # Surface the rollup through the stats summary too, so JSON
+        # reports built from RunStats alone carry the C1 numbers.
+        self.stats.coverage = coverage.to_dict()
         return DartResult(
             self.status, self.errors, self.stats, self.flags.snapshot(),
-            coverage=BranchCoverage(self.dart.module,
-                                    self.stats.covered_branches),
+            coverage=coverage,
             resumed=self.resumed,
+            witnesses=self.witnesses,
         )
 
     def _finished_complete(self):
@@ -599,6 +666,7 @@ class _Session:
             quarantined=[record.to_dict()
                          for record in self.stats.quarantined],
             clean_drain=self._clean_drain,
+            witnesses=[witness.to_dict() for witness in self.witnesses],
         )
         if self._engine == "dfs":
             checkpoint.dfs_pending = self._dfs_plan
@@ -688,6 +756,10 @@ class _Session:
             ))
         if self.errors:
             self.status = BUG_FOUND
+        for payload in checkpoint.witnesses:
+            witness = PathWitness.from_dict(payload)
+            self._witnessed.add((witness.path, witness.error_key))
+            self.witnesses.append(witness)
         self.resumed = True
         self._clean_drain = checkpoint.clean_drain
 

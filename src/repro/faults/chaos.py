@@ -57,6 +57,11 @@ from repro.programs.samples import H_SOURCE, H_TOPLEVEL
 #: Fault sites that require worker processes (meaningless when jobs=1).
 _PARALLEL_ONLY = frozenset(("worker.kill",))
 
+#: Sites probed outside any campaign (the suite loader reads
+#: artifacts after sessions end), so a campaign-scoped schedule
+#: naming them would never fire; excluded from every pool here.
+_OFFLINE_SITES = frozenset(("suite.bitflip",))
+
 #: Sites meaningful for a parallel benchmark: the engine-level seams.
 #: Machine/solver/cache seams live in the workers, which deliberately
 #: run injector-free (determinism needs parent-owned probe counters).
@@ -74,6 +79,7 @@ PROBE_SITES = tuple(
     site for site in ALL_SITES
     if site not in SIGNAL_SITES
     and site not in _PARALLEL_ONLY
+    and site not in _OFFLINE_SITES
     and not site.startswith("persist.")
 )
 
@@ -97,7 +103,9 @@ class _Benchmark:
 
 
 def _serial_sites():
-    return tuple(site for site in ALL_SITES if site not in _PARALLEL_ONLY)
+    return tuple(site for site in ALL_SITES
+                 if site not in _PARALLEL_ONLY
+                 and site not in _OFFLINE_SITES)
 
 
 #: The benchmark rotation.  Both programs have exhaustive fault-free

@@ -64,6 +64,10 @@ ALL_SITES = (
     # repro.dart.persist._atomic_write — deliver SIGINT *mid-write*
     # (must be deferred until the atomic sequence completes).
     "signal.checkpoint",
+    # repro.suite.artifact.load_artifact — flip a byte of the artifact
+    # file about to be read (bit rot in a stored suite; the loader's
+    # checksum must catch it and quarantine the entry, never crash).
+    "suite.bitflip",
 )
 
 #: Sites whose faults may lose search work: the run (and its unexplored

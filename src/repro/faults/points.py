@@ -171,6 +171,22 @@ class FaultInjector:
                     handle.seek(middle)
                     handle.write(bytes([data[middle] ^ 0x40]))
 
+    def suite_read(self, path):
+        """Probed before a suite artifact file is read; may corrupt it.
+
+        The ``suite.bitflip`` fault flips one byte of the file —
+        simulated bit rot in a stored regression suite.  The loader's
+        checksum must catch the damage and quarantine the artifact
+        instead of crashing the suite load.
+        """
+        if self._probe("suite.bitflip"):
+            with open(path, "r+b") as handle:
+                data = handle.read()
+                if data:
+                    middle = len(data) // 2
+                    handle.seek(middle)
+                    handle.write(bytes([data[middle] ^ 0x40]))
+
     def between_runs(self):
         """Probed at the between-runs boundary; may deliver SIGINT."""
         if self._probe("signal.interrupt"):

@@ -37,6 +37,7 @@ def summarize_trace(events):
     total_wall = None
     status = None
     iterations = 0
+    coverage = None
     for event in events:
         etype = event.get("type")
         counts[etype] = counts.get(etype, 0) + 1
@@ -80,6 +81,7 @@ def summarize_trace(events):
             total_wall = event.get("wall_s")
             status = event.get("status")
             iterations = event.get("iterations", 0)
+            coverage = event.get("coverage")
     # "solve" covers the whole planning call (slicing, query building,
     # solver) minus the cache time recorded separately inside it; traces
     # without plan events (e.g. a bare worker stream) fall back to the
@@ -111,6 +113,11 @@ def summarize_trace(events):
         "cache_tiers": {k: cache_tiers[k] for k in sorted(cache_tiers)},
         "runs": runs,
     }
+    if coverage is not None:
+        # Branch-coverage block emitted on session_finished: direction
+        # coverage plus the C1 (both-arms) rollup — see
+        # repro.dart.coverage.
+        summary["coverage"] = coverage
     return summary
 
 
@@ -162,6 +169,13 @@ def render_summary(summary):
     lines.append("throughput: {} instruction(s), {}/s over the execute "
                  "phase".format(summary["instructions"],
                                 summary["instructions_per_s"]))
+    coverage = summary.get("coverage")
+    if coverage is not None:
+        lines.append(
+            "coverage: {covered_directions}/{total_directions} branch "
+            "directions ({percent}%), C1 {branches_both_arms}/"
+            "{total_branches} branches both-arms ({c1_percent}%)".format(
+                **coverage))
     lines.append("")
     lines.append("event counts:")
     for etype, count in summary["event_counts"].items():

@@ -63,6 +63,14 @@ POOL_RETRY = "pool_retry"
 #: IR lowering by the compiled execution engine (one event per run that
 #: lowered at least one function; carries ``wall_s`` and ``functions``).
 COMPILE = "compile"
+#: A regression suite was written (repro.suite); carries ``dir``,
+#: ``artifacts``, ``errors``, ``deduped``, ``pruned`` and the suite's
+#: ``c1_percent``.
+SUITE_EXPORTED = "suite_exported"
+#: One witness was collapsed during export — ``reason`` is
+#: ``"duplicate"`` (identical path fingerprint + error class) or
+#: ``"subsumed"`` (covered-branch set adds nothing to the kept union).
+ARTIFACT_DEDUPED = "artifact_deduped"
 
 #: All event types, for schema-completeness checks.
 EVENT_TYPES = (
@@ -72,7 +80,7 @@ EVENT_TYPES = (
     QUARANTINE, CHECKPOINT, GENERATION, PLAN,
     FAULT_INJECTED, SOLVER_FAILED, CACHE_FAILED,
     CHECKPOINT_FAILED, CHECKPOINT_REJECTED, POOL_RETRY,
-    COMPILE,
+    COMPILE, SUITE_EXPORTED, ARTIFACT_DEDUPED,
 )
 
 

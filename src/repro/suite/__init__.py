@@ -1,0 +1,63 @@
+"""Exportable, replayable regression suites (the DART *product*).
+
+A directed-search campaign discovers concrete input vectors that cover
+branches and trigger errors; this package turns them into standalone
+regression artifacts — the CTGEN-style deliverable the ROADMAP names.
+Each artifact directory holds the mini-C source, the input vector, the
+expected verdict (ok / error class / path and coverage fingerprint) and
+a generated pytest wrapper that replays it through the forcing-replay
+machinery with **zero search**; a deduplicated corpus manager keys the
+artifacts by path fingerprint + error class, prunes coverage-subsumed
+entries, and maintains a manifest with per-function C1 branch-coverage
+metadata and provenance.  See ``docs/SUITES.md`` for the artifact
+layout, the manifest schema, the dedup rules and the replay contract.
+
+Entry points:
+
+* :func:`export_suite` — write a suite from a finished (or interrupted)
+  session; wired into ``Dart.run`` via ``DartOptions(export_suite=...)``
+  and the ``python -m repro export-suite`` command.
+* :func:`replay_suite` / :func:`check_artifact` — re-execute artifacts
+  and compare against their recorded expectations bit-for-bit
+  (``python -m repro replay-suite``; the generated pytest wrappers call
+  :func:`check_artifact` directly, so a suite also runs under plain
+  ``pytest`` with only ``PYTHONPATH=src``).
+* :func:`suite_coverage` — the suite's C1 branch-coverage rollup
+  (``python -m repro coverage-report``).
+"""
+
+from repro.suite.artifact import (
+    Artifact,
+    CorruptArtifact,
+    load_artifact,
+    load_manifest,
+    load_suite,
+    path_fingerprint,
+)
+from repro.suite.corpus import build_manifest, dedupe_artifacts, prune_subsumed
+from repro.suite.export import export_suite
+from repro.suite.replay import (
+    ReplayOutcome,
+    check_artifact,
+    replay_artifact,
+    replay_suite,
+    suite_coverage,
+)
+
+__all__ = [
+    "Artifact",
+    "CorruptArtifact",
+    "ReplayOutcome",
+    "build_manifest",
+    "check_artifact",
+    "dedupe_artifacts",
+    "export_suite",
+    "load_artifact",
+    "load_manifest",
+    "load_suite",
+    "path_fingerprint",
+    "prune_subsumed",
+    "replay_artifact",
+    "replay_suite",
+    "suite_coverage",
+]

@@ -1,0 +1,136 @@
+"""The deduplicated corpus manager: identity, subsumption, manifest.
+
+Two artifacts are the *same discovery* when they share a path
+fingerprint (sha256 over the branch-bit signature) and an error class
+((fault kind, location), or None for a clean run) — the same key the
+session's witness recorder uses, and the same key `repro.dart.runner`
+deduplicates reported errors by.
+
+Beyond identity, a clean artifact earns its place only by *coverage*:
+an ok-run whose covered-branch set adds no direction to the union of
+the kept artifacts would replay forever without ever distinguishing a
+regression, so it is pruned (greedy largest-set-first, which keeps the
+union exactly equal to the witnesses' union — the suite's
+``coverage-report`` can never show less than the originating campaign
+recorded).  Error-revealing artifacts are **never** pruned: each is the
+sole replayable witness of its error class, coverage notwithstanding.
+"""
+
+import hashlib
+
+from repro.dart.coverage import BranchCoverage
+from repro.suite.artifact import SUITE_VERSION, replay_options_dict
+
+
+def dedupe_artifacts(artifacts):
+    """Collapse artifacts sharing a (path fingerprint, error class) key.
+
+    First occurrence wins (witnesses arrive in discovery order, and the
+    earliest run of a path is the canonical one).  Returns
+    ``(unique, duplicates)``.
+    """
+    seen = set()
+    unique = []
+    duplicates = []
+    for artifact in artifacts:
+        key = artifact.dedup_key
+        if key in seen:
+            duplicates.append(artifact)
+            continue
+        seen.add(key)
+        unique.append(artifact)
+    return unique, duplicates
+
+
+def prune_subsumed(artifacts):
+    """Drop ok-artifacts whose coverage the kept set already provides.
+
+    Error artifacts are all kept and contribute their coverage first;
+    clean artifacts are then admitted greedily (largest covered set
+    first, path fingerprint as the deterministic tie-break) whenever
+    they add at least one uncovered direction.  The kept artifacts'
+    covered union therefore equals the input union.  If nothing at all
+    survives (a branchless program with only clean runs), the first
+    candidate is kept so the suite still witnesses the ok verdict.
+    Returns ``(kept, pruned)``.
+    """
+    errors = [artifact for artifact in artifacts
+              if artifact.error is not None]
+    oks = [artifact for artifact in artifacts if artifact.error is None]
+    union = set()
+    for artifact in errors:
+        union |= artifact.covered
+    kept = list(errors)
+    pruned = []
+    kept_ok = 0
+    for artifact in sorted(
+            oks, key=lambda a: (-len(a.covered), a.path_fp)):
+        if artifact.covered - union:
+            kept.append(artifact)
+            union |= artifact.covered
+            kept_ok += 1
+        else:
+            pruned.append(artifact)
+    if not kept_ok and pruned:
+        # Nothing clean survived on coverage grounds; keep the first
+        # candidate anyway so an errorless program still gets a
+        # replayable ok-witness.
+        kept.append(pruned.pop(0))
+    return kept, pruned
+
+
+def build_manifest(module, source, toplevel, options, result, kept,
+                   counts):
+    """The manifest body for a suite of ``kept`` artifacts.
+
+    ``counts`` is ``{"witnesses", "deduped", "pruned"}``;
+    ``result`` supplies provenance (status, iterations) and may be None
+    for a standalone (non-session) export.  Deterministic by
+    construction: artifacts sorted by id, no timestamps.
+    """
+    from repro.solver.cache import ENCODING_VERSION
+
+    union = set()
+    for artifact in kept:
+        union |= artifact.covered
+    coverage = BranchCoverage(module, union)
+    entries = []
+    for artifact in sorted(kept, key=lambda a: a.artifact_id):
+        entries.append({
+            "id": artifact.artifact_id,
+            "dir": "artifacts/{}".format(artifact.artifact_id),
+            "verdict": artifact.verdict,
+            "error": dict(artifact.error)
+            if artifact.error is not None else None,
+            "path_fingerprint": artifact.path_fp,
+            "covered_directions": len(artifact.covered),
+            "iteration": artifact.iteration,
+        })
+    return {
+        "suite_version": SUITE_VERSION,
+        "kind": "dart-regression-suite",
+        "toplevel": toplevel,
+        "options": replay_options_dict(options),
+        "provenance": {
+            "seed": options.seed,
+            "strategy": options.strategy,
+            "depth": options.depth,
+            "options_digest": options.digest(),
+            "encoding": ENCODING_VERSION,
+            "source_sha256":
+                hashlib.sha256(source.encode()).hexdigest(),
+            "status": result.status if result is not None else None,
+            "iterations": result.stats.iterations
+            if result is not None else None,
+        },
+        "coverage": coverage.to_dict(),
+        "counts": {
+            "witnesses": counts.get("witnesses", len(kept)),
+            "deduped": counts.get("deduped", 0),
+            "pruned": counts.get("pruned", 0),
+            "artifacts": len(kept),
+            "errors": sum(1 for artifact in kept
+                          if artifact.error is not None),
+        },
+        "artifacts": entries,
+    }

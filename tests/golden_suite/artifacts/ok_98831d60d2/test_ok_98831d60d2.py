@@ -1,0 +1,17 @@
+"""Replay wrapper for suite artifact ``ok_98831d60d2`` (generated).
+
+Re-executes the recorded input vector through the forcing-replay
+machinery with search disabled and asserts the recorded verdict, branch
+path and covered-branch set are reproduced bit-for-bit.  Standalone:
+runs under plain ``pytest`` with only ``PYTHONPATH=src``.
+"""
+
+import os
+
+from repro.suite.replay import check_artifact
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def test_replay_ok_98831d60d2():
+    check_artifact(_HERE)
