@@ -10,9 +10,16 @@ workload is the whole search tree, not just the run that finds the bug):
   and deduplicated error set must be *identical* — the optimisations may
   change models, never outcomes — and the acceptance bar is a >= 30%
   reduction in actual solver calls.
-* **parallel** — the bfs generational search with ``jobs=2`` must report
-  exactly the serial engine's error set (and, in full mode, the same
-  check on the depth-2 Needham-Schroeder possibilistic attack search).
+* **parallel** — the bfs search with ``jobs=2`` must report exactly the
+  serial engine's error set (and, in full mode, the same check on the
+  depth-2 Needham-Schroeder possibilistic attack search), and the
+  persistent-pool gate runs a *depth-scaled* benchmark (heavy concrete
+  loops behind independent symbolic guards — execution dominates, the
+  shape the pipelined pool is built for): identical error sets, shared
+  cache hit rate >= serial's, and pool wall-clock < serial wall-clock.
+  The wall gate needs real hardware parallelism, so it is enforced only
+  when the host exposes >= 2 usable CPUs (CI does); a single-CPU host
+  records the measurement and the skip reason in the JSON.
 * **coverage** — the C1 branch-coverage-vs-run-budget curve on the
   depth-2 bfs search (budgets 1..128, doubling): the curve must be
   monotone non-decreasing and its largest budget must reach the
@@ -139,6 +146,89 @@ def parallel_check(name, source, toplevel, failures, **common):
                 "parallel[{}]: {} differs (serial {!r}, jobs=2 {!r})"
                 .format(name, field, serial[field], parallel[field])
             )
+    return row
+
+
+#: Depth-scaled workload for the persistent-pool gate: the concrete
+#: loop nest makes every run ~15k instructions (execution dominates the
+#: session), and the four independent symbolic guards fan the bfs
+#: frontier out to 16 runs — enough in-flight items to keep both
+#: workers busy, so the pipelined pool's overlap shows up as wall-clock.
+PIPELINE_SOURCE = """
+int pipeline_bench(int a, int b, int c, int d) {
+  int i; int j; int acc; int sum; int table[32]; int hits;
+  acc = 0; sum = 0; hits = 0;
+  for (i = 0; i < 32; i = i + 1) { table[i] = (i * 16807) % 97; }
+  for (i = 0; i < 48; i = i + 1) {
+    for (j = 0; j < 32; j = j + 1) {
+      acc = acc + table[j] * (j + i);
+      sum = sum ^ (acc >> 3);
+      acc = acc & 1048575;
+      sum = sum + (table[j] ^ i);
+    }
+  }
+  if (a > sum % 7) { hits = hits + 1; }
+  if (b == 41) { hits = hits + 2; }
+  if (c < -100) { hits = hits + 4; }
+  if (d > 500) { hits = hits + 8; }
+  if (hits == 15) { abort(); }
+  return hits;
+}
+"""
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def pipeline_gate(failures):
+    """The persistent-pool hard gate on the depth-scaled benchmark.
+
+    Serial and jobs=2 each run ``WALL_RUNS`` sessions (best wall kept).
+    Always gated: identical status/errors/iterations, and the pool's
+    cache hit rate at least the serial session's (the shared store must
+    never lose sharing the serial cache had).  Gated when the host has
+    >= 2 usable CPUs: pool wall-clock strictly below serial wall-clock.
+    """
+    common = dict(max_iterations=200, seed=0, strategy="bfs",
+                  stop_on_first_error=False)
+
+    def best(jobs):
+        rows = [_run(PIPELINE_SOURCE, "pipeline_bench", jobs=jobs,
+                     **common) for _ in range(WALL_RUNS)]
+        return min(rows, key=lambda row: row["wall_s"])
+
+    serial = best(1)
+    pool = best(2)
+    cpus = _usable_cpus()
+    wall_gate = "enforced" if cpus >= 2 else \
+        "skipped (single usable CPU: no hardware parallelism to measure)"
+    row = {
+        "benchmark": "pipeline-depth-scaled",
+        "runs": WALL_RUNS,
+        "cpus": cpus,
+        "serial": serial,
+        "parallel": pool,
+        "speedup": round(serial["wall_s"] / pool["wall_s"], 2)
+        if pool["wall_s"] else 0.0,
+        "wall_gate": wall_gate,
+    }
+    for field in ("status", "errors", "iterations"):
+        if serial[field] != pool[field]:
+            failures.append(
+                "pipeline: {} differs (serial {!r}, jobs=2 {!r})"
+                .format(field, serial[field], pool[field]))
+    if pool["cache_hit_rate"] < serial["cache_hit_rate"]:
+        failures.append(
+            "pipeline: pool cache hit rate {:.2%} below serial {:.2%}"
+            .format(pool["cache_hit_rate"], serial["cache_hit_rate"]))
+    if cpus >= 2 and pool["wall_s"] >= serial["wall_s"]:
+        failures.append(
+            "pipeline: jobs=2 wall {}s not below serial {}s on {} CPUs"
+            .format(pool["wall_s"], serial["wall_s"], cpus))
     return row
 
 
@@ -414,6 +504,7 @@ def main(argv=None):
             "ns_step", failures,
             depth=2, max_iterations=50_000, seed=0, strategy="bfs",
         ))
+    report["parallel"].append(pipeline_gate(failures))
     report["widening"] = widening_section(failures)
     report["coverage"] = coverage_section(failures)
     report["phases"] = phases_section(failures)
@@ -442,6 +533,17 @@ def main(argv=None):
               "{p}".format(benchmark=row["benchmark"],
                            s=row["serial"]["errors"],
                            p=row["parallel"]["errors"]))
+        if "wall_gate" in row:
+            print("parallel {benchmark}: wall {sw}s serial vs {pw}s "
+                  "jobs=2 ({speedup}x), hit rate {sr:.2%} -> {pr:.2%}, "
+                  "wall gate {gate}".format(
+                      benchmark=row["benchmark"],
+                      sw=row["serial"]["wall_s"],
+                      pw=row["parallel"]["wall_s"],
+                      speedup=row["speedup"],
+                      sr=row["serial"]["cache_hit_rate"],
+                      pr=row["parallel"]["cache_hit_rate"],
+                      gate=row["wall_gate"]))
     widening = report["widening"]
     print("widening: {} conjunct(s) widened, {} dropped, status {}"
           .format(widening["conjuncts_widened"],

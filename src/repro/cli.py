@@ -64,9 +64,12 @@ def build_parser():
     parser.add_argument("--strategy", default="dfs",
                         choices=("dfs", "bfs", "random"))
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the bfs/random "
-                             "generational search (default 1 = in-process; "
-                             "dfs is inherently sequential and ignores it)")
+                        help="persistent worker pool size for the "
+                             "bfs/random search: workers pipeline "
+                             "execute/solve over a shared work queue and "
+                             "share solver results (default 1 = "
+                             "in-process; dfs is inherently sequential "
+                             "and ignores it)")
     parser.add_argument("--no-slicing", action="store_true",
                         help="disable constraint independence slicing "
                              "(solve the full path-constraint prefix)")

@@ -126,11 +126,15 @@ class DartOptions:
         #: UNSAT-superset shortcuts and model reuse (repro.solver.cache).
         self.solver_cache = solver_cache
         #: Worker processes for the worklist-based strategies ("bfs" and
-        #: "random"): the frontier of pending input vectors is sharded
-        #: across a process pool and merged deterministically each
-        #: generation.  1 = in-process serial search.  The "dfs" strategy
-        #: is inherently sequential (each run's plan depends on the
-        #: previous run's path) and always runs single-process.
+        #: "random"): a persistent pool of long-lived workers consumes a
+        #: shared queue of flip candidates (work stealing, solver calls
+        #: overlapping interpretation, solver results shared through a
+        #: parent-side cache server), and results are committed strictly
+        #: in dispatch order so the search stays deterministic — see
+        #: docs/PARALLELISM.md.  1 = in-process serial search.  The
+        #: "dfs" strategy is inherently sequential (each run's plan
+        #: depends on the previous run's path) and always runs
+        #: single-process.
         self.jobs = jobs
         #: Write a JSONL structured trace of the session to this path
         #: (``--trace``); None disables the file sink.  See

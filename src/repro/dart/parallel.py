@@ -1,57 +1,76 @@
-"""Parallel generational search: the worklist sharded across processes.
+"""Parallel generational search: a persistent, pipelined worker pool.
 
 The worklist-based strategies ("bfs" and "random") drain a frontier of
 *independent* pending input vectors — each item re-executes the program
 from scratch and expands its own children.  That independence makes the
-frontier embarrassingly parallel: with ``DartOptions(jobs=N)`` each
-generation is sharded across a process pool, every worker executing the
-instrumented run *and* the child-expanding solver calls for its items.
-(The "dfs" strategy is inherently sequential — each plan is derived from
-the previous run's path — and always stays single-process.)
+frontier embarrassingly parallel: with ``DartOptions(jobs=N)``, N
+long-lived worker processes consume a shared work queue of flip
+candidates, solver calls overlap interpretation (one worker can be
+solving while another executes), and an idle worker steals whatever
+item is next in the queue — there are no generation barriers and no
+per-generation pool respawn.  (The "dfs" strategy is inherently
+sequential — each plan is derived from the previous run's path — and
+always stays single-process.)
 
-Design constraints, mirroring the serial engines:
+Design constraints, mirroring the serial engines (the full argument
+lives in ``docs/PARALLELISM.md``):
 
-* **Determinism.** Results are merged in dispatch order, not completion
-  order, and every item's undefined-slot randomization is seeded from
-  ``(session seed, global iteration index)`` — a given ``(program,
-  options)`` pair explores the same tree on every invocation, regardless
-  of worker scheduling.  ("random" shuffles each generation's frontier
-  with the session RNG, again deterministically.)
+* **Determinism.** The dispatcher tops the pipeline up to a fixed
+  window (``2*jobs``) only at drain start and after each commit, and
+  results are committed strictly in dispatch order through a reorder
+  buffer — so the dispatch *and* commit sequences are independent of
+  worker timing.  For "bfs" the dispatch order provably equals the
+  serial FIFO order (children enter the frontier at their parent's
+  commit, and commits happen in dispatch order), and every item's
+  undefined-slot randomization is seeded from ``(session seed, global
+  iteration index)`` — a given ``(program, options)`` pair explores the
+  same tree on every invocation, regardless of worker scheduling.
+* **Shared solver cache.** Workers share decided solver results
+  through a parent-side cache server (:mod:`repro.solver.shared`):
+  identical queries are solved once pool-wide, concurrent duplicates
+  wait on the first solver instead of re-solving, and a per-item local
+  cache keeps the serial cache's UNSAT-superset/model-reuse tiers —
+  partitioned exactly so that every worker result stays a pure
+  function of its payload.
 * **Per-worker fault boundary.** A worker wraps each run in the same
   quarantine classification as the serial engine (run-timeout /
-  resource-exhausted / internal-error) and *returns* the failure as data;
-  a worker process dying outright (the in-process boundary cannot catch a
-  segfault of the interpreter itself) quarantines the whole batch and the
-  pool is rebuilt — one generation is the blast radius, never the
-  session.
-* **Checkpoint integration.** Between generations the remaining frontier
-  *is* the worklist, so the v2 ``SessionCheckpoint`` machinery applies
-  unchanged; serial and parallel sessions can resume each other's
-  checkpoints (``jobs`` is excluded from the options digest exactly so a
-  resumed search may change its parallelism).
+  resource-exhausted / internal-error) and *returns* the failure as
+  data.  A worker process dying outright (the in-process boundary
+  cannot catch a segfault of the interpreter itself) is detected by
+  the parent: the items the dead worker had claimed are re-dispatched
+  once (``pool_retries``), a replacement worker is spawned, and only a
+  *second* death on the same item quarantines it — one item is the
+  blast radius, never the session.
+* **Checkpoint integration.** Commits are the between-runs boundary:
+  the uncommitted tail of the pipeline plus the pending frontier *is*
+  the worklist, so the v2 ``SessionCheckpoint`` machinery applies
+  unchanged and serial and pool sessions resume each other's
+  checkpoints (``jobs`` is excluded from the options digest exactly so
+  a resumed search may change its parallelism).
 
-**Soundness.** Sharding changes *when* independent items run, never what
-each computes: a worker executes the same instrumented run and the same
-child expansion the serial engine would, under the same per-item seed,
-and the dispatch-order merge leaves the parent's worklist, statistics
-and error set identical to a serial drain of the same frontier (pinned
-differentially by ``tests/test_parallel.py`` and the fuzzer's
-config-invariance oracle).  A lost worker degrades honestly: its batch
+**Soundness.** Pipelining changes *when* independent items run, never
+what each computes: a worker executes the same instrumented run and the
+same child expansion the serial engine would, under the same per-item
+seed, and the dispatch-order commit leaves the parent's worklist,
+statistics and error set identical to a serial drain of the same
+frontier (pinned differentially by ``tests/test_parallel.py`` and the
+fuzzer's config-invariance oracle).  A lost run degrades honestly: it
 is quarantined and ``all_linear`` cleared, so a session that lost runs
 never claims Theorem 1(b) completeness.
 
-Workers rebuild the compiled module from source once per process
-(initializer), keep their own solver and result cache, and report
-metrics-registry snapshots that the parent folds into the session's
-``RunStats`` (a deterministic merge — see `repro.obs.metrics`).
+Workers rebuild the compiled module from source once per process, keep
+their own solver, and report metrics-registry snapshots that the parent
+folds into the session's ``RunStats`` at commit (a deterministic merge
+— see `repro.obs.metrics`).
 """
 
+import multiprocessing
 import os
 import random
+import signal
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from queue import Empty
 
 from repro.dart import persist
 from repro.dart.coverage import is_program_branch
@@ -78,10 +97,19 @@ from repro.obs.profile import CACHE as CACHE_PHASE
 from repro.obs.profile import COMPILE, EXECUTE, SOLVE
 from repro.obs.trace import ListSink, TraceBus
 from repro.solver import Solver, SolverResultCache
+from repro.solver.shared import CacheServer, SharedCacheClient
 from repro.symbolic.flags import CompletenessFlags
 
 #: An empty worker metrics snapshot (the second-layer fault fallback).
 _EMPTY_METRICS = {"counters": {}, "gauges": {}, "histograms": {}}
+
+#: Worker processes are forked: the pool respawns workers mid-session
+#: (death recovery), and fork keeps that cheap and keeps the module
+#: import state consistent with the parent.
+try:
+    _MP = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover — non-POSIX fallback
+    _MP = multiprocessing.get_context()
 
 
 def _item_seed(base_seed, iteration):
@@ -91,13 +119,11 @@ def _item_seed(base_seed, iteration):
 
 # -- worker side --------------------------------------------------------------
 
-_CONTEXT = None
-
 
 class _WorkerContext:
     """Per-process state: the compiled module, solver, and result cache."""
 
-    def __init__(self, source, toplevel, options, filename):
+    def __init__(self, source, toplevel, options, filename, cache=None):
         self.options = options
         self.module = build_test_program(
             source, toplevel, depth=options.depth, filename=filename,
@@ -105,7 +131,11 @@ class _WorkerContext:
         )
         self.solver = Solver(seed=options.seed,
                              node_budget=options.solver_node_budget)
-        self.cache = SolverResultCache() if options.solver_cache else None
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = SolverResultCache() if options.solver_cache \
+                else None
         #: Per-process compiled engine (closures are not picklable, so
         #: each worker lowers its own module copy once).
         self.compiled = CompiledProgram(self.module) \
@@ -118,7 +148,7 @@ class _WorkerContext:
 
         With tracing requested the worker runs a private bus with an
         in-memory sink and ships the raw events back; the parent
-        re-emits them in dispatch order (re-stamping sequence numbers
+        re-emits them in commit order (re-stamping sequence numbers
         and the global iteration), so the merged stream is identical
         run-for-run to a serial session's ordering.  Metrics and phase
         timings are shipped as registry/timer snapshots and folded in
@@ -287,49 +317,117 @@ class _WorkerContext:
         }
 
 
-def _worker_init(source, toplevel, options, filename):
-    global _CONTEXT
+def _failed_run(detail):
+    """The second-layer fallback result: a quarantined run as data."""
+    return {"status": "quarantined", "children": (), "error": None,
+            "path": None, "covered": (), "inputs": None, "kinds": None,
+            "flags": (True, True, True, True),
+            "metrics": _EMPTY_METRICS, "phases": {}, "events": (),
+            "planned": False,
+            "quarantine": {
+                "classification": INTERNAL_ERROR,
+                "inputs": [], "kinds": [],
+                "detail": detail,
+            }}
+
+
+def _pool_worker(wid, spec, work_q, result_q, cache_conn):
+    """One long-lived worker: claim, execute, expand, report, repeat.
+
+    The claim message is sent *before* the item runs, over the same
+    queue as the result, so the parent always learns who owns an item
+    before (or together with) its outcome — the invariant the
+    death-recovery sweep relies on.  ``None`` on the work queue is the
+    shutdown sentinel.
+    """
     # Workers never inject faults themselves: under a fork start method
     # the parent's installed injector would be inherited with a *copy*
     # of its probe counters, making fault placement depend on worker
     # scheduling.  The only worker-side fault is the kill switch, which
     # the parent decides and ships in the payload.
     fault_points.uninstall()
-    _CONTEXT = _WorkerContext(source, toplevel, options, filename)
-
-
-def _worker_run(payload):
-    if payload.get("kill"):
-        # Fault injection (``worker.kill``): die the way a segfaulting
-        # interpreter would — no cleanup, no exception, no return value.
-        # The parent sees BrokenProcessPool and must recover.
-        os._exit(3)
+    # Forked workers inherit the parent's signal_guard handlers, which
+    # only set a flag the worker never reads — that would make SIGTERM
+    # (process.terminate()) a no-op and a terminal Ctrl-C (delivered to
+    # the whole foreground group) kill workers mid-item.  Reset both:
+    # the parent alone handles interrupts and winds the pool down.
     try:
-        return _CONTEXT.run_item(payload)
-    except Exception as exc:  # pragma: no cover — second-layer boundary
-        return {"status": "quarantined", "children": (), "error": None,
-                "path": None, "covered": (), "inputs": None, "kinds": None,
-                "flags": (True, True, True, True),
-                "metrics": _EMPTY_METRICS, "phases": {}, "events": (),
-                "planned": False,
-                "quarantine": {
-                    "classification": INTERNAL_ERROR,
-                    "inputs": [], "kinds": [],
-                    "detail": "worker: {}: {}".format(
-                        type(exc).__name__, exc),
-                }}
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover — exotic platform
+        pass
+    source, toplevel, options, filename = spec
+    client = SharedCacheClient(cache_conn) \
+        if (cache_conn is not None and options.solver_cache) else None
+    try:
+        context = _WorkerContext(source, toplevel, options, filename,
+                                 cache=client)
+    except Exception:  # pragma: no cover — broken program spec
+        os._exit(4)
+    while True:
+        job = work_q.get()
+        if job is None:
+            break
+        index, payload = job
+        result_q.put(("claim", wid, index))
+        if payload.get("kill"):
+            # Fault injection (``worker.kill``): die the way a
+            # segfaulting interpreter would — no result, no exception.
+            # The claim is flushed first (close + join_thread drains the
+            # feeder and releases the queue's write lock) so the parent
+            # can attribute the loss and other workers never deadlock.
+            result_q.close()
+            result_q.join_thread()
+            os._exit(3)
+        if client is not None:
+            client.begin_item()
+        started = time.perf_counter()
+        try:
+            out = context.run_item(payload)
+        except Exception as exc:  # pragma: no cover — second layer
+            out = _failed_run("worker: {}: {}".format(
+                type(exc).__name__, exc))
+        busy = time.perf_counter() - started
+        result_q.put(("result", wid, index, out, round(busy, 6)))
 
 
 # -- parent side --------------------------------------------------------------
 
-class _ParallelEngine:
-    """Drives a _Session through generation-synchronous parallel rounds."""
+
+class _PoolEngine:
+    """Drives a _Session through the persistent pipelined worker pool.
+
+    The parent is the only scheduler: it pops items from the frontier at
+    deterministic fill points, assigns each a global dispatch index (its
+    eventual iteration number), and commits buffered results strictly in
+    index order.  Workers race only over *which* of the already-chosen
+    items each executes — never over what the search explores.
+    """
 
     def __init__(self, session):
         self.session = session
         self.options = session.options
         self.dart = session.dart
-        self._executor = None
+        #: Pipeline window: enough in-flight items to keep every worker
+        #: busy while the head-of-line result is awaited, small enough
+        #: that a budget stop wastes little speculative work.
+        self.window = max(2 * self.options.jobs, 2)
+        self._work_q = None
+        self._result_q = None
+        self._server = None
+        self._workers = {}  # wid -> Process
+        self._slots = []  # wid per round-robin slot (steal nominees)
+        self._next_wid = 0  # allocator when no cache server exists
+        self._items = {}  # index -> (stack, im, bound), until commit
+        self._payloads = {}  # index -> dispatched payload (re-dispatch)
+        self._nominees = {}  # index -> nominated wid (steal accounting)
+        self._claims = {}  # index -> wid of the latest claim
+        self._buffer = {}  # index -> result, until its commit turn
+        self._retried = set()  # indices already re-dispatched once
+        self._next_dispatch = 1
+        self._next_commit = 1
+        self._busy_s = 0.0
+        self._started_at = None
 
     # Imported lazily to avoid a module cycle (runner imports this module
     # inside run()).
@@ -337,13 +435,78 @@ class _ParallelEngine:
         from repro.dart.runner import _Pending
         return _Pending
 
-    def _new_executor(self):
-        return ProcessPoolExecutor(
-            max_workers=self.options.jobs,
-            initializer=_worker_init,
-            initargs=(self.dart.source, self.dart.toplevel, self.options,
-                      self.dart.filename),
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self):
+        cache_conn = None
+        if self._server is not None:
+            wid, cache_conn = self._server.register_worker()
+        else:
+            wid = self._next_wid
+            self._next_wid += 1
+        spec = (self.dart.source, self.dart.toplevel, self.options,
+                self.dart.filename)
+        process = _MP.Process(
+            target=_pool_worker,
+            args=(wid, spec, self._work_q, self._result_q, cache_conn),
+            daemon=True,
         )
+        process.start()
+        if cache_conn is not None:
+            # The child inherited its end over the fork; drop the
+            # parent's duplicate so EOF detection works.
+            cache_conn.close()
+        self._workers[wid] = process
+        return wid
+
+    def _start_pool(self):
+        self._work_q = _MP.Queue()
+        self._result_q = _MP.Queue()
+        if self.options.solver_cache:
+            self._server = CacheServer()
+            self._server.start()
+        self._started_at = time.perf_counter()
+        for _ in range(self.options.jobs):
+            self._slots.append(self._spawn_worker())
+        if self.session.trace.enabled:
+            self.session.trace.emit(tr.POOL_STARTED,
+                                    jobs=self.options.jobs,
+                                    window=self.window)
+
+    def _stop_pool(self):
+        session = self.session
+        for _ in range(len(self._workers)):
+            try:
+                self._work_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                break
+        for process in self._workers.values():
+            process.join(timeout=1.0)
+        for process in self._workers.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._workers.clear()
+        for q in (self._work_q, self._result_q):
+            q.close()
+            q.cancel_join_thread()
+        elapsed = time.perf_counter() - self._started_at \
+            if self._started_at is not None else 0.0
+        if self._server is not None:
+            self._server.stop()
+        if session.trace.enabled:
+            budget = elapsed * max(self.options.jobs, 1)
+            session.trace.emit(
+                tr.POOL_STOPPED,
+                dispatched=self._next_dispatch - 1,
+                committed=self._next_commit - 1,
+                steals=session.stats.pool_steals,
+                workers_lost=session.stats.pool_workers_lost,
+                utilization=round(self._busy_s / budget, 4)
+                if budget > 0 else 0.0,
+            )
+
+    # -- the drain loop -----------------------------------------------------
 
     def run(self):
         from repro.dart.runner import _BudgetReached
@@ -352,137 +515,231 @@ class _ParallelEngine:
         frontier = None
         if checkpoint is not None and checkpoint.worklist is not None:
             frontier = list(checkpoint.worklist)  # (stack, im, bound)
-        self._executor = self._new_executor()
+        self._next_dispatch = session.stats.iterations + 1
+        self._next_commit = session.stats.iterations + 1
+        self._start_pool()
         try:
             while True:  # random restarts, as in Fig. 2
                 if frontier is None:
                     frontier = [([], InputVector(), 0)]
                     session._clean_drain = True
-                while frontier:
-                    self._note_worklist(frontier)
-                    session._autosave()
-                    session._check_budget()
-                    remaining = (self.options.max_iterations
-                                 - session.stats.iterations)
-                    batch = frontier[:remaining]
-                    rest = frontier[remaining:]
-                    done, children = self._run_generation(batch, rest)
-                    if done:
-                        session._clear_checkpoint()
-                        return session._result()
-                    frontier = rest + children
-                    if self.options.strategy == "random":
-                        session.rng.shuffle(frontier)
+                if self._drain(frontier):
+                    session._clear_checkpoint()
+                    return session._result()
                 if session._clean_drain and session._finished_complete():
                     session._clear_checkpoint()
                     return session._result()
                 session.stats.random_restarts += 1
                 frontier = None
         except _BudgetReached:
+            session._truncated = True
             session._save_checkpoint()
             return session._result()
         finally:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._stop_pool()
 
-    def _note_worklist(self, frontier):
-        """Expose the live frontier to the checkpoint machinery."""
-        pending = self._pending_type()
-        self.session._worklist = [
-            pending(stack, im, bound) for stack, im, bound in frontier
-        ]
-        self.session.stats.worklist_depth.set(len(frontier))
+    def _drain(self, pending):
+        """Pipeline one frontier to empty; True = stop-on-first-error.
 
-    def _run_generation(self, batch, rest):
-        """Dispatch one generation; returns (stop, merged children)."""
+        Loop shape mirrors ``_Session.run_generational``: the worklist
+        note, the autosave and the budget check happen once per commit,
+        at the same session state a serial engine would see them (N runs
+        committed, these remain) — so checkpoint cadence, the
+        between-runs fault seam and budget truncation are
+        engine-agnostic.
+        """
         session = self.session
-        trace_on = session.trace.enabled
-        if trace_on:
-            session.trace.emit(tr.GENERATION, size=len(batch))
+        while True:
+            self._fill(pending)
+            if self._next_commit == self._next_dispatch and not pending:
+                return False  # pipeline and frontier drained
+            self._note_worklist(pending)
+            session._autosave()
+            session._check_budget()
+            result = self._await(self._next_commit)
+            index = self._next_commit
+            self._next_commit += 1
+            stack, im, bound = self._items.pop(index)
+            self._payloads.pop(index, None)
+            self._nominees.pop(index, None)
+            self._claims.pop(index, None)
+            self._retried.discard(index)
+            session.stats.iterations += 1  # == index, by construction
+            if self._commit(result, index, im, pending):
+                return True
+
+    def _fill(self, pending):
+        """Top the pipeline up to the window (deterministic schedule).
+
+        Called only at drain start and after each commit, and pops are
+        FIFO ("bfs") or session-RNG draws ("random") — so the dispatch
+        sequence is a function of the committed prefix alone, never of
+        worker timing.  The kill seam is consulted here, exactly once
+        per dispatch index (re-dispatches never re-probe it).
+        """
+        session = self.session
+        options = self.options
         injector = fault_points.ACTIVE
-        payloads = []
-        for stack, im, bound in batch:
-            session.stats.iterations += 1
+        while pending \
+                and (self._next_dispatch - self._next_commit) < self.window \
+                and self._next_dispatch <= options.max_iterations:
+            if options.strategy == "random":
+                item = pending.pop(session.rng.randrange(len(pending)))
+            else:
+                item = pending.pop(0)
+            index = self._next_dispatch
+            self._next_dispatch += 1
+            stack, im, bound = item
             payload = {
                 "stack": persist._encode_stack(stack),
                 "im": persist._encode_im(im),
                 "bound": bound,
-                "seed": _item_seed(self.options.seed,
-                                   session.stats.iterations),
-                "trace": trace_on,
+                "seed": _item_seed(options.seed, index),
+                "trace": session.trace.enabled,
                 "profile": session.stats.phases.enabled,
             }
-            if injector is not None \
-                    and injector.worker_kill(session.stats.iterations):
-                # Parent-side kill decision, keyed on the global
-                # iteration (worker processes share no probe counter);
-                # the worker dies before touching the item.
+            if injector is not None and injector.worker_kill(index):
+                # Parent-side kill decision, keyed on the dispatch index
+                # (worker processes share no probe counter); the worker
+                # dies right after claiming the item.
                 payload["kill"] = True
-            payloads.append(payload)
-        try:
-            results = list(self._executor.map(_worker_run, payloads))
-        except BrokenProcessPool:
-            results = self._retry_generation(payloads, batch)
-            if results is None:
-                return False, []
-        children = []
-        first_iteration = session.stats.iterations - len(batch) + 1
-        for index, result in enumerate(results):
-            stop = self._merge(result, first_iteration + index, children)
-            if stop:
-                return True, children
-        return False, children
+            self._items[index] = item
+            self._payloads[index] = payload
+            if self._slots:
+                self._nominees[index] = \
+                    self._slots[(index - 1) % len(self._slots)]
+            self._work_q.put((index, payload))
+        session.stats.pool_inflight.set(
+            self._next_dispatch - self._next_commit)
 
-    def _retry_generation(self, payloads, batch):
-        """Second chance after a lost worker process.
-
-        A dead worker takes its whole generation's results with it, but
-        the items themselves are still known — they were dispatched, not
-        consumed.  So the in-flight flip candidates are *re-queued*: the
-        pool is rebuilt and the same payloads (same per-item seeds, so
-        the merged outcome is exactly what an undisturbed generation
-        would have produced) are dispatched once more.  Injected kill
-        flags are stripped first — the modeled crash is transient, which
-        is precisely the failure shape a retry recovers from.  Only when
-        the crash *reproduces* on the fresh pool does the generation get
-        quarantined (the previous behaviour, now the second layer):
-        deterministic crashes must not retry forever.
-
-        Returns the worker results, or None when the generation was
-        given up and quarantined.
-        """
+    def _note_worklist(self, pending):
+        """Expose the uncommitted tail + frontier to the checkpointer."""
+        pending_type = self._pending_type()
         session = self.session
+        worklist = [
+            pending_type(*self._items[index])
+            for index in range(self._next_commit, self._next_dispatch)
+        ]
+        worklist.extend(pending_type(stack, im, bound)
+                        for stack, im, bound in pending)
+        session._worklist = worklist
+        session.stats.worklist_depth.set(len(worklist))
+
+    def _await(self, index):
+        """Block until the head-of-line result is buffered."""
+        while index not in self._buffer:
+            self._pump(block=True)
+            self._reap_deaths()
+        return self._buffer.pop(index)
+
+    def _pump(self, block=False):
+        """Drain every available worker message into the parent state."""
+        try:
+            message = self._result_q.get(timeout=0.05) if block \
+                else self._result_q.get_nowait()
+        except Empty:
+            return
+        while True:
+            self._on_message(message)
+            try:
+                message = self._result_q.get_nowait()
+            except Empty:
+                return
+
+    def _on_message(self, message):
+        session = self.session
+        kind = message[0]
+        if kind == "claim":
+            _, wid, index = message
+            if index < self._next_commit:
+                return  # stale: a duplicate of an already-committed item
+            first_claim = index not in self._claims
+            self._claims[index] = wid
+            nominee = self._nominees.get(index)
+            if first_claim and nominee is not None and wid != nominee:
+                session.stats.pool_steals += 1
+                if session.trace.enabled:
+                    session.trace.emit(tr.POOL_STEAL, index=index,
+                                       worker=wid, nominee=nominee)
+        elif kind == "result":
+            _, wid, index, out, busy = message
+            if index < self._next_commit or index in self._buffer:
+                return  # duplicate (conservative re-dispatch): results
+                # are pure functions of the payload, so dropping one of
+                # two identical copies is lossless.
+            self._busy_s += busy
+            self._buffer[index] = out
+
+    def _reap_deaths(self):
+        """Detect dead workers; re-dispatch their claims, respawn.
+
+        A worker flushes its claim before any injected kill, so once
+        ``is_alive()`` turns False the claim is readable — messages are
+        drained first, then every uncommitted, unbuffered item claimed
+        by a dead worker is re-dispatched (kill flag stripped: the
+        modeled crash is transient).  Unclaimed in-flight items are
+        conservatively re-dispatched too — a real crash between taking
+        a job and flushing the claim would otherwise strand its item —
+        and the reorder buffer dedupes any resulting double execution.
+        An item whose retry *also* dies is quarantined as data
+        (deterministic crashes must not retry forever).
+        """
+        dead = [(wid, process) for wid, process in self._workers.items()
+                if not process.is_alive()]
+        if not dead:
+            return
+        session = self.session
+        self._pump()
+        lost = set()
+        for wid, process in dead:
+            process.join()
+            del self._workers[wid]
+            session.stats.pool_workers_lost += 1
+            if self._server is not None:
+                self._server.release_worker(wid)
+            if session.trace.enabled:
+                session.trace.emit(tr.WORKER_LOST, worker=wid,
+                                   exitcode=process.exitcode)
+            replacement = self._spawn_worker()
+            for slot, occupant in enumerate(self._slots):
+                if occupant == wid:
+                    self._slots[slot] = replacement
+            for index, claimant in self._claims.items():
+                if claimant == wid and index >= self._next_commit \
+                        and index not in self._buffer:
+                    lost.add(index)
+        for index in range(self._next_commit, self._next_dispatch):
+            if index not in self._claims and index not in self._buffer:
+                lost.add(index)
+        if not lost:
+            return
         session.stats.pool_retries += 1
         if session.trace.enabled:
-            session.trace.emit(tr.POOL_RETRY, size=len(payloads),
+            session.trace.emit(tr.POOL_RETRY, size=len(lost),
                                iteration=session.stats.iterations)
-        self._executor.shutdown(wait=False, cancel_futures=True)
-        self._executor = self._new_executor()
-        retries = []
-        for payload in payloads:
-            payload = dict(payload)
+        for index in sorted(lost):
+            if index in self._retried:
+                # Second death on the same item: give it up as a
+                # quarantined run; the commit path degrades the
+                # completeness claim like any other quarantine.
+                stack, im, bound = self._items[index]
+                result = _failed_run("worker process died twice")
+                result["quarantine"]["inputs"] = im.values()
+                result["quarantine"]["kinds"] = [slot.kind for slot in im]
+                result["planned"] = bool(stack)
+                self._buffer[index] = result
+                continue
+            self._retried.add(index)
+            self._claims.pop(index, None)
+            payload = dict(self._payloads[index])
             payload.pop("kill", None)
-            retries.append(payload)
-        try:
-            return list(self._executor.map(_worker_run, retries))
-        except BrokenProcessPool:
-            # Crash reproduced: quarantine the generation, rebuild the
-            # pool, keep the session alive — the paper's
-            # crash-loses-one-run containment, at generation granularity.
-            session.flags.clear_linear()
-            session._clean_drain = False
-            for index, (stack, im, bound) in enumerate(batch):
-                session.stats.quarantined.append(QuarantineRecord(
-                    INTERNAL_ERROR, im.values(),
-                    [slot.kind for slot in im],
-                    session.stats.iterations - len(batch) + 1 + index,
-                    "worker process died twice (BrokenProcessPool)",
-                ))
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = self._new_executor()
-            return None
+            self._payloads[index] = payload
+            self._work_q.put((index, payload))
+
+    # -- commit (dispatch-order merge) --------------------------------------
 
     def _ship_events(self, result, iteration, new_path):
-        """Re-emit one worker's events on the parent bus, in dispatch
+        """Re-emit one worker's events on the parent bus, in commit
         order, patching in what only the parent knows: the global
         iteration number and whether the run's path was globally new."""
         trace = self.session.trace
@@ -500,8 +757,8 @@ class _ParallelEngine:
         """Record one worker run as a suite-export witness.
 
         Mirrors ``_Session._witness``: keyed on (path, error class),
-        applied in dispatch order, so serial and parallel sessions of
-        the same search retain identical witness lists.
+        applied in commit order, so serial and pool sessions of the
+        same search retain identical witness lists.
         """
         session = self.session
         error = result["error"]
@@ -528,8 +785,8 @@ class _ParallelEngine:
         ))
         session.stats.witnesses_recorded += 1
 
-    def _merge(self, result, iteration, children):
-        """Fold one worker result into the session (dispatch order)."""
+    def _commit(self, result, iteration, im, pending):
+        """Fold one worker result into the session (commit order)."""
         session = self.session
         all_linear, all_locs, _forcing, all_faithful = result["flags"]
         if not all_linear:
@@ -539,7 +796,7 @@ class _ParallelEngine:
         if not all_faithful:
             session.flags.clear_faithful()
         # Deterministic instrument merge: counters add, gauges max,
-        # histograms add elementwise; dispatch order makes it stable,
+        # histograms add elementwise; commit order makes it stable,
         # commutativity makes it independent of worker scheduling.
         session.stats.registry.merge(result["metrics"])
         if result.get("phases"):
@@ -579,7 +836,7 @@ class _ParallelEngine:
         if session._collect_witnesses and result.get("inputs") is not None:
             self._witness(result, iteration)
         self._ship_events(result, iteration, new_path)
-        children.extend(
+        pending.extend(
             (persist._decode_stack(child["stack"]),
              persist._decode_im(child["im"]),
              child["bound"])
@@ -603,4 +860,4 @@ class _ParallelEngine:
 
 def run_parallel_generational(session):
     """Entry point used by :meth:`repro.dart.runner.Dart.run`."""
-    return _ParallelEngine(session).run()
+    return _PoolEngine(session).run()

@@ -253,9 +253,18 @@ class RunStats:
         # counts checkpoint writes that failed without losing the prior
         # checkpoint; ``checkpoints_rejected`` counts corrupt state
         # files downgraded to a clean reseed; ``pool_retries`` counts
-        # generations re-dispatched after a worker-process death.
+        # recovery rounds in which the worker pool re-dispatched the
+        # items a dead worker had claimed (one round per batch of
+        # simultaneous deaths, not one per item).
         "faults_injected", "solver_failures", "cache_failures",
         "checkpoint_failures", "checkpoints_rejected", "pool_retries",
+        # Persistent worker pool (repro.dart.parallel):
+        # ``pool_steals`` counts queued items claimed by a worker other
+        # than the dispatcher's round-robin nominee (timing-dependent by
+        # nature — it measures pipelining, never results);
+        # ``pool_workers_lost`` counts worker processes that died and
+        # were replaced.
+        "pool_steals", "pool_workers_lost",
         # Regression-suite export funnel (repro.suite):
         # ``witnesses_recorded`` counts distinct (path, error-class)
         # executions whose input vectors were retained for export;
@@ -280,6 +289,9 @@ class RunStats:
             "path_length", PATH_LENGTH_BUCKETS)
         #: Pending-item frontier size (generational engines; gauge).
         self.worklist_depth = registry.gauge("worklist_depth")
+        #: Items dispatched to pool workers and not yet committed
+        #: (pipeline occupancy; the peak shows how full the window ran).
+        self.pool_inflight = registry.gauge("pool_inflight")
         #: Opt-in per-phase wall-time attribution (execute / solve /
         #: cache / checkpoint); enabled by ``profile_phases``.
         self.phases = PhaseTimer()
@@ -364,6 +376,8 @@ class RunStats:
             "checkpoint_failures": self.checkpoint_failures,
             "checkpoints_rejected": self.checkpoints_rejected,
             "pool_retries": self.pool_retries,
+            "pool_steals": self.pool_steals,
+            "pool_workers_lost": self.pool_workers_lost,
             "witnesses_recorded": self.witnesses_recorded,
             "artifacts_exported": self.artifacts_exported,
             "artifacts_deduped": self.artifacts_deduped,

@@ -174,9 +174,21 @@ class Dart:
             session.stats.finish()
             if self.trace.enabled:
                 coverage = result.coverage if result is not None else None
+                # Which engine ran the search: "dfs" (Fig. 5), "pool"
+                # (the persistent worker pool) or "serial" (the
+                # single-process worklist drain).  jobs stays out of the
+                # checkpoint digest, so the trace is the only place a
+                # run's parallelism is attributable after the fact.
+                if self.options.strategy == "dfs":
+                    engine = "dfs"
+                elif self.options.jobs > 1:
+                    engine = "pool"
+                else:
+                    engine = "serial"
                 self.trace.emit(
                     tr.SESSION_FINISHED,
                     status=result.status if result is not None else "error",
+                    engine=engine,
                     iterations=session.stats.iterations,
                     wall_s=round(session.stats.elapsed, 6),
                     **({"coverage": {

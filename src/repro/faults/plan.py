@@ -44,8 +44,9 @@ ALL_SITES = (
     "machine.memory",
     # repro.interp.machine.Machine — RecursionError mid-execution.
     "machine.recursion",
-    # repro.dart.parallel — kill a worker process mid-generation
-    # (occurrence = the global iteration whose payload carries the kill).
+    # repro.dart.parallel — kill a worker process mid-pipeline, right
+    # after it claims its item (occurrence = the dispatch index / global
+    # iteration whose payload carries the kill).
     "worker.kill",
     # repro.dart.persist._atomic_write — ENOSPC before any content is
     # written.

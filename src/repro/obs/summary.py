@@ -36,6 +36,7 @@ def summarize_trace(events):
     solver_wall = 0.0
     total_wall = None
     status = None
+    engine = None
     iterations = 0
     coverage = None
     for event in events:
@@ -80,6 +81,7 @@ def summarize_trace(events):
         elif etype == tr.SESSION_FINISHED:
             total_wall = event.get("wall_s")
             status = event.get("status")
+            engine = event.get("engine")
             iterations = event.get("iterations", 0)
             coverage = event.get("coverage")
     # "solve" covers the whole planning call (slicing, query building,
@@ -97,6 +99,9 @@ def summarize_trace(events):
         "events": sum(counts.values()),
         "event_counts": {k: counts[k] for k in sorted(counts)},
         "status": status,
+        # "dfs" / "serial" / "pool" — which engine ran the search
+        # (absent in traces written before the field existed).
+        "engine": engine,
         "iterations": iterations,
         "wall_s": round(total_wall, 6),
         "phases": {name: round(seconds, 6)
@@ -130,8 +135,9 @@ def render_summary(summary):
     """Human-readable report (the non-``--json`` output)."""
     lines = []
     lines.append("trace summary: {} event(s), session status {}, "
-                 "{} run(s), {:.4f}s wall".format(
+                 "{} engine, {} run(s), {:.4f}s wall".format(
                      summary["events"], summary["status"] or "?",
+                     summary.get("engine") or "?",
                      summary["runs"]["total"], summary["wall_s"]))
     lines.append("")
     lines.append("phase breakdown (attributed {:.1%} of wall time):".format(

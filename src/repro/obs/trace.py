@@ -60,6 +60,15 @@ CACHE_FAILED = "cache_failed"
 CHECKPOINT_FAILED = "checkpoint_failed"
 CHECKPOINT_REJECTED = "checkpoint_rejected"
 POOL_RETRY = "pool_retry"
+#: The persistent worker pool spun up (``jobs``, ``window``) or wound
+#: down (``dispatched``, ``steals``, ``workers_lost``, ``utilization``).
+POOL_STARTED = "pool_started"
+POOL_STOPPED = "pool_stopped"
+#: A queued item was claimed by a worker other than the one the
+#: dispatcher nominated round-robin — the work-stealing path.
+POOL_STEAL = "pool_steal"
+#: A worker process died; its claimed items are re-dispatched once.
+WORKER_LOST = "worker_lost"
 #: IR lowering by the compiled execution engine (one event per run that
 #: lowered at least one function; carries ``wall_s`` and ``functions``).
 COMPILE = "compile"
@@ -80,6 +89,7 @@ EVENT_TYPES = (
     QUARANTINE, CHECKPOINT, GENERATION, PLAN,
     FAULT_INJECTED, SOLVER_FAILED, CACHE_FAILED,
     CHECKPOINT_FAILED, CHECKPOINT_REJECTED, POOL_RETRY,
+    POOL_STARTED, POOL_STOPPED, POOL_STEAL, WORKER_LOST,
     COMPILE, SUITE_EXPORTED, ARTIFACT_DEDUPED,
 )
 

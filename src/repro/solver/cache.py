@@ -35,6 +35,13 @@ the search somewhere the solver would not have.
 With a :class:`repro.obs.trace.TraceBus` attached (the ``trace``
 attribute, set by the runner), each lookup/store emits an event carrying
 the tier (or miss) and its wall time.
+
+Under ``jobs>1`` this cache becomes the *local* layer of a two-layer
+scheme: each pool worker consults a per-item instance (all three tiers),
+backed by a parent-side server that shares exact-tier results across
+workers (`repro.solver.shared` — the layering keeps every worker result
+a pure function of its payload, which the pool's determinism argument
+in docs/PARALLELISM.md rests on).
 """
 
 import time

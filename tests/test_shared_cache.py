@@ -1,0 +1,289 @@
+"""The pool's shared solver-result store under real concurrency.
+
+Three layers of assurance for `repro.solver.shared`:
+
+* **Key discipline** — the shared key is the *verbatim* query identity
+  (ordered conjuncts, sorted domains, encoding version first), strictly
+  finer than the local cache's canonical set key.
+* **Protocol** — lookup/claim/wait/resolve over real pipes: decided
+  results hit, unknown resolves hand every waiter a fresh claim, dead
+  claimants release their claims, and a stale-encoding entry can never
+  answer a current-version query.
+* **Concurrency property (hypothesis)** — many threads racing random
+  workloads, with entries stored under two encoding versions and two
+  run namespaces, never receive an answer that was stored for a
+  different key: no stale-encoding hits, no cross-run hits, every hit
+  byte-equal to what the claimant resolved for exactly that key.
+
+A chaos-style end-to-end check kills a pool worker right after it
+claims an item another worker was nominated for (a death mid-steal) and
+pins that the session recovers to the serial engine's exact error set.
+"""
+
+import threading
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import DartOptions
+from repro.dart.runner import Dart
+from repro.programs.ac_controller import (
+    AC_CONTROLLER_SOURCE,
+    AC_CONTROLLER_TOPLEVEL,
+)
+from repro.solver.cache import ENCODING_VERSION, EXACT, SolverResultCache
+from repro.solver.core import SolverResult
+from repro.solver.shared import (
+    CacheServer,
+    SharedCacheClient,
+    shared_query_key,
+)
+from repro.symbolic.expr import GE, LE, LT, CmpExpr, LinExpr
+
+
+def cmp(op, coeffs, const=0):
+    return CmpExpr(op, LinExpr(dict(coeffs), const))
+
+
+X_POS = cmp(GE, {0: 1}, -1)      # x - 1 >= 0
+Y_SMALL = cmp(LE, {1: 1}, -5)    # y - 5 <= 0
+X_NEG = cmp(LT, {0: 1})          # x < 0
+
+
+class TestSharedQueryKey:
+    def test_version_is_first_component(self):
+        key = shared_query_key([X_POS], {})
+        assert key[0] == ENCODING_VERSION
+
+    def test_conjunct_order_distinguishes(self):
+        # Verbatim identity: a permuted conjunct list is a *different*
+        # shared key (the solver sees different input, so the models may
+        # differ), even though the canonical local key collapses it.
+        ordered = shared_query_key([X_POS, Y_SMALL], {})
+        permuted = shared_query_key([Y_SMALL, X_POS], {})
+        assert ordered != permuted
+        assert SolverResultCache.query_key([X_POS, Y_SMALL], {}) == \
+            SolverResultCache.query_key([Y_SMALL, X_POS], {})
+
+    def test_strict_spellings_distinguish(self):
+        # lin < 0 and lin + 1 <= 0 canonicalize together locally but must
+        # stay distinct shared keys (different solver input).
+        strict = shared_query_key([X_NEG], {})
+        nonstrict = shared_query_key(
+            [CmpExpr(LE, LinExpr({0: 1}, 1))], {})
+        assert strict != nonstrict
+        assert SolverResultCache.query_key([X_NEG], {}) == \
+            SolverResultCache.query_key(
+                [CmpExpr(LE, LinExpr({0: 1}, 1))], {})
+
+    def test_domains_distinguish(self):
+        narrow = shared_query_key([X_POS], {0: (0, 5)})
+        wide = shared_query_key([X_POS], {0: (0, 50)})
+        defaulted = shared_query_key([X_POS], {})
+        assert len({narrow, wide, defaulted}) == 3
+
+
+class _Harness:
+    """One CacheServer plus raw client connections, torn down cleanly."""
+
+    def __init__(self, workers=2):
+        self.server = CacheServer()
+        self.conns = []
+        self.wids = []
+        for _ in range(workers):
+            wid, conn = self.server.register_worker()
+            self.wids.append(wid)
+            self.conns.append(conn)
+        self.server.start()
+
+    def close(self):
+        self.server.stop()
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class TestClaimProtocol:
+    def run_harness(self, body, workers=2):
+        harness = _Harness(workers)
+        try:
+            return body(harness)
+        finally:
+            harness.close()
+
+    def test_claim_then_resolve_then_hit(self):
+        def body(harness):
+            first, second = harness.conns
+            key = shared_query_key([X_POS], {})
+            first.send(("lookup", key))
+            assert first.recv() == ("claimed",)
+            first.send(("resolve", key, "sat", {0: 1}))
+            second.send(("lookup", key))
+            assert second.recv() == ("hit", "sat", {0: 1})
+            assert len(harness.server) == 1
+        self.run_harness(body)
+
+    def test_unknown_resolve_releases_waiter_with_fresh_claim(self):
+        def body(harness):
+            first, second = harness.conns
+            key = shared_query_key([X_POS], {})
+            first.send(("lookup", key))
+            assert first.recv() == ("claimed",)
+            second.send(("lookup", key))  # queued behind the claimant
+            first.send(("resolve", key, "unknown", None))
+            # Unknown is never stored; the waiter gets its own claim and
+            # will solve the query itself (per-occurrence, like serial).
+            assert second.recv() == ("claimed",)
+            assert len(harness.server) == 0
+        self.run_harness(body)
+
+    def test_dead_claimant_releases_waiters(self):
+        def body(harness):
+            first, second = harness.conns
+            key = shared_query_key([Y_SMALL], {})
+            first.send(("lookup", key))
+            assert first.recv() == ("claimed",)
+            second.send(("lookup", key))
+            # The pool's death path: parent reaps the worker and frees
+            # its claims; the waiter must come back with a fresh claim,
+            # not hang on the dead solver.
+            harness.server.release_worker(harness.wids[0])
+            assert second.recv() == ("claimed",)
+        self.run_harness(body)
+
+    def test_stale_encoding_entry_never_answers_current_version(self):
+        def body(harness):
+            first, second = harness.conns
+            current = shared_query_key([X_POS], {})
+            stale = (ENCODING_VERSION - 1,) + current[1:]
+            first.send(("lookup", stale))
+            assert first.recv() == ("claimed",)
+            first.send(("resolve", stale, "unsat", None))
+            # Same constraints, current encoding: must miss (claim), the
+            # stale-generation verdict is unreachable by construction.
+            second.send(("lookup", current))
+            assert second.recv() == ("claimed",)
+        self.run_harness(body)
+
+    def test_client_facade_round_trip(self):
+        def body(harness):
+            client_a = SharedCacheClient(harness.conns[0])
+            client_b = SharedCacheClient(harness.conns[1])
+            constraints, domains = [X_POS, Y_SMALL], {0: (0, 9)}
+            assert client_a.lookup(constraints, domains) is None  # claim
+            client_a.store(constraints, domains,
+                           SolverResult("sat", {0: 1, 1: 2}))
+            hit = client_b.lookup(constraints, domains)
+            assert hit is not None
+            result, tier = hit
+            assert tier == EXACT
+            assert result.status == "sat"
+            assert result.model == {0: 1, 1: 2}
+            # begin_item drops the local layer but the shared store
+            # still answers the verbatim spelling...
+            client_b.begin_item()
+            assert client_b.lookup(constraints, domains) is not None
+            # ...while a *permuted* spelling only hits through the local
+            # canonical tiers (seeded by the shared hit above); on a
+            # fresh item it misses the shared store and claims.
+            assert client_b.lookup([Y_SMALL, X_POS], domains) is not None
+            client_b.begin_item()
+            assert client_b.lookup([Y_SMALL, X_POS], domains) is None
+            client_b.store([Y_SMALL, X_POS], domains,
+                           SolverResult("unknown"))  # release the claim
+        self.run_harness(body)
+
+
+# -- the concurrency property -------------------------------------------------
+
+# A workload step: (key id, stale encoding?, run namespace).  Key ids
+# collide across steps on purpose — that is what exercises the
+# hit/wait/claim races.
+steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=11), st.booleans(),
+              st.integers(min_value=0, max_value=1)),
+    min_size=4, max_size=48,
+)
+
+
+def _expected(key_id, version, run):
+    """The unique decided result for one fully-qualified key."""
+    if key_id % 3 == 0:
+        return ("unsat", None)
+    return ("sat", {0: key_id * 100 + version * 10 + run})
+
+
+@settings(deadline=None, max_examples=30)
+@given(steps, st.integers(min_value=2, max_value=4))
+def test_concurrent_lookups_never_return_stale_or_cross_run(ops, threads):
+    """No interleaving of claims/hits/waits ever crosses key boundaries.
+
+    Entries live under two encoding versions and two run namespaces;
+    every thread checks that each hit carries exactly the value resolved
+    for its own fully-qualified key — a stale-encoding or cross-run
+    answer would surface as a mismatched verdict or model.
+    """
+    harness = _Harness(workers=threads)
+    failures = []
+
+    def drive(conn, slice_ops):
+        try:
+            for key_id, stale, run in slice_ops:
+                version = ENCODING_VERSION - (1 if stale else 0)
+                key = (version, ("k", key_id, run), ())
+                status, model = _expected(key_id, version, run)
+                conn.send(("lookup", key))
+                reply = conn.recv()
+                if reply[0] == "claimed":
+                    conn.send(("resolve", key, status, model))
+                else:
+                    assert reply == ("hit", status, model), \
+                        "cross-key answer: {} for {}".format(reply, key)
+        except BaseException as exc:  # noqa: BLE001 — reported below
+            failures.append("{}: {}".format(type(exc).__name__, exc))
+
+    try:
+        workers = []
+        for index in range(threads):
+            slice_ops = ops[index::threads]
+            worker = threading.Thread(
+                target=drive, args=(harness.conns[index], slice_ops))
+            worker.start()
+            workers.append(worker)
+        for worker in workers:
+            worker.join(timeout=30)
+        assert failures == []
+    finally:
+        harness.close()
+
+
+# -- chaos: a worker dies mid-steal ------------------------------------------
+
+
+def _error_keys(result):
+    return sorted({(e.kind, str(e.location)) for e in result.errors})
+
+
+class TestWorkerDeathMidSteal:
+    def test_kill_mid_steal_recovers_serial_error_set(self):
+        # Index 2's round-robin nominee is worker 1, but with the pool
+        # window open whichever worker frees up first claims it — the
+        # kill rides the claim, so the death lands mid-steal whenever
+        # the claimant is not the nominee, and right after a steal
+        # otherwise.  Either way the parent must re-dispatch the claimed
+        # item once and converge on the undisturbed error set.
+        options = dict(depth=2, strategy="bfs", seed=3,
+                       max_iterations=400, stop_on_first_error=False)
+        serial = Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                      DartOptions(jobs=1, **options)).run()
+        chaotic = Dart(AC_CONTROLLER_SOURCE, AC_CONTROLLER_TOPLEVEL,
+                       DartOptions(jobs=2, fault_plan="worker.kill@2",
+                                   **options)).run()
+        assert chaotic.stats.faults_injected == 1
+        assert chaotic.stats.pool_workers_lost == 1
+        assert chaotic.stats.pool_retries == 1
+        assert _error_keys(chaotic) == _error_keys(serial)
+        assert chaotic.status == serial.status
+        assert chaotic.stats.iterations == serial.stats.iterations

@@ -28,7 +28,9 @@ SESSION = dict(depth=2, max_iterations=200, seed=7,
 
 # Search-deterministic statistics: identical for any jobs count and any
 # worker scheduling (solver latency and the cache-tier split are not —
-# each worker process owns a private cache).
+# pool workers reset their local cache layer per item and answer from
+# the shared exact-tier store, so hits can come from a different tier
+# than the serial session-long cache would use).
 DETERMINISTIC_KEYS = (
     "iterations", "paths", "distinct_paths", "branches", "steps",
     "instructions_executed", "instructions_symbolic",
