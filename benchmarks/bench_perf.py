@@ -100,6 +100,8 @@ def _run(source, toplevel, **overrides):
         "cache_unsat_shortcuts": stats.cache_unsat_shortcuts,
         "cache_model_reuses": stats.cache_model_reuses,
         "cache_misses": stats.cache_misses,
+        "flips_subsumed_core": stats.flips_subsumed_core,
+        "worklist_deduped": stats.worklist_deduped,
         "conjuncts_widened": stats.conjuncts_widened,
         "conjuncts_dropped_unfaithful":
             stats.conjuncts_dropped_unfaithful,
@@ -229,6 +231,83 @@ def pipeline_gate(failures):
         failures.append(
             "pipeline: jobs=2 wall {}s not below serial {}s on {} CPUs"
             .format(pool["wall_s"], serial["wall_s"], cpus))
+    return row
+
+
+#: Depth-scaled workload for the subsumption gate.  The two ``x`` nests
+#: share the strict UNSAT core {x > 60, x < 30}: the first nest's
+#: infeasible flip pays the solver call and records the minimized core,
+#: the second nest's flip query ([x > 20, x > 60, x < 30]) is neither an
+#: exact hit nor a superset of the *whole* first query, so only the core
+#: tier can refute it without a call.  The three independent guards are
+#: what the coupling analysis proves dedup-eligible: at depth 2 their
+#: flip queries repeat across every subtree of the other guards, and the
+#: worklist dedup collapses the repeats (strictly fewer runs) while the
+#: ``b == 9`` abort pins that the error set survives the pruning.
+SUBSUME_SOURCE = """
+int subsume_bench(int x, int a, int b, int c) {
+  if (x > 10) { if (x > 60) { if (x < 30) { x = 0; } } }
+  if (x > 20) { if (x > 60) { if (x < 30) { x = 1; } } }
+  if (a == 7) { x = 2; }
+  if (b == 9) { abort(); }
+  if (c == 11) { x = 3; }
+  return x;
+}
+"""
+
+
+def subsumption_section(failures):
+    """The tentpole gate: subsumption prunes runs and calls, not errors.
+
+    On the depth-scaled benchmark the subsuming session must finish in
+    *strictly fewer* runs and *strictly fewer* solver calls than its
+    ``--no-subsumption`` ablation while reporting the identical error
+    set and verdict, with both pruning counters visibly non-zero (and
+    zero under the ablation).  A jobs=2 session under subsumption must
+    match the serial one exactly — commit-order dedup is deterministic.
+    """
+    common = dict(depth=2, max_iterations=400, seed=0, strategy="bfs",
+                  stop_on_first_error=False)
+    on = _run(SUBSUME_SOURCE, "subsume_bench", **common)
+    off = _run(SUBSUME_SOURCE, "subsume_bench", subsumption=False, **common)
+    pool = _run(SUBSUME_SOURCE, "subsume_bench", jobs=2, **common)
+    row = {
+        "benchmark": "subsume-depth-scaled",
+        "subsuming": on,
+        "ablated": off,
+        "parallel": pool,
+        "runs_saved": off["iterations"] - on["iterations"],
+        "solver_calls_saved": off["solver_calls"] - on["solver_calls"],
+    }
+    for field in ("status", "errors"):
+        if on[field] != off[field]:
+            failures.append(
+                "subsumption: {} differs (subsuming {!r}, ablated {!r})"
+                .format(field, on[field], off[field]))
+    if on["iterations"] >= off["iterations"]:
+        failures.append(
+            "subsumption: {} runs not strictly below the ablation's {}"
+            .format(on["iterations"], off["iterations"]))
+    if on["solver_calls"] >= off["solver_calls"]:
+        failures.append(
+            "subsumption: {} solver calls not strictly below the "
+            "ablation's {}".format(on["solver_calls"],
+                                   off["solver_calls"]))
+    if on["flips_subsumed_core"] <= 0 or on["worklist_deduped"] <= 0:
+        failures.append(
+            "subsumption: pruning counters not both positive "
+            "(cores {}, deduped {})".format(on["flips_subsumed_core"],
+                                            on["worklist_deduped"]))
+    if off["flips_subsumed_core"] or off["worklist_deduped"]:
+        failures.append(
+            "subsumption: ablation counted pruning (cores {}, deduped "
+            "{})".format(off["flips_subsumed_core"],
+                         off["worklist_deduped"]))
+    for field in ("status", "errors", "iterations", "worklist_deduped"):
+        if on[field] != pool[field]:
+            failures.append(
+                "subsumption: {} differs (serial {!r}, jobs=2 {!r})"
+                .format(field, on[field], pool[field]))
     return row
 
 
@@ -505,6 +584,7 @@ def main(argv=None):
             depth=2, max_iterations=50_000, seed=0, strategy="bfs",
         ))
     report["parallel"].append(pipeline_gate(failures))
+    report["subsumption"] = subsumption_section(failures)
     report["widening"] = widening_section(failures)
     report["coverage"] = coverage_section(failures)
     report["phases"] = phases_section(failures)
@@ -544,6 +624,16 @@ def main(argv=None):
                       sr=row["serial"]["cache_hit_rate"],
                       pr=row["parallel"]["cache_hit_rate"],
                       gate=row["wall_gate"]))
+    subsume = report["subsumption"]
+    print("subsumption: {} -> {} runs, {} -> {} solver calls "
+          "(cores {}, deduped {}), errors {}".format(
+              subsume["ablated"]["iterations"],
+              subsume["subsuming"]["iterations"],
+              subsume["ablated"]["solver_calls"],
+              subsume["subsuming"]["solver_calls"],
+              subsume["subsuming"]["flips_subsumed_core"],
+              subsume["subsuming"]["worklist_deduped"],
+              subsume["subsuming"]["errors"]))
     widening = report["widening"]
     print("widening: {} conjunct(s) widened, {} dropped, status {}"
           .format(widening["conjuncts_widened"],

@@ -79,6 +79,10 @@ def build_parser():
                         help="disable the compiled execution engine "
                              "(run the tree-walking interpreter; "
                              "ablation only — results are identical)")
+    parser.add_argument("--no-subsumption", action="store_true",
+                        help="disable UNSAT-core subsumption and "
+                             "worklist dedup (ablation only — the "
+                             "error set is identical)")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget in seconds")
     parser.add_argument("--run-time-limit", type=float, default=None,
@@ -543,6 +547,7 @@ def main(argv=None):
         constraint_slicing=not args.no_slicing,
         solver_cache=not args.no_solver_cache,
         compiled_execution=not args.no_compile,
+        subsumption=not args.no_subsumption,
         stop_on_first_error=not args.all_errors,
         time_limit=args.time_limit,
         run_time_limit=args.run_time_limit,

@@ -46,6 +46,7 @@ class DartOptions:
         handle_signals=False,
         constraint_slicing=True,
         solver_cache=True,
+        subsumption=True,
         jobs=1,
         trace_file=None,
         trace_ring=32,
@@ -125,6 +126,14 @@ class DartOptions:
         #: Cache solver verdicts keyed on canonical constraint sets, with
         #: UNSAT-superset shortcuts and model reuse (repro.solver.cache).
         self.solver_cache = solver_cache
+        #: Subsumption layer (docs/ALGORITHM.md, "Subsumption and
+        #: pruning"): record minimal UNSAT cores for cross-subtree flip
+        #: refutation and dedupe worklist children whose future
+        #: fingerprints coincide.  ``--no-subsumption`` ablates it
+        #: (the bench gate compares both).  Requires ``solver_cache``
+        #: for the core tier; worklist dedup additionally requires
+        #: ``constraint_slicing``.
+        self.subsumption = subsumption
         #: Worker processes for the worklist-based strategies ("bfs" and
         #: "random"): a persistent pool of long-lived workers consumes a
         #: shared queue of flip candidates (work stealing, solver calls
@@ -204,7 +213,12 @@ class DartOptions:
         are excluded like the observability knobs: witnessing records
         what the search already does, never shapes it, and resuming an
         interrupted plain campaign *with* an export destination is the
-        supported way to salvage its artifacts.
+        supported way to salvage its artifacts.  ``subsumption`` is
+        excluded too: it only prunes work whose outcome is already
+        determined (cores refute queries the solver would refute,
+        deduped children re-derive futures an equal entry explores), so
+        a ``--no-subsumption`` resume of a subsuming session — e.g. to
+        ablate a suspected over-prune — must be accepted.
         """
         relevant = (
             self.depth, self.strategy, self.seed,

@@ -75,6 +75,7 @@ from queue import Empty
 from repro.dart import persist
 from repro.dart.coverage import is_program_branch
 from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.independence import coupling_classes
 from repro.dart.inputs import InputVector
 from repro.dart.instrument import DirectedHooks, ForcingMismatch
 from repro.dart.report import (
@@ -140,6 +141,12 @@ class _WorkerContext:
         #: each worker lowers its own module copy once).
         self.compiled = CompiledProgram(self.module) \
             if options.compiled_execution else None
+        #: Dedup-eligibility classes, recomputed per worker exactly as
+        #: the parent session does (the analysis is deterministic, so
+        #: every process gates fingerprints identically).
+        self.independence = coupling_classes(
+            source, toplevel, options.depth, filename=filename,
+        ) if options.subsumption else None
         #: compile_seconds already attributed to the compile phase.
         self._compile_seconds_seen = 0.0
 
@@ -262,11 +269,16 @@ class _WorkerContext:
                     "kinds": [slot.kind for slot in im],
                 }
             children = self._expand(payload, hooks, im, flags, stats, bus)
+            # The future fingerprint rides along so the *parent* can
+            # dedupe at insert time against its drain-global seen set
+            # (workers only ever see their own item).
             out["children"] = [
                 {"stack": persist._encode_stack(child_stack),
                  "im": persist._encode_im(child_im),
-                 "bound": child_bound}
-                for child_stack, child_im, child_bound in children
+                 "bound": child_bound,
+                 "fp": child_fp}
+                for child_stack, child_im, child_bound, child_fp
+                in children
             ]
         out["covered"] = list(machine.covered_branches)
         out["flags"] = flags.snapshot()
@@ -289,6 +301,8 @@ class _WorkerContext:
             payload["bound"], self.solver, flags, stats,
             options.solver_escalation, cache=self.cache,
             slicing=options.constraint_slicing, trace=bus,
+            subsume=options.subsumption,
+            independence=self.independence,
         )
         if timed:
             wall = time.perf_counter() - started
@@ -523,6 +537,7 @@ class _PoolEngine:
                 if frontier is None:
                     frontier = [([], InputVector(), 0)]
                     session._clean_drain = True
+                    session._dedup_seen = set()
                 if self._drain(frontier):
                     session._clear_checkpoint()
                     return session._result()
@@ -836,13 +851,22 @@ class _PoolEngine:
         if session._collect_witnesses and result.get("inputs") is not None:
             self._witness(result, iteration)
         self._ship_events(result, iteration, new_path)
-        pending.extend(
+        error = result["error"]
+        # Insert-time worklist dedup, exactly the serial engine's
+        # (session._admit_children): the salt is this run's recorded
+        # error key, so children of error-differing runs never collapse.
+        # Commit order makes the seen-set evolution — and therefore the
+        # dedup decisions, counters and events — identical to a serial
+        # drain of the same frontier.
+        salt = (error["kind"], str(error["location"])) \
+            if error is not None else None
+        children = (
             (persist._decode_stack(child["stack"]),
              persist._decode_im(child["im"]),
-             child["bound"])
+             child["bound"], child.get("fp"))
             for child in result["children"]
         )
-        error = result["error"]
+        pending.extend(session._admit_children(children, salt))
         if error is not None:
             fault = RestoredFault(error["kind"], error["message"],
                                   error["location"])

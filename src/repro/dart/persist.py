@@ -229,7 +229,7 @@ class SessionCheckpoint:
     def __init__(self, fingerprint, engine, rng_state, flags, counters,
                  distinct_paths, covered_branches, errors, quarantined,
                  dfs_pending=None, worklist=None, clean_drain=True,
-                 witnesses=None):
+                 witnesses=None, dedup_seen=None):
         #: {"source": sha256, "toplevel": name, "options": digest}.
         self.fingerprint = fingerprint
         #: "dfs" or "generational" — a checkpoint never crosses engines.
@@ -258,6 +258,11 @@ class SessionCheckpoint:
         #: Optional: checkpoints written before the suite subsystem carry
         #: no ``witnesses`` key and decode to an empty list.
         self.witnesses = witnesses if witnesses is not None else []
+        #: generational engine: ``[fingerprint, error-salt-or-None]``
+        #: pairs of every child enqueued this drain (the worklist-dedup
+        #: seen set), so a resume keeps deduping against work already
+        #: spent.  Optional — absent decodes to an empty list.
+        self.dedup_seen = dedup_seen if dedup_seen is not None else []
 
     # -- encoding ---------------------------------------------------------
 
@@ -287,6 +292,11 @@ class SessionCheckpoint:
                 {"stack": _encode_stack(stack), "im": _encode_im(im),
                  "bound": bound}
                 for stack, im, bound in self.worklist
+            ]
+        if self.dedup_seen:
+            body["dedup_seen"] = [
+                [fp, list(salt) if salt is not None else None]
+                for fp, salt in self.dedup_seen
             ]
         return body
 
@@ -322,6 +332,10 @@ class SessionCheckpoint:
             worklist=worklist,
             clean_drain=bool(body.get("clean_drain", True)),
             witnesses=list(body.get("witnesses", ())),
+            dedup_seen=[
+                (entry[0], tuple(entry[1]) if entry[1] is not None else None)
+                for entry in body.get("dedup_seen", ())
+            ],
         )
 
 

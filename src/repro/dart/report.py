@@ -274,6 +274,14 @@ class RunStats:
         # ok-witnesses dropped by coverage subsumption.
         "witnesses_recorded", "artifacts_exported", "artifacts_deduped",
         "artifacts_pruned",
+        # Subsumption layer (docs/ALGORITHM.md, "Subsumption and
+        # pruning"): ``flips_subsumed_core`` counts flip queries refuted
+        # by a recorded UNSAT core they contain (cross-subtree cache
+        # tier — no solver call); ``worklist_deduped`` counts children
+        # dropped at worklist-insert time because a fingerprint-equal
+        # entry (same future, same recorded-error salt) was already
+        # enqueued this drain.
+        "flips_subsumed_core", "worklist_deduped",
     )
 
     def __init__(self):
@@ -319,9 +327,9 @@ class RunStats:
 
     @property
     def cache_answered(self):
-        """Queries answered by the cache (all three tiers)."""
-        return (self.cache_hits + self.cache_unsat_shortcuts
-                + self.cache_model_reuses)
+        """Queries answered by the cache (all four tiers)."""
+        return (self.cache_hits + self.flips_subsumed_core
+                + self.cache_unsat_shortcuts + self.cache_model_reuses)
 
     @property
     def cache_hit_rate(self):
@@ -351,6 +359,7 @@ class RunStats:
                 round(self.avg_constraints_per_call, 2),
             "sliced_conjuncts_dropped": self.sliced_conjuncts_dropped,
             "cache_hits": self.cache_hits,
+            "flips_subsumed_core": self.flips_subsumed_core,
             "cache_unsat_shortcuts": self.cache_unsat_shortcuts,
             "cache_model_reuses": self.cache_model_reuses,
             "cache_misses": self.cache_misses,
@@ -382,6 +391,7 @@ class RunStats:
             "artifacts_exported": self.artifacts_exported,
             "artifacts_deduped": self.artifacts_deduped,
             "artifacts_pruned": self.artifacts_pruned,
+            "worklist_deduped": self.worklist_deduped,
             "histograms": {
                 "solver_latency_s": self.solver_latency.to_dict(),
                 "path_length": self.path_length.to_dict(),

@@ -34,6 +34,7 @@ from repro.dart import persist
 from repro.dart.config import DartOptions
 from repro.dart.coverage import BranchCoverage, is_program_branch
 from repro.dart.driver import DRIVER_ENTRY, build_test_program
+from repro.dart.independence import coupling_classes
 from repro.dart.inputs import InputVector
 from repro.dart.instrument import DirectedHooks, ForcingMismatch
 from repro.dart.report import (
@@ -95,6 +96,12 @@ class Dart:
         #: tree-walking interpreter (``--no-compile`` ablation).
         self.compiled = CompiledProgram(self.module) \
             if self.options.compiled_execution else None
+        #: Input coupling classes for the worklist-dedup eligibility
+        #: gate (None — analysis latched or subsumption off — means no
+        #: entry is ever deduped; the UNSAT-core tier is independent).
+        self.independence = coupling_classes(
+            source, toplevel, self.options.depth, filename=filename,
+        ) if self.options.subsumption else None
         #: The structured trace bus (repro.obs.trace).  Disabled — and
         #: free — until run() attaches a sink (``trace_file``), or a
         #: caller attaches one programmatically before run().
@@ -363,6 +370,10 @@ class _Session:
         #: generational: the live worklist (mutated in place).
         self._worklist = []
         self._clean_drain = True
+        #: generational: (fingerprint, error salt) keys of every child
+        #: enqueued this drain — the worklist-dedup seen set (reset on
+        #: random restart, checkpointed so a resume keeps deduping).
+        self._dedup_seen = set()
 
     # -- graceful interruption ----------------------------------------------
 
@@ -686,6 +697,7 @@ class _Session:
             checkpoint.worklist = [
                 (item.stack, item.im, item.bound) for item in self._worklist
             ]
+            checkpoint.dedup_seen = sorted(self._dedup_seen, key=repr)
         return checkpoint
 
     def _save_checkpoint(self):
@@ -774,6 +786,7 @@ class _Session:
             self.witnesses.append(witness)
         self.resumed = True
         self._clean_drain = checkpoint.clean_drain
+        self._dedup_seen = set(checkpoint.dedup_seen)
 
     def _resume(self):
         """Load this session's checkpoint, if a valid one exists.
@@ -887,6 +900,7 @@ class _Session:
                         cache=self.cache,
                         slicing=self.options.constraint_slicing,
                         trace=self.trace,
+                        subsume=self.options.subsumption,
                     )
                     if plan is None:
                         search_finished = True
@@ -912,6 +926,35 @@ class _Session:
             return pending.pop(0)
         return pending.pop(self.rng.randrange(len(pending)))
 
+    def _admit_children(self, children, salt):
+        """Insert-time worklist dedup (the subsumption layer's half two).
+
+        Yields the ``(stack, im, bound)`` of every child to enqueue and
+        drops the rest: a child is dropped when an entry with the same
+        future fingerprint *and* the same recorded-error salt was
+        already enqueued this drain — entries differing in recorded
+        errors are never deduped (``salt`` is the parent run's error
+        key, or None).  Dedup only fires while the session is fully
+        modeled (every completeness flag intact): after any degradation
+        a fingerprint can no longer claim two futures equivalent, so
+        everything is admitted.  Dropped children are counted
+        (``worklist_deduped``) and traced (``worklist_dedup``).
+        """
+        flags = self.flags
+        dedup_ok = (flags.all_linear and flags.all_faithful
+                    and flags.all_locs_definite)
+        seen = self._dedup_seen
+        for stack, im, bound, fp in children:
+            if fp is not None and dedup_ok:
+                key = (fp, salt)
+                if key in seen:
+                    self.stats.worklist_deduped += 1
+                    if self.trace.enabled:
+                        self.trace.emit(tr.WORKLIST_DEDUP, bound=bound)
+                    continue
+                seen.add(key)
+            yield stack, im, bound
+
     def run_generational(self):
         solver = self.dart.solver
         escalation = self.options.solver_escalation
@@ -927,12 +970,17 @@ class _Session:
                 if pending is None:
                     pending = [_Pending([], InputVector(), 0)]
                     self._clean_drain = True
+                    self._dedup_seen = set()
                 self._worklist = pending
+                self.stats.worklist_depth.set(len(pending))
                 while pending:
-                    self.stats.worklist_depth.set(len(pending))
                     self._autosave()
                     self._check_budget()
                     item = self._pop(pending)
+                    # Live gauge update on every pop and push (below), so
+                    # the depth — and its peak — stays honest for serial
+                    # sessions, matching the parallel engine.
+                    self.stats.worklist_depth.set(len(pending))
                     outcome = self._execute(item.im, item.stack)
                     if outcome.mismatch:
                         # The invariant guarantees a completeness flag was
@@ -958,11 +1006,17 @@ class _Session:
                         self.stats, escalation, cache=self.cache,
                         slicing=self.options.constraint_slicing,
                         trace=self.trace,
+                        subsume=self.options.subsumption,
+                        independence=self.dart.independence,
                     )
+                    salt = (outcome.fault.kind, str(outcome.fault.location)) \
+                        if outcome.fault is not None else None
                     pending.extend(
                         _Pending(stack, im, bound)
-                        for stack, im, bound in children
+                        for stack, im, bound
+                        in self._admit_children(children, salt)
                     )
+                    self.stats.worklist_depth.set(len(pending))
                 if self._clean_drain and self._finished_complete():
                     self._clear_checkpoint()
                     return self._result()

@@ -25,11 +25,14 @@ Two throughput layers plug in here (see DESIGN.md, "Performance"):
   by a previously found model.
 """
 
+import hashlib
 import time
 
+from repro.dart.independence import dedup_eligible
 from repro.dart.slicing import ConstraintSlicer
 from repro.obs import trace as tr
 from repro.obs.profile import CACHE, PhaseTimer
+from repro.solver.cache import SolverResultCache
 from repro.solver.core import UNKNOWN, SolverResult
 from repro.symbolic.widen import (
     WidenedCmp,
@@ -83,20 +86,27 @@ def _contain_cache_failure(cache, exc, stats, trace):
 
 
 def solve_with_retry(solver, constraints, domains, stats=None,
-                     escalation=1, cache=None, trace=None):
+                     escalation=1, cache=None, trace=None, subsume=False):
     """One *logical* solver call with caching and budget resilience.
 
     When ``cache`` is set, the query is first answered from it (exact hit,
-    UNSAT-superset shortcut, or model reuse); a cache answer costs no
-    solver call and leaves ``solver_calls`` untouched — the cache counters
-    record it instead.  On a miss, when the first attempt returns
-    ``unknown`` (node budget exhausted, not a proof either way) and
-    ``escalation`` > 1, the call is retried once with the node budget
-    multiplied by ``escalation`` before the caller degrades to the
-    random-testing fallback.  Statistics count the logical call once (so
-    ``solver_calls == sat + unsat + unknown`` stays an invariant) plus the
-    retry/escalation counters; decided results are stored back into the
-    cache.
+    UNSAT-core subsumption, UNSAT-superset shortcut, or model reuse); a
+    cache answer costs no solver call and leaves ``solver_calls``
+    untouched — the cache counters record it instead.  On a miss, when
+    the first attempt returns ``unknown`` (node budget exhausted, not a
+    proof either way) and ``escalation`` > 1, the call is retried once
+    with the node budget multiplied by ``escalation`` before the caller
+    degrades to the random-testing fallback.  Statistics count the
+    logical call once (so ``solver_calls == sat + unsat + unknown`` stays
+    an invariant) plus the retry/escalation counters; decided results are
+    stored back into the cache.
+
+    With ``subsume`` set (the subsumption layer, ``--no-subsumption``
+    ablates it), a real UNSAT answer is additionally minimized by greedy
+    deletion (:func:`_extract_core`) and the core recorded in the cache's
+    cross-subtree tier, so future flips *containing* it are refuted
+    without a solver call; such refutations count as
+    ``flips_subsumed_core`` and emit a ``flip_subsumed`` trace event.
 
     Observability: actual solver calls are timed into the
     ``solver_latency_s`` histogram, cache lookups/stores into the
@@ -122,9 +132,15 @@ def solve_with_retry(solver, constraints, domains, stats=None,
         else:
             if hit is not None:
                 result, tier = hit
+                if tier == "unsat-core" and trace is not None \
+                        and trace.enabled:
+                    trace.emit(tr.FLIP_SUBSUMED,
+                               constraints=len(constraints))
                 if stats is not None:
                     if tier == "exact":
                         stats.cache_hits += 1
+                    elif tier == "unsat-core":
+                        stats.flips_subsumed_core += 1
                     elif tier == "unsat-superset":
                         stats.cache_unsat_shortcuts += 1
                     else:
@@ -166,7 +182,50 @@ def solve_with_retry(solver, constraints, domains, stats=None,
                 cache.store(constraints, domains, result)
         except Exception as exc:
             _contain_cache_failure(cache, exc, stats, trace)
+            cache_usable = False
+    if (subsume and cache_usable and result.status == "unsat"
+            and 2 <= len(constraints) <= _CORE_EXTRACT_LIMIT):
+        core = _extract_core(solver, constraints, domains, stats, trace)
+        if core is not None:
+            try:
+                with phases.section(CACHE):
+                    cache.store_core(core, domains)
+            except Exception as exc:
+                _contain_cache_failure(cache, exc, stats, trace)
     return result
+
+
+#: Greedy core extraction probes up to O(n^2) solver calls; sliced UNSAT
+#: groups are small, and past this size the probes would cost more than
+#: the recorded core could ever save.
+_CORE_EXTRACT_LIMIT = 8
+
+
+def _extract_core(solver, constraints, domains, stats, trace):
+    """Greedy-deletion minimization of a proved-UNSAT conjunct set.
+
+    Drops one conjunct at a time, keeping the remainder only while it is
+    still UNSAT.  The probes go through :func:`_safe_solve` but are *not*
+    logical solver calls: they are not counted in ``solver_calls`` and
+    emit no ``solver_answered`` events, so the flip funnel's
+    ``solver_calls == sat + unsat + unknown`` invariant is untouched (a
+    crashing probe still counts ``solver_failures``).  An ``unknown``
+    probe conservatively keeps its conjunct.  Returns the minimized
+    list, or None when nothing could be removed — the set is already
+    minimal and the plain UNSAT tier holds it verbatim.
+    """
+    core = list(constraints)
+    removed = False
+    index = 0
+    while len(core) > 1 and index < len(core):
+        probe = core[:index] + core[index + 1:]
+        if _safe_solve(solver, probe, domains, stats, trace).status \
+                == "unsat":
+            core = probe
+            removed = True
+        else:
+            index += 1
+    return core if removed else None
 
 
 class NextRunPlan:
@@ -180,7 +239,14 @@ class NextRunPlan:
 
 
 def candidate_indices(stack, strategy, rng):
-    """Indices of not-yet-``done`` conditionals, in flip-attempt order."""
+    """Indices of not-yet-``done`` conditionals, in flip-attempt order.
+
+    The strategy is validated *first*: a typo'd ``--strategy`` must fail
+    on the very first call, before the candidate scan — not after a full
+    pass over the stack on every solve of the session.
+    """
+    if strategy not in ("dfs", "bfs", "random"):
+        raise ValueError("unknown strategy {!r}".format(strategy))
     pending = [
         index for index, entry in enumerate(stack) if not entry.done
     ]
@@ -188,8 +254,6 @@ def candidate_indices(stack, strategy, rng):
         pending.reverse()
     elif strategy == "random":
         rng.shuffle(pending)
-    elif strategy != "bfs":
-        raise ValueError("unknown strategy {!r}".format(strategy))
     return pending
 
 
@@ -249,9 +313,38 @@ def _negations_of(conjunct, domains):
     return [conjunct.negate()], True
 
 
+def _child_fingerprint(query, query_vars, assignment, domains):
+    """Canonical future fingerprint of a dedup-*eligible* worklist child.
+
+    Only computed when the session's static independence analysis
+    (:mod:`repro.dart.independence`) proved the sliced query's variable
+    set closed under input coupling — every class a query variable
+    belongs to lies inside ``query_vars``.  Under that guarantee the
+    fingerprint needs exactly what the child's future can observe about
+    those inputs: the sliced flip query in canonical form (the solver is
+    deterministic per query, so fingerprint-equal flips receive the same
+    model), the query variables' domains, and the input-vector length
+    (ties fresh-ordinal draws to the same alignment).  Inputs *outside*
+    the query belong to classes no predicate connects to it: their
+    parent-supplied values steer futures the parent's own run and its
+    other children already cover.  The engines add the error salt and
+    the completeness-flags guard at insert time; the config-invariance
+    oracle pins that the final error set survives the pruning.
+    """
+    canon = SolverResultCache.canonical_cmp_key
+    payload = (
+        "v3",
+        sorted(repr(canon(c)) for c in query),
+        sorted((var,) + tuple(domains.get(var, (None, None)))
+               for var in query_vars),
+        len(assignment),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
 def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
                           stats=None, escalation=1, cache=None,
-                          slicing=True, trace=None):
+                          slicing=True, trace=None, subsume=False):
     """Pick a branch to flip and solve for inputs reaching it.
 
     ``record`` is the completed run's :class:`PathRecord` (constraints),
@@ -286,7 +379,7 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
                            prefix=count_before[j], query=len(query),
                            windows=len(negations))
             result = solve_with_retry(solver, query, domains, stats,
-                                      escalation, cache, trace)
+                                      escalation, cache, trace, subsume)
             if result.is_sat:
                 if stats is not None:
                     stats.flips_sat += 1
@@ -321,18 +414,24 @@ def solve_path_constraint(record, stack, im, solver, strategy, rng, flags,
 
 def expand_worklist_children(stack, constraints, im, bound, solver, flags,
                              stats=None, escalation=1, cache=None,
-                             slicing=True, trace=None):
+                             slicing=True, trace=None, subsume=False,
+                             independence=None):
     """Generational expansion: children for indices ``bound..len(stack)``.
 
     The worklist engines (serial and parallel) spawn one pending input
     vector per newly discovered flippable branch; this helper owns that
     loop so both engines share the slicing/caching fast path.  Returns a
-    list of ``(child_stack, child_im, child_bound)`` triples in branch
-    order.
+    list of ``(child_stack, child_im, child_bound, fingerprint)``
+    4-tuples in branch order; ``fingerprint`` is the dedup key of
+    :func:`_child_fingerprint` when ``subsume``, slicing and the
+    session's ``independence`` classes (see
+    :func:`repro.dart.independence.coupling_classes`) all permit it,
+    else None — children without a fingerprint are never deduped.
     """
     domains = im.domains()
     non_none, count_before = _prefix_index(constraints)
-    slicer = ConstraintSlicer(constraints, _assignment_of(im)) \
+    assignment = _assignment_of(im)
+    slicer = ConstraintSlicer(constraints, assignment) \
         if slicing else None
     children = []
     for j in range(bound, len(stack)):
@@ -352,13 +451,23 @@ def expand_worklist_children(stack, constraints, im, bound, solver, flags,
                            prefix=count_before[j], query=len(query),
                            windows=len(negations))
             result = solve_with_retry(solver, query, domains, stats,
-                                      escalation, cache, trace)
+                                      escalation, cache, trace, subsume)
             if result.is_sat:
                 if stats is not None:
                     stats.flips_sat += 1
                 child = [entry.copy() for entry in stack[: j + 1]]
                 child[j] = child[j].flipped()
-                children.append((child, im.updated(result.model), j + 1))
+                fp = None
+                if subsume and slicer is not None \
+                        and independence is not None:
+                    query_vars = set()
+                    for c in query:
+                        query_vars |= c.variables()
+                    if dedup_eligible(query_vars, independence):
+                        fp = _child_fingerprint(query, query_vars,
+                                                assignment, domains)
+                children.append((child, im.updated(result.model), j + 1,
+                                 fp))
                 break
             if result.status == "unknown":
                 flags.clear_linear()

@@ -30,6 +30,7 @@ def summarize_trace(events):
     instructions = 0
     verdicts = {"sat": 0, "unsat": 0, "unknown": 0}
     cache_tiers = {}
+    subsumption = {"flips_subsumed": 0, "worklist_deduped": 0}
     runs = {"total": 0, "ok": 0, "fault": 0, "mismatch": 0,
             "quarantined": 0}
     plan_wall = 0.0
@@ -72,6 +73,10 @@ def summarize_trace(events):
                     funnel["sat"] += 1
         elif etype == tr.CONJUNCT_NEGATED:
             funnel["attempted"] += 1
+        elif etype == tr.FLIP_SUBSUMED:
+            subsumption["flips_subsumed"] += 1
+        elif etype == tr.WORKLIST_DEDUP:
+            subsumption["worklist_deduped"] += 1
         elif etype == tr.PLAN:
             plan_wall += event.get("wall_s", 0.0)
         elif etype == tr.CHECKPOINT:
@@ -116,6 +121,9 @@ def summarize_trace(events):
         "funnel": funnel,
         "verdicts": verdicts,
         "cache_tiers": {k: cache_tiers[k] for k in sorted(cache_tiers)},
+        # The pruning layer: flips refuted by recorded UNSAT cores and
+        # worklist children dropped as fingerprint-duplicates.
+        "subsumption": subsumption,
         "runs": runs,
     }
     if coverage is not None:
@@ -168,6 +176,11 @@ def render_summary(summary):
         lines.append("cache tiers: " + ", ".join(
             "{} {}".format(tier, count)
             for tier, count in summary["cache_tiers"].items()))
+    subs = summary.get("subsumption") or {}
+    if subs.get("flips_subsumed") or subs.get("worklist_deduped"):
+        lines.append("subsumption: {flips_subsumed} flip(s) refuted by "
+                     "recorded cores, {worklist_deduped} worklist "
+                     "child(ren) deduped".format(**subs))
     runs = summary["runs"]
     lines.append("runs: {total} total, {ok} ok, {fault} fault, "
                  "{mismatch} mismatch, {quarantined} quarantined"

@@ -80,6 +80,13 @@ SUITE_EXPORTED = "suite_exported"
 #: ``"duplicate"`` (identical path fingerprint + error class) or
 #: ``"subsumed"`` (covered-branch set adds nothing to the kept union).
 ARTIFACT_DEDUPED = "artifact_deduped"
+#: A flip query was refuted by a recorded UNSAT core it contains
+#: (the cross-subtree cache tier; carries ``constraints``).
+FLIP_SUBSUMED = "flip_subsumed"
+#: A worklist child was dropped at insert time because an entry with
+#: the same future fingerprint (and same recorded-error salt) was
+#: already enqueued this drain; carries ``bound``.
+WORKLIST_DEDUP = "worklist_dedup"
 
 #: All event types, for schema-completeness checks.
 EVENT_TYPES = (
@@ -91,6 +98,7 @@ EVENT_TYPES = (
     CHECKPOINT_FAILED, CHECKPOINT_REJECTED, POOL_RETRY,
     POOL_STARTED, POOL_STOPPED, POOL_STEAL, WORKER_LOST,
     COMPILE, SUITE_EXPORTED, ARTIFACT_DEDUPED,
+    FLIP_SUBSUMED, WORKLIST_DEDUP,
 )
 
 

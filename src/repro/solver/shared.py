@@ -11,7 +11,7 @@ The pool therefore splits caching into two layers with a sharp
 determinism contract (see ``docs/PARALLELISM.md``):
 
 * **Per-item local cache** — each work item gets a fresh
-  :class:`SolverResultCache` with all three tiers (exact,
+  :class:`SolverResultCache` with all four tiers (exact, UNSAT-core,
   UNSAT-superset, model reuse).  Canonically-equal and subsumed queries
   *within one item's expansion* — the common case once slicing shrinks
   queries — are answered locally, and because the cache starts empty

@@ -434,6 +434,7 @@ class OracleBattery:
             ("noslice", {"constraint_slicing": False}),
             ("nocache", {"solver_cache": False}),
             ("nocompile", {"compiled_execution": False}),
+            ("nosubsume", {"subsumption": False}),
         ):
             result, violations = self._session(program, **overrides)
             sessions[label] = result
@@ -442,7 +443,7 @@ class OracleBattery:
                 divergences.append(Divergence(
                     "solver", "{}: {}".format(label, violation)))
         base = sessions["base"]
-        for label in ("noslice", "nocache", "nocompile"):
+        for label in ("noslice", "nocache", "nocompile", "nosubsume"):
             divergences.extend(
                 self._compare_sessions("base", base, label, sessions[label]))
         return divergences

@@ -154,7 +154,7 @@ class TestCheckpointRejection:
         path = str(tmp_path / "state.json")
         self.run_once(AC_CONTROLLER_SOURCE, path)
         payload = json.load(open(path))
-        assert payload["body"]["fingerprint"]["encoding"] == 2
+        assert payload["body"]["fingerprint"]["encoding"] == 3
         fingerprint = Dart(
             AC_CONTROLLER_SOURCE, "ac_controller",
             DartOptions(strategy="bfs", seed=1),
@@ -171,6 +171,9 @@ class TestCheckpointRejection:
 
         # A v1-encoding session stamped encoding=1.
         rewrite(lambda fp: fp.__setitem__("encoding", 1))
+        assert persist.load_checkpoint(path, fingerprint) is None
+        # A v2-encoding session (pre-UNSAT-core canonical keys).
+        rewrite(lambda fp: fp.__setitem__("encoding", 2))
         assert persist.load_checkpoint(path, fingerprint) is None
         # A pre-versioning session had no encoding field at all.
         rewrite(lambda fp: fp.__delitem__("encoding"))

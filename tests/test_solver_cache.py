@@ -57,7 +57,7 @@ class TestCanonicalKeys:
         from repro.solver.cache import ENCODING_VERSION
 
         key = SolverResultCache.query_key([cmp(EQ, {0: 1})], {})
-        assert key[0] == ENCODING_VERSION == 2
+        assert key[0] == ENCODING_VERSION == 3
 
     def test_strict_ops_normalize_in_cache_keys_only(self):
         strict = cmp(GT, {0: 1}, 5)           # x0 + 5 > 0

@@ -257,7 +257,8 @@ class TestCampaignSuites:
         state = str(tmp_path / "ckpt.json")
         # The budget must truncate the campaign *after* the depth-2
         # error (run 22, deterministic under seed 0) but *before* the
-        # worklist drains — a finished campaign deletes its checkpoint.
+        # worklist drains (run 25) — a finished campaign deletes its
+        # checkpoint.
         options = DartOptions(depth=2, strategy="bfs", seed=0,
                               max_iterations=23, stop_on_first_error=False,
                               state_file=state, checkpoint_every=1)
